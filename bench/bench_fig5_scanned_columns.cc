@@ -1,0 +1,85 @@
+// Reproduces Fig. 5: ratio of scanned columns — the paper's intrusiveness
+// metric (Sec. 6.5).
+//
+// Paper values:
+//   TURL / Doduo: 100% on both datasets (they cannot function without
+//   content).
+//   TASTE:             45.0% (WikiTable)   1.7% (GitTables)
+//   TASTE w/ histogram 43.6% (WikiTable)   0.9% (GitTables)
+// Pipelining / caching / sampling variants scan identical column sets and
+// are therefore not separate bars (the bench asserts that instead).
+
+#include "bench_common.h"
+
+namespace taste::bench {
+namespace {
+
+void RunDataset(const data::DatasetProfile& profile, bool is_wiki) {
+  eval::TrainedStack stack = MustBuildStack(profile);
+  auto db = eval::MakeTestDatabase(stack.dataset, stack.dataset.test, false,
+                                   InstantCost());
+  auto db_hist = eval::MakeTestDatabase(stack.dataset, stack.dataset.test,
+                                        true, InstantCost());
+  TASTE_CHECK(db.ok() && db_hist.ok());
+
+  auto ratio_taste = [&](const core::TasteOptions& topt,
+                         const model::AdtdModel* m,
+                         clouddb::SimulatedDatabase* database) {
+    core::TasteDetector det(m, stack.tokenizer.get(), topt);
+    auto run = eval::EvaluateSequential(
+        [&det](clouddb::Connection* c, const std::string& n) {
+          return det.DetectTable(c, n);
+        },
+        database, stack.dataset, stack.dataset.test);
+    TASTE_CHECK_MSG(run.ok(), run.status().ToString());
+    return run->scanned_ratio();
+  };
+  auto ratio_single = [&](const baselines::SingleTowerModel* m) {
+    baselines::SingleTowerDetector det(m, stack.tokenizer.get(), {});
+    auto run = eval::EvaluateSequential(
+        [&det](clouddb::Connection* c, const std::string& n) {
+          return det.DetectTable(c, n);
+        },
+        db->get(), stack.dataset, stack.dataset.test);
+    TASTE_CHECK_MSG(run.ok(), run.status().ToString());
+    return run->scanned_ratio();
+  };
+
+  core::TasteOptions base;
+  double turl = ratio_single(stack.turl.get());
+  double doduo = ratio_single(stack.doduo.get());
+  double taste = ratio_taste(base, stack.adtd.get(), db->get());
+  double taste_hist = ratio_taste(base, stack.adtd_hist.get(), db_hist->get());
+  // Invariant from the paper: sampling does not change which columns are
+  // scanned.
+  core::TasteOptions sampling = base;
+  sampling.random_sample = true;
+  double taste_sampling = ratio_taste(sampling, stack.adtd.get(), db->get());
+
+  std::printf("%s",
+              eval::SectionHeader("Fig. 5 — ratio of scanned columns, " +
+                                  stack.name)
+                  .c_str());
+  eval::TextTable table({"approach", "scanned ratio", "paper"});
+  table.AddRow({"TURL", Pct(turl), "100%"});
+  table.AddRow({"Doduo", Pct(doduo), "100%"});
+  table.AddRow({"TASTE", Pct(taste), is_wiki ? "45.0%" : "1.7%"});
+  table.AddRow(
+      {"TASTE w/ histogram", Pct(taste_hist), is_wiki ? "43.6%" : "0.9%"});
+  table.AddRow({"TASTE w/ sampling", Pct(taste_sampling),
+                "same as TASTE (invariant)"});
+  std::printf("%s", table.ToString().c_str());
+  if (std::abs(taste_sampling - taste) > 1e-9) {
+    std::printf("WARNING: sampling changed the scanned set (unexpected)\n");
+  }
+}
+
+}  // namespace
+}  // namespace taste::bench
+
+int main() {
+  taste::SetLogLevel(taste::LogLevel::kWarn);
+  taste::bench::RunDataset(taste::data::DatasetProfile::WikiLike(), true);
+  taste::bench::RunDataset(taste::data::DatasetProfile::GitLike(), false);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Reproduces Fig. 7: sensitivity to the uncertainty thresholds alpha and
+// beta on the WikiLike dataset.
+//
+// The sweep widens the (alpha, beta) interval symmetrically around 0.5:
+// alpha = 0.5 - margin, beta = 0.5 + margin. Paper's shape: as the
+// interval widens (smaller alpha, larger beta), more columns become
+// uncertain and go to P2, so the F1 score RISES while the ratio of columns
+// NOT scanned FALLS; the two curves cross, and the crossing region is the
+// paper's suggested operating point.
+
+#include "bench_common.h"
+
+namespace taste::bench {
+namespace {
+
+void Run() {
+  eval::TrainedStack stack =
+      MustBuildStack(data::DatasetProfile::WikiLike());
+  auto db = eval::MakeTestDatabase(stack.dataset, stack.dataset.test, false,
+                                   InstantCost());
+  TASTE_CHECK(db.ok());
+
+  std::printf("%s", eval::SectionHeader(
+                        "Fig. 7 — effect of alpha and beta (WikiLike)")
+                        .c_str());
+  eval::TextTable table(
+      {"alpha", "beta", "F1", "cols NOT scanned", "cols scanned"});
+  for (double margin : {0.0, 0.1, 0.2, 0.3, 0.4, 0.45}) {
+    core::TasteOptions topt;
+    topt.alpha = 0.5 - margin;
+    topt.beta = 0.5 + margin;
+    core::TasteDetector det(stack.adtd.get(), stack.tokenizer.get(), topt);
+    auto run = eval::EvaluateSequential(
+        [&det](clouddb::Connection* c, const std::string& n) {
+          return det.DetectTable(c, n);
+        },
+        db->get(), stack.dataset, stack.dataset.test);
+    TASTE_CHECK_MSG(run.ok(), run.status().ToString());
+    table.AddRow({F4(topt.alpha), F4(topt.beta), F4(run->scores.f1),
+                  Pct(1.0 - run->scanned_ratio()), Pct(run->scanned_ratio())});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf("Paper shape: widening (alpha, beta) raises F1 and lowers the "
+              "not-scanned ratio; pick alpha/beta near the curves' cross.\n");
+}
+
+}  // namespace
+}  // namespace taste::bench
+
+int main() {
+  taste::SetLogLevel(taste::LogLevel::kWarn);
+  taste::bench::Run();
+  return 0;
+}

@@ -1,0 +1,211 @@
+// Google-benchmark microbenchmarks of the substrates: tensor kernels,
+// tokenizer throughput, model forward passes (P1, P2 with/without cached
+// latents), and database access primitives. Not a paper figure — these
+// bound the cost model of the larger benches.
+
+#include <benchmark/benchmark.h>
+
+#include "clouddb/database.h"
+#include "core/taste_detector.h"
+#include "data/table_generator.h"
+#include "model/adtd.h"
+#include "tensor/ops.h"
+#include "text/wordpiece.h"
+
+namespace taste {
+namespace {
+
+// ---- tensor kernels ---------------------------------------------------------
+
+void BM_MatMul(benchmark::State& state) {
+  int64_t n = state.range(0);
+  Rng rng(1);
+  tensor::Tensor a = tensor::Tensor::Randn({n, n}, rng);
+  tensor::Tensor b = tensor::Tensor::Randn({n, n}, rng);
+  tensor::NoGradGuard ng;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_Softmax(benchmark::State& state) {
+  Rng rng(2);
+  tensor::Tensor x = tensor::Tensor::Randn({state.range(0), 128}, rng);
+  tensor::NoGradGuard ng;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::Softmax(x));
+  }
+}
+BENCHMARK(BM_Softmax)->Arg(64)->Arg(256);
+
+void BM_LayerNorm(benchmark::State& state) {
+  Rng rng(3);
+  tensor::Tensor x = tensor::Tensor::Randn({state.range(0), 64}, rng);
+  tensor::Tensor g = tensor::Tensor::Full({64}, 1.0f);
+  tensor::Tensor b = tensor::Tensor::Zeros({64});
+  tensor::NoGradGuard ng;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::LayerNorm(x, g, b));
+  }
+}
+BENCHMARK(BM_LayerNorm)->Arg(64)->Arg(256);
+
+void BM_AutogradBackward(benchmark::State& state) {
+  Rng rng(4);
+  for (auto _ : state) {
+    tensor::Tensor a = tensor::Tensor::Randn({32, 32}, rng, 1.0f, true);
+    tensor::Tensor b = tensor::Tensor::Randn({32, 32}, rng, 1.0f, true);
+    tensor::Tensor loss = tensor::MeanAll(tensor::Square(tensor::MatMul(a, b)));
+    loss.Backward();
+    benchmark::DoNotOptimize(a.grad().data());
+  }
+}
+BENCHMARK(BM_AutogradBackward);
+
+// ---- shared fixture for model-level benches ------------------------------------
+
+struct Fixture {
+  data::Dataset dataset;
+  std::unique_ptr<text::WordPieceTokenizer> tokenizer;
+  std::unique_ptr<model::AdtdModel> model;
+  std::unique_ptr<clouddb::SimulatedDatabase> db;
+
+  static Fixture& Get() {
+    static Fixture* f = [] {
+      auto* fx = new Fixture();
+      fx->dataset =
+          data::GenerateDataset(data::DatasetProfile::WikiLike(40));
+      text::WordPieceTrainer trainer({.vocab_size = 600});
+      for (const auto& d : data::BuildCorpusDocuments(fx->dataset)) {
+        trainer.AddDocument(d);
+      }
+      fx->tokenizer =
+          std::make_unique<text::WordPieceTokenizer>(trainer.Train());
+      model::AdtdConfig cfg = model::AdtdConfig::Tiny(
+          fx->tokenizer->vocab().size(),
+          data::SemanticTypeRegistry::Default().size());
+      Rng rng(5);
+      fx->model = std::make_unique<model::AdtdModel>(cfg, rng);
+      clouddb::CostModel cost;
+      cost.time_scale = 0.0;
+      fx->db = std::make_unique<clouddb::SimulatedDatabase>(cost);
+      TASTE_CHECK(fx->db->IngestDataset(fx->dataset).ok());
+      return fx;
+    }();
+    return *f;
+  }
+};
+
+void BM_TokenizerEncode(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  std::string text =
+      "customer_email_address varchar(255) primary contact email "
+      "james.smith@example.com 555-0199 2024-01-01";
+  int64_t bytes = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.tokenizer->Encode(text));
+    bytes += static_cast<int64_t>(text.size());
+  }
+  state.SetBytesProcessed(bytes);
+}
+BENCHMARK(BM_TokenizerEncode);
+
+void BM_MetadataTowerForward(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  auto conn = f.db->Connect();
+  auto meta = conn->GetTableMetadata(f.dataset.tables[0].name);
+  TASTE_CHECK(meta.ok());
+  model::InputEncoder encoder(f.tokenizer.get(), f.model->config().input);
+  model::EncodedMetadata em = encoder.EncodeMetadata(*meta);
+  tensor::NoGradGuard ng;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.model->ForwardMetadata(em));
+  }
+}
+BENCHMARK(BM_MetadataTowerForward);
+
+void BM_ContentTowerForward_CachedLatents(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  auto conn = f.db->Connect();
+  auto meta = conn->GetTableMetadata(f.dataset.tables[0].name);
+  TASTE_CHECK(meta.ok());
+  model::InputEncoder encoder(f.tokenizer.get(), f.model->config().input);
+  model::EncodedMetadata em = encoder.EncodeMetadata(*meta);
+  std::map<int, std::vector<std::string>> content;
+  for (int c = 0; c < em.num_columns; ++c) {
+    content[c] = f.dataset.tables[0].columns[c].values;
+  }
+  model::EncodedContent ec = encoder.EncodeContent(em, content);
+  tensor::NoGradGuard ng;
+  auto cached = f.model->ForwardMetadata(em);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.model->ForwardContent(ec, em, cached));
+  }
+}
+BENCHMARK(BM_ContentTowerForward_CachedLatents);
+
+void BM_ContentTowerForward_RecomputedLatents(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  auto conn = f.db->Connect();
+  auto meta = conn->GetTableMetadata(f.dataset.tables[0].name);
+  TASTE_CHECK(meta.ok());
+  model::InputEncoder encoder(f.tokenizer.get(), f.model->config().input);
+  model::EncodedMetadata em = encoder.EncodeMetadata(*meta);
+  std::map<int, std::vector<std::string>> content;
+  for (int c = 0; c < em.num_columns; ++c) {
+    content[c] = f.dataset.tables[0].columns[c].values;
+  }
+  model::EncodedContent ec = encoder.EncodeContent(em, content);
+  tensor::NoGradGuard ng;
+  for (auto _ : state) {
+    // The "TASTE w/o caching" path: the metadata tower runs again.
+    auto enc = f.model->ForwardMetadata(em);
+    benchmark::DoNotOptimize(f.model->ForwardContent(ec, em, enc));
+  }
+}
+BENCHMARK(BM_ContentTowerForward_RecomputedLatents);
+
+void BM_MetadataFetch(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  auto conn = f.db->Connect();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        conn->GetTableMetadata(f.dataset.tables[i % 40].name));
+    ++i;
+  }
+}
+BENCHMARK(BM_MetadataFetch);
+
+void BM_ColumnScan(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  auto conn = f.db->Connect();
+  const auto& table = f.dataset.tables[0];
+  std::vector<std::string> cols;
+  for (const auto& c : table.columns) cols.push_back(c.name);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        conn->ScanColumns(table.name, cols, {.limit_rows = 50}));
+  }
+}
+BENCHMARK(BM_ColumnScan);
+
+void BM_EndToEndDetectTable(benchmark::State& state) {
+  Fixture& f = Fixture::Get();
+  core::TasteDetector det(f.model.get(), f.tokenizer.get(), {});
+  auto conn = f.db->Connect();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        det.DetectTable(conn.get(), f.dataset.tables[i % 40].name));
+    ++i;
+  }
+}
+BENCHMARK(BM_EndToEndDetectTable);
+
+}  // namespace
+}  // namespace taste
+
+BENCHMARK_MAIN();

@@ -1,0 +1,120 @@
+// Reproduces Table 3: precision / recall / F1 of every approach on both
+// datasets (n=10, l=20; alpha=0.1, beta=0.9 for TASTE variants).
+//
+// Paper values:
+//   WikiTable:  TURL .9269, Doduo .9279, TASTE .9306,
+//               TASTE w/ hist .9340, TASTE w/ sampling .9306
+//   GitTables:  TURL .9809, Doduo .9898, TASTE .9894,
+//               TASTE w/ hist .9909, TASTE w/ sampling .9893
+// The bench additionally reports the rule-based detectors from Sec. 7 as a
+// floor. Expected shape: TASTE variants >= TURL, histograms help slightly,
+// sampling is a wash, GitLike scores above WikiLike.
+
+#include "bench_common.h"
+
+namespace taste::bench {
+namespace {
+
+struct PaperRef {
+  const char* wiki;
+  const char* git;
+};
+
+void RunDataset(const data::DatasetProfile& profile, bool is_wiki) {
+  eval::TrainedStack stack = MustBuildStack(profile);
+  auto db = eval::MakeTestDatabase(stack.dataset, stack.dataset.test, false,
+                                   InstantCost());
+  auto db_hist = eval::MakeTestDatabase(stack.dataset, stack.dataset.test,
+                                        true, InstantCost());
+  TASTE_CHECK(db.ok() && db_hist.ok());
+
+  auto eval_taste = [&](const core::TasteOptions& topt,
+                        const model::AdtdModel* m,
+                        clouddb::SimulatedDatabase* database) {
+    core::TasteDetector det(m, stack.tokenizer.get(), topt);
+    auto run = eval::EvaluateSequential(
+        [&det](clouddb::Connection* c, const std::string& n) {
+          return det.DetectTable(c, n);
+        },
+        database, stack.dataset, stack.dataset.test);
+    TASTE_CHECK_MSG(run.ok(), run.status().ToString());
+    return run->scores;
+  };
+  auto eval_single = [&](const baselines::SingleTowerModel* m) {
+    baselines::SingleTowerDetector det(m, stack.tokenizer.get(), {});
+    auto run = eval::EvaluateSequential(
+        [&det](clouddb::Connection* c, const std::string& n) {
+          return det.DetectTable(c, n);
+        },
+        db->get(), stack.dataset, stack.dataset.test);
+    TASTE_CHECK_MSG(run.ok(), run.status().ToString());
+    return run->scores;
+  };
+
+  core::TasteOptions base;
+  core::TasteOptions sampling = base;
+  sampling.random_sample = true;
+
+  struct Entry {
+    std::string name;
+    eval::PrfScores scores;
+    PaperRef paper;
+  };
+  std::vector<Entry> entries;
+  entries.push_back({"TURL", eval_single(stack.turl.get()),
+                     {"0.9269", "0.9809"}});
+  entries.push_back({"Doduo", eval_single(stack.doduo.get()),
+                     {"0.9279", "0.9898"}});
+  entries.push_back({"TASTE", eval_taste(base, stack.adtd.get(), db->get()),
+                     {"0.9306", "0.9894"}});
+  entries.push_back({"TASTE w/ histogram",
+                     eval_taste(base, stack.adtd_hist.get(), db_hist->get()),
+                     {"0.9340", "0.9909"}});
+  entries.push_back({"TASTE w/ sampling",
+                     eval_taste(sampling, stack.adtd.get(), db->get()),
+                     {"0.9306", "0.9893"}});
+
+  // Rule-based floor (related work, Sec. 7).
+  {
+    baselines::RegexDetector regex(&data::SemanticTypeRegistry::Default());
+    auto run = eval::EvaluateSequential(
+        [&regex](clouddb::Connection* c, const std::string& n) {
+          return regex.DetectTable(c, n);
+        },
+        db->get(), stack.dataset, stack.dataset.test);
+    TASTE_CHECK(run.ok());
+    entries.push_back({"Regex (rule-based)", run->scores, {"n/a", "n/a"}});
+  }
+  {
+    baselines::DictionaryDetector dict(&data::SemanticTypeRegistry::Default());
+    dict.Fit(stack.dataset, stack.dataset.train);
+    auto run = eval::EvaluateSequential(
+        [&dict](clouddb::Connection* c, const std::string& n) {
+          return dict.DetectTable(c, n);
+        },
+        db->get(), stack.dataset, stack.dataset.test);
+    TASTE_CHECK(run.ok());
+    entries.push_back(
+        {"Dictionary (rule-based)", run->scores, {"n/a", "n/a"}});
+  }
+
+  std::printf("%s", eval::SectionHeader("Table 3 — F1 scores, " + stack.name)
+                        .c_str());
+  eval::TextTable table(
+      {"model", "precision", "recall", "F1", "paper F1"});
+  for (const auto& e : entries) {
+    table.AddRow({e.name, F4(e.scores.precision), F4(e.scores.recall),
+                  F4(e.scores.f1), is_wiki ? e.paper.wiki : e.paper.git});
+  }
+  std::printf("%s", table.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace taste::bench
+
+int main() {
+  taste::SetLogLevel(taste::LogLevel::kWarn);
+  taste::bench::RunDataset(taste::data::DatasetProfile::WikiLike(), true);
+  taste::bench::RunDataset(taste::data::DatasetProfile::GitLike(), false);
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Evolving the deployment — the paper's future-work directions (Sec. 8),
+// implemented: a cloud service whose semantic type domain GROWS after
+// deployment, and whose tenants CORRECT detections.
+//
+//  1. Train an ADTD model on a reduced domain (20 of the 46 types).
+//  2. The catalog later registers the remaining types: extend the model's
+//     classifier (encoder untouched) and fine-tune ONLY the classifier
+//     heads — a cheap adaptation, not a retrain.
+//  3. A tenant rejects one detection and confirms another: the feedback
+//     store patches results immediately, and the same classifier-only
+//     fine-tune path can fold the corrections into the weights.
+
+#include <cstdio>
+
+#include "core/feedback.h"
+#include "core/taste_detector.h"
+#include "data/table_generator.h"
+#include "eval/experiment.h"
+#include "model/extension.h"
+#include "model/trainer.h"
+
+using namespace taste;
+
+namespace {
+
+double EvaluateF1(const model::AdtdModel& m,
+                  const text::WordPieceTokenizer& tok,
+                  const data::Dataset& ds) {
+  clouddb::CostModel cost;
+  cost.time_scale = 0.0;
+  auto db = eval::MakeTestDatabase(ds, ds.test, false, cost);
+  TASTE_CHECK(db.ok());
+  core::TasteDetector det(&m, &tok, {});
+  auto run = eval::EvaluateSequential(
+      [&det](clouddb::Connection* c, const std::string& n) {
+        return det.DetectTable(c, n);
+      },
+      db->get(), ds, ds.test);
+  TASTE_CHECK(run.ok());
+  return run->scores.f1;
+}
+
+}  // namespace
+
+int main() {
+  const auto& registry = data::SemanticTypeRegistry::Default();
+  data::Dataset dataset =
+      data::GenerateDataset(data::DatasetProfile::WikiLike(160));
+  text::WordPieceTrainer trainer({.vocab_size = 700});
+  for (const auto& d : data::BuildCorpusDocuments(dataset)) {
+    trainer.AddDocument(d);
+  }
+  text::WordPieceTokenizer tokenizer(trainer.Train());
+
+  // ---- 1. Deploy with a reduced domain -----------------------------------
+  auto initial_types = data::SelectRetainedTypes(registry, 20, /*seed=*/42);
+  data::TypeRemap remap = data::TypeRemap::ForRetained(initial_types, registry);
+  data::Dataset local = data::RemapLabels(dataset, remap, registry);
+
+  model::AdtdConfig cfg = model::AdtdConfig::Tiny(tokenizer.vocab().size(),
+                                                  remap.num_local_types());
+  Rng rng(7);
+  model::AdtdModel model(cfg, rng);
+  model::FineTuner tuner(&model, &tokenizer);
+  model::FineTuneOptions ft;
+  ft.epochs = 8;
+  std::printf("Training the initial model on %d types...\n",
+              remap.num_local_types());
+  TASTE_CHECK(tuner.Train(local, local.train, ft).ok());
+  std::printf("Initial F1 (20-type domain): %.4f\n",
+              EvaluateF1(model, tokenizer, local));
+
+  // ---- 2. The domain set grows --------------------------------------------
+  std::vector<int> new_types;
+  for (int g = 0; g < registry.size(); ++g) {
+    if (!remap.Covers(g)) new_types.push_back(g);
+  }
+  std::printf("\nRegistering %zu new semantic types...\n", new_types.size());
+  remap.Extend(new_types);
+  Rng rng2(8);
+  auto grown =
+      model::ExtendAdtdModel(model, remap.num_local_types(), rng2);
+  TASTE_CHECK(grown.ok());
+  data::Dataset full_local = data::RemapLabels(dataset, remap, registry);
+  model::FineTuner adapt_tuner(grown->get(), &tokenizer);
+  model::FineTuneOptions adapt;
+  adapt.epochs = 8;
+  adapt.classifier_only = true;  // encoder frozen: cheap adaptation
+  TASTE_CHECK(adapt_tuner.Train(full_local, full_local.train, adapt).ok());
+  std::printf("F1 after classifier-only adaptation (%d-type domain): %.4f\n",
+              remap.num_local_types(),
+              EvaluateF1(**grown, tokenizer, full_local));
+
+  // ---- 3. Tenant feedback --------------------------------------------------
+  clouddb::CostModel cost;
+  cost.time_scale = 0.0;
+  auto db = eval::MakeTestDatabase(full_local, full_local.test, false, cost);
+  TASTE_CHECK(db.ok());
+  core::TasteDetector detector(grown->get(), &tokenizer, {});
+  auto conn = (*db)->Connect();
+  const data::TableSpec& table =
+      full_local.tables[full_local.test[0]];
+  auto before = detector.DetectTable(conn.get(), table.name);
+  TASTE_CHECK(before.ok());
+
+  core::FeedbackStore feedback;
+  // Tenant: "column 0's first detection is wrong; its true type is X".
+  const auto& col = before->columns[0];
+  if (!col.admitted_types.empty()) {
+    feedback.Add({table.name, col.column_name, col.admitted_types[0],
+                  /*confirmed=*/false});
+  }
+  feedback.Add({table.name, col.column_name, table.columns[0].labels[0],
+                /*confirmed=*/true});
+
+  auto after = *before;
+  int changed = feedback.ApplyOverrides(&after);
+  std::printf("\nFeedback applied: %d column(s) corrected immediately.\n",
+              changed);
+  // And the same corrections become training data:
+  data::Dataset fb =
+      core::BuildFeedbackDataset(full_local, feedback, registry);
+  model::FineTuneOptions fb_opt;
+  fb_opt.epochs = 2;
+  fb_opt.classifier_only = true;
+  TASTE_CHECK(adapt_tuner.Train(fb, fb.train, fb_opt).ok());
+  std::printf("Feedback folded into the model via classifier-only "
+              "fine-tuning on %zu table(s).\n",
+              fb.tables.size());
+  return 0;
+}

@@ -1,0 +1,248 @@
+#include "clouddb/database.h"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+#include <thread>
+
+namespace taste::clouddb {
+
+void IoLedger::AddScan(int64_t columns, int64_t cells, int64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  state_.scanned_columns += columns;
+  state_.scanned_cells += cells;
+  state_.scanned_bytes += bytes;
+}
+
+void IoLedger::AddIoMillis(double ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  state_.simulated_io_ms += ms;
+}
+
+IoLedger::Snapshot IoLedger::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+void IoLedger::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  state_ = Snapshot();
+}
+
+void IoLedger::Bump(int64_t Snapshot::* field, int64_t by) {
+  std::lock_guard<std::mutex> lock(mu_);
+  state_.*field += by;
+}
+
+SimulatedDatabase::SimulatedDatabase(CostModel cost) : cost_(cost) {}
+
+void SimulatedDatabase::SimulateDelay(double ms) {
+  ledger_.AddIoMillis(ms);
+  if (cost_.time_scale > 0.0 && ms > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(ms * cost_.time_scale));
+  }
+}
+
+Status SimulatedDatabase::CreateTable(const data::TableSpec& spec) {
+  StoredTable stored;
+  stored.spec = spec;
+  TableMetadata& meta = stored.metadata;
+  meta.table_name = spec.name;
+  meta.comment = spec.comment;
+  meta.num_rows = spec.num_rows;
+  int ordinal = 0;
+  for (const auto& col : spec.columns) {
+    ColumnMetadata cm;
+    cm.table_name = spec.name;
+    cm.column_name = col.name;
+    cm.comment = col.comment;
+    cm.data_type = col.sql_type;
+    cm.nullable = col.nullable;
+    cm.ordinal = ordinal++;
+    // Native engine statistics, computed at ingest like an OLTP engine's
+    // background stats collector would maintain them.
+    std::set<std::string> distinct;
+    int64_t empty = 0;
+    double total_len = 0;
+    std::string min_v, max_v;
+    for (const auto& v : col.values) {
+      if (v.empty()) {
+        ++empty;
+        continue;
+      }
+      distinct.insert(v);
+      total_len += static_cast<double>(v.size());
+      if (min_v.empty() || v < min_v) min_v = v;
+      if (max_v.empty() || v > max_v) max_v = v;
+    }
+    int64_t non_empty = static_cast<int64_t>(col.values.size()) - empty;
+    cm.num_distinct = static_cast<int64_t>(distinct.size());
+    cm.null_fraction =
+        col.values.empty()
+            ? 0.0
+            : static_cast<double>(empty) / static_cast<double>(col.values.size());
+    cm.avg_length = non_empty > 0 ? total_len / static_cast<double>(non_empty)
+                                  : 0.0;
+    cm.min_value = min_v;
+    cm.max_value = max_v;
+    meta.columns.push_back(std::move(cm));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = tables_.emplace(spec.name, std::move(stored));
+  if (!inserted) {
+    return Status::AlreadyExists("table already exists: " + spec.name);
+  }
+  return Status::OK();
+}
+
+Status SimulatedDatabase::AnalyzeTable(const std::string& table_name,
+                                       int num_buckets) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(table_name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no such table: " + table_name);
+  }
+  StoredTable& stored = it->second;
+  // ANALYZE is charged to the ledger but not slept on: in production it runs
+  // in the background, amortized, not on the detection critical path.
+  ledger_.AddIoMillis(cost_.analyze_per_row_ms *
+                      static_cast<double>(stored.spec.num_rows));
+  ledger_.AddAnalyzedTable();
+  for (size_t i = 0; i < stored.spec.columns.size(); ++i) {
+    stored.metadata.columns[i].histogram =
+        BuildHistogram(stored.spec.columns[i].values, num_buckets);
+  }
+  return Status::OK();
+}
+
+Status SimulatedDatabase::IngestDataset(const data::Dataset& dataset,
+                                        bool with_histograms) {
+  for (const auto& t : dataset.tables) {
+    TASTE_RETURN_IF_ERROR(CreateTable(t));
+    if (with_histograms) TASTE_RETURN_IF_ERROR(AnalyzeTable(t.name));
+  }
+  return Status::OK();
+}
+
+std::unique_ptr<Connection> SimulatedDatabase::Connect() {
+  ledger_.AddConnection();
+  SimulateDelay(cost_.connect_ms);
+  return std::unique_ptr<Connection>(new Connection(this));
+}
+
+int64_t SimulatedDatabase::num_tables() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(tables_.size());
+}
+
+const SimulatedDatabase::StoredTable* SimulatedDatabase::FindTable(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+Connection::Connection(SimulatedDatabase* db) : db_(db) {}
+
+std::vector<std::string> Connection::ListTables() {
+  db_->ledger_.AddQuery();
+  db_->SimulateDelay(db_->cost_.query_ms);
+  std::vector<std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(db_->mu_);
+    names.reserve(db_->tables_.size());
+    for (const auto& [name, t] : db_->tables_) names.push_back(name);
+  }
+  return names;
+}
+
+Result<TableMetadata> Connection::GetTableMetadata(
+    const std::string& table_name) {
+  const auto* stored = db_->FindTable(table_name);
+  db_->ledger_.AddQuery();
+  if (stored == nullptr) {
+    db_->SimulateDelay(db_->cost_.query_ms);
+    return Status::NotFound("no such table: " + table_name);
+  }
+  db_->ledger_.AddMetadataColumns(
+      static_cast<int64_t>(stored->metadata.columns.size()));
+  int64_t hist_cols = 0;
+  for (const auto& c : stored->metadata.columns) {
+    if (c.histogram.has_value()) ++hist_cols;
+  }
+  db_->SimulateDelay(
+      db_->cost_.query_ms +
+      db_->cost_.per_metadata_col_ms *
+          static_cast<double>(stored->metadata.columns.size()) +
+      db_->cost_.per_histogram_col_ms * static_cast<double>(hist_cols));
+  return stored->metadata;
+}
+
+Result<std::vector<std::vector<std::string>>> Connection::ScanColumns(
+    const std::string& table_name, const std::vector<std::string>& columns,
+    const ScanOptions& options) {
+  if (options.limit_rows <= 0) {
+    return Status::Invalid("ScanOptions.limit_rows must be positive");
+  }
+  const auto* stored = db_->FindTable(table_name);
+  db_->ledger_.AddQuery();
+  if (stored == nullptr) {
+    db_->SimulateDelay(db_->cost_.query_ms);
+    return Status::NotFound("no such table: " + table_name);
+  }
+  // Resolve requested columns.
+  std::vector<const data::ColumnSpec*> specs;
+  specs.reserve(columns.size());
+  for (const auto& name : columns) {
+    const data::ColumnSpec* found = nullptr;
+    for (const auto& c : stored->spec.columns) {
+      if (c.name == name) {
+        found = &c;
+        break;
+      }
+    }
+    if (found == nullptr) {
+      db_->SimulateDelay(db_->cost_.query_ms);
+      return Status::NotFound("no such column: " + table_name + "." + name);
+    }
+    specs.push_back(found);
+  }
+
+  int64_t rows = std::min<int64_t>(options.limit_rows, stored->spec.num_rows);
+  // Row selection: first m, or a seeded random sample (ORDER BY RAND()).
+  std::vector<int64_t> row_idx(static_cast<size_t>(rows));
+  if (options.random_sample) {
+    std::vector<int64_t> all(static_cast<size_t>(stored->spec.num_rows));
+    for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int64_t>(i);
+    Rng rng(options.sample_seed ^
+            std::hash<std::string>{}(table_name));
+    rng.Shuffle(all);
+    std::copy(all.begin(), all.begin() + rows, row_idx.begin());
+  } else {
+    for (int64_t i = 0; i < rows; ++i) row_idx[static_cast<size_t>(i)] = i;
+  }
+
+  std::vector<std::vector<std::string>> out;
+  out.reserve(specs.size());
+  int64_t cells = 0, bytes = 0;
+  for (const auto* spec : specs) {
+    std::vector<std::string> vals;
+    vals.reserve(row_idx.size());
+    for (int64_t r : row_idx) {
+      const std::string& v = spec->values[static_cast<size_t>(r)];
+      bytes += static_cast<int64_t>(v.size());
+      ++cells;
+      vals.push_back(v);
+    }
+    out.push_back(std::move(vals));
+  }
+  db_->ledger_.AddScan(static_cast<int64_t>(specs.size()), cells, bytes);
+  double ms = db_->cost_.query_ms +
+              db_->cost_.per_cell_ms * static_cast<double>(cells);
+  if (options.random_sample) ms *= db_->cost_.random_sample_factor;
+  db_->SimulateDelay(ms);
+  return out;
+}
+
+}  // namespace taste::clouddb

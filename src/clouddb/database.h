@@ -1,0 +1,189 @@
+// A simulated cloud-hosted relational database (the "RDS for MySQL" of the
+// paper's evaluation setup, Sec. 6.1.3).
+//
+// The simulator provides exactly the two access paths a semantic type
+// detection service uses, with very different costs:
+//   * information_schema-style metadata queries (cheap, always allowed);
+//   * column content scans — first-m-rows or random sampling (expensive,
+//     intrusive, possibly disallowed by the tenant).
+//
+// Costs are modeled explicitly (CostModel) and accounted in a thread-safe
+// IoLedger; data-preparation latency is *also* realized as real blocking
+// time (scaled by CostModel::time_scale) so that the pipelined scheduler
+// genuinely overlaps I/O waits with inference compute, as in the paper's
+// Sec. 5. Setting time_scale to 0 gives fully deterministic, instant tests.
+
+#ifndef TASTE_CLOUDDB_DATABASE_H_
+#define TASTE_CLOUDDB_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "clouddb/histogram.h"
+#include "data/dataset.h"
+
+namespace taste::clouddb {
+
+/// Latency/cost parameters of the simulated network + database.
+struct CostModel {
+  double connect_ms = 20.0;     // connection establishment
+  double query_ms = 5.0;        // per-query round trip (paper: ~5 ms VPC RTT)
+  double per_metadata_col_ms = 0.05;  // serializing one column's metadata
+  // Extra metadata-transfer cost per column carrying a histogram. MySQL
+  // serializes histograms as sizable JSON blobs; the paper measures the
+  // "TASTE w/ histogram" variant 6.6-25.3% SLOWER end to end, so the
+  // transfer cost must outweigh part of the scan savings.
+  double per_histogram_col_ms = 2.5;
+  double per_cell_ms = 0.02;    // transferring one scanned cell
+  double random_sample_factor = 1.3;  // random sampling scans run slower
+  double analyze_per_row_ms = 0.05;   // ANALYZE TABLE cost per row
+  /// Multiplier applied when realizing the above as actual sleeping:
+  /// 1.0 -> milliseconds as configured, 0.0 -> no blocking (pure ledger).
+  double time_scale = 1.0;
+};
+
+/// Thread-safe counters of everything the service did to the database.
+/// `scanned_columns` / total columns is the paper's intrusiveness metric
+/// (Sec. 6.5); `simulated_io_ms` is the modeled data-retrieval time.
+class IoLedger {
+ public:
+  struct Snapshot {
+    int64_t connections = 0;
+    int64_t queries = 0;
+    int64_t metadata_columns = 0;
+    int64_t scanned_columns = 0;
+    int64_t scanned_cells = 0;
+    int64_t scanned_bytes = 0;
+    int64_t analyzed_tables = 0;
+    double simulated_io_ms = 0.0;
+  };
+
+  void AddConnection() { Bump(&Snapshot::connections, 1); }
+  void AddQuery() { Bump(&Snapshot::queries, 1); }
+  void AddMetadataColumns(int64_t n) { Bump(&Snapshot::metadata_columns, n); }
+  void AddScan(int64_t columns, int64_t cells, int64_t bytes);
+  void AddAnalyzedTable() { Bump(&Snapshot::analyzed_tables, 1); }
+  void AddIoMillis(double ms);
+
+  Snapshot snapshot() const;
+  void Reset();
+
+ private:
+  void Bump(int64_t Snapshot::* field, int64_t by);
+
+  mutable std::mutex mu_;
+  Snapshot state_;
+};
+
+/// information_schema.columns-style record for one column. Never includes
+/// ground-truth labels.
+struct ColumnMetadata {
+  std::string table_name;
+  std::string column_name;
+  std::string comment;
+  std::string data_type;
+  bool nullable = true;
+  int ordinal = 0;
+  // Native statistics (maintained by the engine, no scan needed).
+  int64_t num_distinct = 0;
+  double null_fraction = 0.0;
+  double avg_length = 0.0;
+  std::string min_value;
+  std::string max_value;
+  // Present only after ANALYZE TABLE.
+  std::optional<Histogram> histogram;
+};
+
+/// Table-level metadata plus all column records.
+struct TableMetadata {
+  std::string table_name;
+  std::string comment;
+  int64_t num_rows = 0;
+  std::vector<ColumnMetadata> columns;
+};
+
+/// Options for a content scan.
+struct ScanOptions {
+  int limit_rows = 50;          // the paper's m
+  bool random_sample = false;   // first-m vs ORDER BY RAND()
+  uint64_t sample_seed = 0;
+};
+
+class Connection;
+
+/// The simulated database instance. Ingest tables once, then open
+/// connections from any thread.
+class SimulatedDatabase {
+ public:
+  explicit SimulatedDatabase(CostModel cost = {});
+
+  /// Ingests a table: stores content and computes native statistics.
+  Status CreateTable(const data::TableSpec& spec);
+
+  /// Runs ANALYZE TABLE: computes histograms for every column.
+  Status AnalyzeTable(const std::string& table_name, int num_buckets = 16);
+
+  /// Convenience: ingest every table of a dataset (optionally ANALYZE each).
+  Status IngestDataset(const data::Dataset& dataset,
+                       bool with_histograms = false);
+
+  /// Opens a connection (pays connect latency).
+  std::unique_ptr<Connection> Connect();
+
+  IoLedger& ledger() { return ledger_; }
+  const CostModel& cost_model() const { return cost_; }
+  int64_t num_tables() const;
+
+ private:
+  friend class Connection;
+
+  struct StoredTable {
+    data::TableSpec spec;
+    TableMetadata metadata;
+  };
+
+  /// Accounts `ms` of I/O time and blocks for time_scale * ms.
+  void SimulateDelay(double ms);
+  const StoredTable* FindTable(const std::string& name) const;
+
+  CostModel cost_;
+  IoLedger ledger_;
+  mutable std::mutex mu_;
+  std::map<std::string, StoredTable> tables_;
+};
+
+/// A client connection. Not thread-safe; open one per worker thread (the
+/// pipeline does). Destroying the connection closes it.
+class Connection {
+ public:
+  ~Connection() = default;
+
+  /// Table names, sorted.
+  std::vector<std::string> ListTables();
+
+  /// Metadata for one table (SELECT ... FROM information_schema.columns).
+  Result<TableMetadata> GetTableMetadata(const std::string& table_name);
+
+  /// Scans content of the named columns. Returns one value-vector per
+  /// requested column, in request order. Costs are proportional to the
+  /// number of cells transferred.
+  Result<std::vector<std::vector<std::string>>> ScanColumns(
+      const std::string& table_name, const std::vector<std::string>& columns,
+      const ScanOptions& options);
+
+ private:
+  friend class SimulatedDatabase;
+  explicit Connection(SimulatedDatabase* db);
+
+  SimulatedDatabase* db_;
+};
+
+}  // namespace taste::clouddb
+
+#endif  // TASTE_CLOUDDB_DATABASE_H_

@@ -1,0 +1,87 @@
+#include "clouddb/histogram.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+
+namespace taste::clouddb {
+
+namespace {
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+bool MostlyNumeric(const std::vector<std::string>& values, double threshold) {
+  int non_empty = 0, numeric = 0;
+  double tmp;
+  for (const auto& v : values) {
+    if (v.empty()) continue;
+    ++non_empty;
+    if (ParseDouble(v, &tmp)) ++numeric;
+  }
+  if (non_empty == 0) return false;
+  return static_cast<double>(numeric) / non_empty >= threshold;
+}
+
+Histogram BuildHistogram(const std::vector<std::string>& values,
+                         int num_buckets) {
+  Histogram h;
+  if (num_buckets < 1) num_buckets = 1;
+  std::vector<std::string> non_empty;
+  for (const auto& v : values) {
+    if (!v.empty()) non_empty.push_back(v);
+  }
+  if (non_empty.empty()) return h;
+
+  if (MostlyNumeric(non_empty)) {
+    std::vector<double> nums;
+    nums.reserve(non_empty.size());
+    double tmp;
+    for (const auto& v : non_empty) {
+      if (ParseDouble(v, &tmp)) nums.push_back(tmp);
+    }
+    double lo = *std::min_element(nums.begin(), nums.end());
+    double hi = *std::max_element(nums.begin(), nums.end());
+    if (hi <= lo) hi = lo + 1.0;  // degenerate: single point
+    h.kind = Histogram::Kind::kEquiWidth;
+    h.bounds.resize(static_cast<size_t>(num_buckets) + 1);
+    double width = (hi - lo) / num_buckets;
+    for (int b = 0; b <= num_buckets; ++b) h.bounds[b] = lo + b * width;
+    h.frequencies.assign(static_cast<size_t>(num_buckets), 0.0);
+    for (double x : nums) {
+      int b = static_cast<int>((x - lo) / width);
+      if (b >= num_buckets) b = num_buckets - 1;
+      if (b < 0) b = 0;
+      h.frequencies[static_cast<size_t>(b)] += 1.0;
+    }
+    for (auto& f : h.frequencies) f /= static_cast<double>(nums.size());
+  } else {
+    std::map<std::string, int> counts;
+    for (const auto& v : non_empty) ++counts[v];
+    std::vector<std::pair<std::string, int>> sorted(counts.begin(),
+                                                    counts.end());
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.second > b.second;
+                     });
+    h.kind = Histogram::Kind::kTopValues;
+    size_t k = std::min<size_t>(sorted.size(),
+                                static_cast<size_t>(num_buckets));
+    for (size_t i = 0; i < k; ++i) {
+      h.top_values.emplace_back(
+          sorted[i].first,
+          static_cast<double>(sorted[i].second) / non_empty.size());
+    }
+  }
+  return h;
+}
+
+}  // namespace taste::clouddb

@@ -1,0 +1,45 @@
+// Column histograms in the style of MySQL's ANALYZE TABLE ... UPDATE
+// HISTOGRAM: equi-width buckets for numeric columns, top-value frequency
+// tables for categorical ones. These are the optional metadata the paper's
+// "TASTE with histogram" variant consumes (Sec. 6.2).
+
+#ifndef TASTE_CLOUDDB_HISTOGRAM_H_
+#define TASTE_CLOUDDB_HISTOGRAM_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace taste::clouddb {
+
+/// Distribution summary of one column.
+struct Histogram {
+  enum class Kind {
+    kEquiWidth,   // numeric: fixed-width buckets over [min, max]
+    kTopValues,   // categorical: most frequent values with frequencies
+  };
+
+  Kind kind = Kind::kTopValues;
+  // kEquiWidth: bucket boundaries (size num_buckets+1) and per-bucket
+  // relative frequencies (size num_buckets).
+  std::vector<double> bounds;
+  std::vector<double> frequencies;
+  // kTopValues: (value, relative frequency), most frequent first.
+  std::vector<std::pair<std::string, double>> top_values;
+  // Fraction of rows represented (1.0 unless sampled).
+  double sampled_fraction = 1.0;
+};
+
+/// True if at least `threshold` of the non-empty values parse as doubles.
+bool MostlyNumeric(const std::vector<std::string>& values,
+                   double threshold = 0.8);
+
+/// Builds a histogram from raw cell values. Numeric columns get
+/// `num_buckets` equi-width buckets; categorical columns get up to
+/// `num_buckets` top values. Empty cells are skipped.
+Histogram BuildHistogram(const std::vector<std::string>& values,
+                         int num_buckets = 16);
+
+}  // namespace taste::clouddb
+
+#endif  // TASTE_CLOUDDB_HISTOGRAM_H_

@@ -1,0 +1,38 @@
+// Floating-point environment control.
+//
+// Training decays Adam moments and activations geometrically; after a few
+// hundred optimizer steps many float32 values underflow into the subnormal
+// range, where x86 cores fall back to microcode and every multiply costs
+// 10-100x. Numerical work here never depends on subnormal precision, so we
+// flush them to zero (FTZ = flush results, DAZ = treat inputs as zero).
+//
+// The MXCSR register is per-thread; call EnableFlushDenormals() on every
+// thread that does tensor math. The tensor library does this automatically
+// on each thread's first operation.
+
+#ifndef TASTE_COMMON_FPU_H_
+#define TASTE_COMMON_FPU_H_
+
+#if defined(__SSE2__) || defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+namespace taste {
+
+/// Sets FTZ and DAZ on the calling thread (no-op on non-x86 targets).
+inline void EnableFlushDenormals() {
+#if defined(__SSE2__) || defined(__x86_64__)
+  // Bit 15: flush-to-zero; bit 6: denormals-are-zero.
+  _mm_setcsr(_mm_getcsr() | 0x8040u);
+#endif
+}
+
+/// Helper whose construction enables flush-to-zero; instantiate as a
+/// function-local thread_local to arm each thread exactly once.
+struct FlushDenormalsScope {
+  FlushDenormalsScope() { EnableFlushDenormals(); }
+};
+
+}  // namespace taste
+
+#endif  // TASTE_COMMON_FPU_H_

@@ -1,0 +1,55 @@
+// Minimal leveled logging to stderr.
+//
+// Benches and trainers log progress at kInfo; tests run at kWarn to stay
+// quiet. The level is a process-global, set once at startup.
+
+#ifndef TASTE_COMMON_LOGGING_H_
+#define TASTE_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace taste {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global minimum level that will be emitted.
+void SetLogLevel(LogLevel level);
+
+/// Current global minimum level.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it (with level tag) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+struct LogSink {
+  void operator&(const LogMessage&) {}
+};
+
+}  // namespace internal
+}  // namespace taste
+
+#define TASTE_LOG(level)                                               \
+  (::taste::GetLogLevel() > ::taste::LogLevel::k##level)              \
+      ? (void)0                                                       \
+      : ::taste::internal::LogSink() &                                \
+            ::taste::internal::LogMessage(::taste::LogLevel::k##level, \
+                                          __FILE__, __LINE__)
+
+#endif  // TASTE_COMMON_LOGGING_H_

@@ -1,0 +1,196 @@
+// Status / Result<T> error-handling primitives in the Arrow/RocksDB idiom.
+//
+// Library code in this project does not throw exceptions across API
+// boundaries. Fallible operations return `Status` (no payload) or
+// `Result<T>` (payload or error). Programmer errors (violated internal
+// invariants such as tensor shape mismatches) abort via TASTE_CHECK.
+
+#ifndef TASTE_COMMON_STATUS_H_
+#define TASTE_COMMON_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace taste {
+
+/// Machine-readable category of an error carried by Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kIOError,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kCancelled,
+  kResourceExhausted,
+};
+
+/// Returns a stable human-readable name for a StatusCode.
+const char* StatusCodeName(StatusCode code);
+
+/// Success-or-error outcome of an operation, with no success payload.
+///
+/// Cheap to copy in the success case (no allocation). Follows the
+/// Arrow/RocksDB convention: construct via the static factory named after
+/// the error category, test with ok().
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status Invalid(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Either a value of type T or an error Status. Analogous to
+/// arrow::Result<T>.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error Status. Must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The error, or OK if this Result holds a value.
+  const Status& status() const { return status_; }
+
+  /// The value. Aborts if !ok().
+  const T& ValueOrDie() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    CheckOk();
+    return *value_;
+  }
+  T ValueOrDie() && {
+    CheckOk();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Returns the value, or `fallback` on error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::fprintf(stderr, "Result::ValueOrDie on error: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  std::optional<T> value_;
+  Status status_;
+};
+
+namespace internal {
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& msg);
+}  // namespace internal
+
+}  // namespace taste
+
+/// Aborts with a diagnostic if `cond` is false. For programmer errors only.
+#define TASTE_CHECK(cond)                                              \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::taste::internal::CheckFailed(__FILE__, __LINE__, #cond, "");   \
+    }                                                                  \
+  } while (0)
+
+#define TASTE_CHECK_MSG(cond, msg)                                     \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::taste::internal::CheckFailed(__FILE__, __LINE__, #cond, (msg)); \
+    }                                                                  \
+  } while (0)
+
+/// Propagates a non-OK Status to the caller.
+#define TASTE_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::taste::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+#define TASTE_CONCAT_IMPL(x, y) x##y
+#define TASTE_CONCAT(x, y) TASTE_CONCAT_IMPL(x, y)
+
+/// Evaluates a Result<T>-returning expression; on success binds the value to
+/// `lhs`, on error returns the Status to the caller.
+#define TASTE_ASSIGN_OR_RETURN(lhs, rexpr)                           \
+  auto TASTE_CONCAT(_res_, __LINE__) = (rexpr);                      \
+  if (!TASTE_CONCAT(_res_, __LINE__).ok())                           \
+    return TASTE_CONCAT(_res_, __LINE__).status();                   \
+  lhs = std::move(TASTE_CONCAT(_res_, __LINE__)).ValueOrDie()
+
+#endif  // TASTE_COMMON_STATUS_H_

@@ -1,0 +1,33 @@
+// Wall-clock stopwatch used by the end-to-end execution-time experiments.
+
+#ifndef TASTE_COMMON_STOPWATCH_H_
+#define TASTE_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace taste {
+
+/// Measures elapsed wall-clock time from construction or the last Restart().
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since start.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since start.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace taste
+
+#endif  // TASTE_COMMON_STOPWATCH_H_

@@ -1,0 +1,41 @@
+// Small string helpers shared across modules (tokenizer, data generators,
+// report formatting). ASCII-oriented: the synthetic corpus is ASCII.
+
+#ifndef TASTE_COMMON_STRING_UTIL_H_
+#define TASTE_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace taste {
+
+/// Converts ASCII letters to lowercase; other bytes pass through.
+std::string ToLowerAscii(std::string_view s);
+
+/// Splits on any character in `delims`, dropping empty pieces.
+std::vector<std::string> SplitAny(std::string_view s, std::string_view delims);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string Strip(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True if `s` ends with `suffix`.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace taste
+
+#endif  // TASTE_COMMON_STRING_UTIL_H_

@@ -1,0 +1,76 @@
+// Fixed-size worker thread pool with a bounded view of in-flight work.
+//
+// Used by the pipeline scheduler (Algorithm 1 of the paper), which needs to
+// ask "is the pool full?" before dispatching the next eligible stage, and by
+// tests that exercise concurrent behaviour. Tasks are arbitrary
+// std::function<void()>; completion can be awaited per-task via the returned
+// future or globally via WaitIdle().
+
+#ifndef TASTE_COMMON_THREAD_POOL_H_
+#define TASTE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace taste {
+
+/// A simple fixed-size thread pool.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; returns a future completed when the task finishes.
+  std::future<void> Submit(std::function<void()> task);
+
+  /// True when every worker is busy AND no free capacity remains, i.e.
+  /// (queued + running) >= size(). The pipeline scheduler uses this as the
+  /// "pool is full" predicate of Algorithm 1.
+  bool Full() const;
+
+  /// Number of worker threads.
+  size_t size() const { return threads_.size(); }
+
+  /// Number of tasks queued or currently executing.
+  size_t InFlight() const;
+
+  /// Blocks until all submitted tasks have completed.
+  void WaitIdle();
+
+  /// Registers a callback invoked after EVERY task completes and its slot
+  /// has been released (i.e. Full() can have become false). Called with no
+  /// pool locks held, so it may take arbitrary locks of its own. Schedulers
+  /// that gate dispatch on Full() need this to observe slot releases.
+  /// Must be set before tasks are submitted.
+  void SetTaskCompleteCallback(std::function<void()> callback);
+
+ private:
+  struct Item {
+    std::function<void()> fn;
+    std::promise<void> done;
+  };
+
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::deque<Item> queue_;
+  size_t running_ = 0;
+  bool stop_ = false;
+  std::function<void()> task_complete_callback_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace taste
+
+#endif  // TASTE_COMMON_THREAD_POOL_H_

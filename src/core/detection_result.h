@@ -1,0 +1,31 @@
+// Common result types shared by TASTE and the baseline detectors.
+
+#ifndef TASTE_CORE_DETECTION_RESULT_H_
+#define TASTE_CORE_DETECTION_RESULT_H_
+
+#include <string>
+#include <vector>
+
+namespace taste::core {
+
+/// Final decision for one column: the admitted type set A^c plus the
+/// probabilities the decision was based on (from whichever phase decided).
+struct ColumnPrediction {
+  std::string column_name;
+  int ordinal = 0;
+  std::vector<int> admitted_types;   // may be empty (no semantic type)
+  std::vector<float> probabilities;  // |S| sigmoid outputs
+  bool went_to_p2 = false;           // true if content was scanned for it
+};
+
+/// Per-table detection outcome with local cost accounting.
+struct TableDetectionResult {
+  std::string table_name;
+  std::vector<ColumnPrediction> columns;  // ordinal order
+  int columns_scanned = 0;   // columns whose content was fetched
+  int total_columns = 0;
+};
+
+}  // namespace taste::core
+
+#endif  // TASTE_CORE_DETECTION_RESULT_H_

@@ -1,0 +1,106 @@
+#include "core/feedback.h"
+
+#include <algorithm>
+
+namespace taste::core {
+
+void FeedbackStore::Add(const FeedbackEntry& entry) {
+  TASTE_CHECK(entry.type_id >= 0);
+  std::lock_guard<std::mutex> lock(mu_);
+  ColumnFeedback& fb = by_column_[{entry.table_name, entry.column_name}];
+  if (entry.confirmed) {
+    fb.rejected.erase(entry.type_id);
+    fb.confirmed.insert(entry.type_id);
+  } else {
+    fb.confirmed.erase(entry.type_id);
+    fb.rejected.insert(entry.type_id);
+  }
+}
+
+size_t FeedbackStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [key, fb] : by_column_) {
+    n += fb.confirmed.size() + fb.rejected.size();
+  }
+  return n;
+}
+
+int FeedbackStore::ApplyOverrides(TableDetectionResult* result) const {
+  TASTE_CHECK(result != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  int modified = 0;
+  for (auto& col : result->columns) {
+    auto it = by_column_.find({result->table_name, col.column_name});
+    if (it == by_column_.end()) continue;
+    const ColumnFeedback& fb = it->second;
+    std::set<int> admitted(col.admitted_types.begin(),
+                           col.admitted_types.end());
+    size_t before = admitted.size();
+    for (int t : fb.confirmed) admitted.insert(t);
+    for (int t : fb.rejected) admitted.erase(t);
+    if (admitted.size() != before ||
+        !std::equal(admitted.begin(), admitted.end(),
+                    col.admitted_types.begin(), col.admitted_types.end())) {
+      col.admitted_types.assign(admitted.begin(), admitted.end());
+      ++modified;
+    }
+  }
+  return modified;
+}
+
+std::vector<FeedbackEntry> FeedbackStore::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FeedbackEntry> out;
+  for (const auto& [key, fb] : by_column_) {
+    for (int t : fb.confirmed) {
+      out.push_back({key.table, key.column, t, true});
+    }
+    for (int t : fb.rejected) {
+      out.push_back({key.table, key.column, t, false});
+    }
+  }
+  return out;
+}
+
+data::Dataset BuildFeedbackDataset(
+    const data::Dataset& dataset, const FeedbackStore& feedback,
+    const data::SemanticTypeRegistry& registry) {
+  // Index feedback per table/column.
+  struct Patch {
+    std::set<int> confirmed;
+    std::set<int> rejected;
+  };
+  std::map<std::string, std::map<std::string, Patch>> patches;
+  for (const auto& e : feedback.entries()) {
+    Patch& p = patches[e.table_name][e.column_name];
+    if (e.confirmed) {
+      p.confirmed.insert(e.type_id);
+    } else {
+      p.rejected.insert(e.type_id);
+    }
+  }
+
+  data::Dataset out;
+  out.name = dataset.name + "_feedback";
+  for (const auto& table : dataset.tables) {
+    auto tit = patches.find(table.name);
+    if (tit == patches.end()) continue;
+    data::TableSpec patched = table;
+    for (auto& col : patched.columns) {
+      auto cit = tit->second.find(col.name);
+      if (cit == tit->second.end()) continue;
+      std::set<int> labels(col.labels.begin(), col.labels.end());
+      labels.erase(registry.null_type_id());
+      for (int t : cit->second.confirmed) labels.insert(t);
+      for (int t : cit->second.rejected) labels.erase(t);
+      if (labels.empty()) labels.insert(registry.null_type_id());
+      col.labels.assign(labels.begin(), labels.end());
+    }
+    out.train.push_back(static_cast<int>(out.tables.size()));
+    out.tables.push_back(std::move(patched));
+  }
+  return out;
+}
+
+}  // namespace taste::core

@@ -1,0 +1,85 @@
+// User-feedback adaptation (paper Sec. 8, second future-work direction):
+// tenants confirm or reject detected types, and the service adapts.
+//
+// Two mechanisms, layered:
+//  1. IMMEDIATE: FeedbackStore keeps per-(table, column) confirmations and
+//     rejections; ApplyOverrides() patches a detection result so the
+//     tenant's corrections take effect on the very next run, regardless of
+//     what the model says.
+//  2. LEARNED: BuildFeedbackDataset() converts accumulated feedback into
+//     supervised examples (the affected tables with corrected labels) so a
+//     cheap classifier-only fine-tune (FineTuneOptions::classifier_only)
+//     folds the corrections into the model itself.
+
+#ifndef TASTE_CORE_FEEDBACK_H_
+#define TASTE_CORE_FEEDBACK_H_
+
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/detection_result.h"
+#include "data/dataset.h"
+
+namespace taste::core {
+
+/// One user correction about one column.
+struct FeedbackEntry {
+  std::string table_name;
+  std::string column_name;
+  int type_id = -1;          // the semantic type being confirmed/rejected
+  bool confirmed = true;     // true: "this IS the type"; false: "it is NOT"
+};
+
+/// Thread-safe store of tenant feedback with override application.
+///
+/// Later feedback about the same (table, column, type) supersedes earlier
+/// feedback, so a tenant can change their mind.
+class FeedbackStore {
+ public:
+  /// Records (or updates) one correction.
+  void Add(const FeedbackEntry& entry);
+
+  /// Number of (table, column, type) facts currently stored.
+  size_t size() const;
+
+  /// Patches `result` in place: confirmed types are added to the admitted
+  /// set of their column, rejected types removed. Columns without feedback
+  /// are untouched. Returns the number of columns modified.
+  int ApplyOverrides(TableDetectionResult* result) const;
+
+  /// All stored entries (for training-set construction / persistence).
+  std::vector<FeedbackEntry> entries() const;
+
+ private:
+  struct ColumnKey {
+    std::string table;
+    std::string column;
+    bool operator<(const ColumnKey& o) const {
+      return std::tie(table, column) < std::tie(o.table, o.column);
+    }
+  };
+  struct ColumnFeedback {
+    std::set<int> confirmed;
+    std::set<int> rejected;
+  };
+
+  mutable std::mutex mu_;
+  std::map<ColumnKey, ColumnFeedback> by_column_;
+};
+
+/// Builds a supervised fine-tuning dataset from feedback: every table of
+/// `dataset` that received feedback is included with its labels patched
+/// (confirmed types added, rejected removed; columns emptied of all types
+/// get type:null). The returned dataset's `train` split lists all included
+/// tables. Tables without feedback are excluded — feedback fine-tuning is
+/// meant to be small and cheap.
+data::Dataset BuildFeedbackDataset(const data::Dataset& dataset,
+                                   const FeedbackStore& feedback,
+                                   const data::SemanticTypeRegistry& registry);
+
+}  // namespace taste::core
+
+#endif  // TASTE_CORE_FEEDBACK_H_

@@ -1,0 +1,41 @@
+// JSON export of detection results, for downstream catalog/data-protection
+// systems. No external JSON dependency; the writer covers exactly what the
+// result structs contain.
+
+#ifndef TASTE_CORE_RESULT_JSON_H_
+#define TASTE_CORE_RESULT_JSON_H_
+
+#include <string>
+#include <vector>
+
+#include "core/detection_result.h"
+#include "data/semantic_types.h"
+
+namespace taste::core {
+
+/// Options controlling the JSON rendering.
+struct JsonOptions {
+  bool include_probabilities = false;  // per-type sigmoid vector (verbose)
+  bool pretty = true;                  // newlines + 2-space indent
+  /// Minimum probability for a type to appear in "candidates" (admitted
+  /// types always appear).
+  double candidate_threshold = 0.2;
+};
+
+/// Renders one table's detection result. Type ids are resolved to names
+/// through `registry`.
+std::string ResultToJson(const TableDetectionResult& result,
+                         const data::SemanticTypeRegistry& registry,
+                         const JsonOptions& options = {});
+
+/// Renders a batch as a JSON array.
+std::string ResultsToJson(const std::vector<TableDetectionResult>& results,
+                          const data::SemanticTypeRegistry& registry,
+                          const JsonOptions& options = {});
+
+/// Escapes a string for inclusion in JSON (quotes, control characters).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace taste::core
+
+#endif  // TASTE_CORE_RESULT_JSON_H_

@@ -1,0 +1,229 @@
+#include "core/taste_detector.h"
+
+#include <map>
+
+#include "common/string_util.h"
+#include "tensor/ops.h"
+
+namespace taste::core {
+
+using model::AdtdModel;
+using model::EncodedContent;
+using model::EncodedMetadata;
+
+namespace {
+
+model::InputConfig ApplyOverrides(model::InputConfig config,
+                                  const TasteOptions& options) {
+  if (options.override_cells_per_column > 0) {
+    config.cells_per_column = options.override_cells_per_column;
+  }
+  if (options.override_split_threshold > 0) {
+    config.column_split_threshold = options.override_split_threshold;
+  }
+  return config;
+}
+
+}  // namespace
+
+TasteDetector::TasteDetector(const AdtdModel* model,
+                             const text::WordPieceTokenizer* tokenizer,
+                             TasteOptions options)
+    : model_(model),
+      tokenizer_(tokenizer),
+      options_(options),
+      input_config_(ApplyOverrides(model->config().input, options)),
+      encoder_(tokenizer, input_config_),
+      cache_(std::make_unique<model::LatentCache>(options.cache_capacity)) {
+  TASTE_CHECK(model_ != nullptr && tokenizer_ != nullptr);
+  TASTE_CHECK_MSG(options_.alpha >= 0 && options_.alpha <= options_.beta &&
+                      options_.beta <= 1.0,
+                  "need 0 <= alpha <= beta <= 1");
+}
+
+std::string TasteDetector::ChunkCacheKey(const std::string& table,
+                                         size_t chunk) const {
+  return table + "#" + std::to_string(chunk);
+}
+
+Status TasteDetector::PrepareP1(clouddb::Connection* conn,
+                                const std::string& table_name,
+                                Job* job) const {
+  TASTE_CHECK(conn != nullptr && job != nullptr);
+  job->table_name = table_name;
+  TASTE_ASSIGN_OR_RETURN(clouddb::TableMetadata meta,
+                         conn->GetTableMetadata(table_name));
+  if (meta.columns.empty()) {
+    return Status::Invalid("table has no columns: " + table_name);
+  }
+  for (const auto& chunk :
+       model::SplitWideTable(meta, input_config_.column_split_threshold)) {
+    job->chunks.push_back(encoder_.EncodeMetadata(chunk));
+  }
+  return Status::OK();
+}
+
+void TasteDetector::ClassifyP1Chunk(const EncodedMetadata& chunk,
+                                    const std::vector<float>& probs,
+                                    Job* job) const {
+  const int num_types = model_->config().num_types;
+  std::vector<int> uncertain;
+  for (int c = 0; c < chunk.num_columns; ++c) {
+    ColumnPrediction pred;
+    pred.column_name = chunk.column_names[static_cast<size_t>(c)];
+    pred.ordinal = chunk.column_ordinals[static_cast<size_t>(c)];
+    pred.probabilities.assign(
+        probs.begin() + static_cast<size_t>(c) * num_types,
+        probs.begin() + static_cast<size_t>(c + 1) * num_types);
+    bool is_uncertain = false;
+    for (int s = 0; s < num_types; ++s) {
+      float p = pred.probabilities[static_cast<size_t>(s)];
+      if (p >= options_.beta) {
+        pred.admitted_types.push_back(s);  // A1
+      } else if (options_.enable_p2 && p > options_.alpha &&
+                 p < options_.beta) {
+        is_uncertain = true;
+      }
+    }
+    if (is_uncertain) uncertain.push_back(c);
+    job->result.columns.push_back(std::move(pred));
+    ++job->result.total_columns;
+  }
+  job->uncertain_columns.push_back(std::move(uncertain));
+  if (!job->uncertain_columns.back().empty()) job->needs_p2 = true;
+}
+
+Status TasteDetector::InferP1(Job* job) const {
+  TASTE_CHECK(job != nullptr);
+  if (job->chunks.empty()) {
+    return Status::Invalid("InferP1 before PrepareP1");
+  }
+  tensor::NoGradGuard no_grad;
+  job->result.table_name = job->table_name;
+  for (size_t i = 0; i < job->chunks.size(); ++i) {
+    const EncodedMetadata& chunk = job->chunks[i];
+    AdtdModel::MetadataEncoding enc = model_->ForwardMetadata(chunk);
+    std::vector<float> probs = tensor::SigmoidValues(enc.logits);
+    job->p1_probs.push_back(probs);
+    ClassifyP1Chunk(chunk, probs, job);
+    if (options_.use_latent_cache) {
+      cache_->Put(ChunkCacheKey(job->table_name, i), {chunk, enc});
+      job->encodings.push_back(std::move(enc));
+    }
+    // Without caching, the latents are dropped here and P2 (if entered)
+    // must re-run the metadata tower — the measurable cost of disabling
+    // multi-task latent reuse.
+  }
+  return Status::OK();
+}
+
+Status TasteDetector::PrepareP2(clouddb::Connection* conn, Job* job) const {
+  TASTE_CHECK(conn != nullptr && job != nullptr);
+  if (!job->needs_p2) return Status::OK();
+  TASTE_CHECK(job->uncertain_columns.size() == job->chunks.size());
+  job->contents.resize(job->chunks.size());
+  // Scanned columns are encoded in batches sized so that each content
+  // sequence fits the encoder (wide tables + large n would otherwise
+  // overflow max_seq_len).
+  const int64_t segment = 1 + static_cast<int64_t>(
+                                  input_config_.cells_per_column) *
+                                  input_config_.cell_tokens;
+  const int64_t max_cols_per_batch =
+      std::max<int64_t>(1, model_->config().encoder.max_seq_len / segment);
+  for (size_t i = 0; i < job->chunks.size(); ++i) {
+    const std::vector<int>& uncertain = job->uncertain_columns[i];
+    if (uncertain.empty()) continue;
+    std::vector<std::string> names;
+    names.reserve(uncertain.size());
+    for (int c : uncertain) {
+      names.push_back(job->chunks[i].column_names[static_cast<size_t>(c)]);
+    }
+    TASTE_ASSIGN_OR_RETURN(
+        auto values,
+        conn->ScanColumns(job->table_name, names,
+                          {.limit_rows = options_.scan_rows,
+                           .random_sample = options_.random_sample,
+                           .sample_seed = options_.sample_seed}));
+    for (size_t begin = 0; begin < uncertain.size();
+         begin += static_cast<size_t>(max_cols_per_batch)) {
+      size_t end = std::min(uncertain.size(),
+                            begin + static_cast<size_t>(max_cols_per_batch));
+      std::map<int, std::vector<std::string>> by_column;
+      for (size_t k = begin; k < end; ++k) {
+        by_column[uncertain[k]] = std::move(values[k]);
+      }
+      job->contents[i].push_back(
+          encoder_.EncodeContent(job->chunks[i], by_column));
+    }
+    job->result.columns_scanned += static_cast<int>(uncertain.size());
+  }
+  return Status::OK();
+}
+
+Status TasteDetector::InferP2(Job* job) const {
+  TASTE_CHECK(job != nullptr);
+  if (!job->needs_p2) return Status::OK();
+  if (job->contents.size() != job->chunks.size()) {
+    return Status::Invalid("InferP2 before PrepareP2");
+  }
+  tensor::NoGradGuard no_grad;
+  const int num_types = model_->config().num_types;
+  int result_offset = 0;
+  for (size_t i = 0; i < job->chunks.size(); ++i) {
+    const EncodedMetadata& chunk = job->chunks[i];
+    if (!job->contents[i].empty()) {
+      // Metadata latents: latent cache first, then the job's own copy,
+      // otherwise recompute the metadata tower (no-cache configuration).
+      AdtdModel::MetadataEncoding enc;
+      bool have = false;
+      if (options_.use_latent_cache) {
+        if (auto hit = cache_->Get(ChunkCacheKey(job->table_name, i))) {
+          enc = std::move(hit->encoding);
+          have = true;
+        } else if (i < job->encodings.size()) {
+          enc = job->encodings[i];
+          have = true;
+        }
+      }
+      if (!have) enc = model_->ForwardMetadata(chunk);
+      for (const EncodedContent& content : job->contents[i]) {
+        if (content.scanned.empty()) continue;
+        tensor::Tensor logits = model_->ForwardContent(content, chunk, enc);
+        std::vector<float> probs = tensor::SigmoidValues(logits);
+        // A^c = A2^c for uncertain columns.
+        for (size_t k = 0; k < content.scanned.size(); ++k) {
+          int local = content.scanned[k];
+          ColumnPrediction& pred =
+              job->result.columns[static_cast<size_t>(result_offset + local)];
+          pred.went_to_p2 = true;
+          pred.admitted_types.clear();
+          pred.probabilities.assign(
+              probs.begin() + static_cast<int64_t>(k) * num_types,
+              probs.begin() + static_cast<int64_t>(k + 1) * num_types);
+          for (int s = 0; s < num_types; ++s) {
+            if (pred.probabilities[static_cast<size_t>(s)] >=
+                options_.p2_admit_threshold) {
+              pred.admitted_types.push_back(s);
+            }
+          }
+        }
+      }
+    }
+    result_offset += chunk.num_columns;
+  }
+  return Status::OK();
+}
+
+Result<TableDetectionResult> TasteDetector::DetectTable(
+    clouddb::Connection* conn, const std::string& table_name) const {
+  Job job;
+  TASTE_RETURN_IF_ERROR(PrepareP1(conn, table_name, &job));
+  TASTE_RETURN_IF_ERROR(InferP1(&job));
+  if (job.needs_p2) {
+    TASTE_RETURN_IF_ERROR(PrepareP2(conn, &job));
+    TASTE_RETURN_IF_ERROR(InferP2(&job));
+  }
+  return job.result;
+}
+
+}  // namespace taste::core

@@ -1,0 +1,119 @@
+// The TASTE two-phase detection framework (paper Sec. 3).
+//
+// Phase 1 (mandatory): fetch native metadata, run the metadata tower, and
+// classify each (column, type) pair by the probability thresholds
+// 0 <= alpha <= beta <= 1:
+//   p >= beta          -> admitted immediately (A1);
+//   p <= alpha         -> irrelevant;
+//   alpha < p < beta   -> uncertain; the column joins C_u.
+//
+// Phase 2 (on demand): only for uncertain columns, scan content (first-m
+// or random sample), run the content tower on top of the cached metadata
+// latents, and admit types from the content classifier.
+//
+// The detector exposes the four stages individually (P1-prep, P1-infer,
+// P2-prep, P2-infer) so the pipelined scheduler (Algorithm 1) can
+// interleave them across tables; DetectTable() chains them for sequential
+// use.
+
+#ifndef TASTE_CORE_TASTE_DETECTOR_H_
+#define TASTE_CORE_TASTE_DETECTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "clouddb/database.h"
+#include "core/detection_result.h"
+#include "model/adtd.h"
+#include "model/latent_cache.h"
+#include "text/wordpiece.h"
+
+namespace taste::core {
+
+/// Serving-time options of the TASTE framework.
+struct TasteOptions {
+  double alpha = 0.1;   // lower uncertainty threshold
+  double beta = 0.9;    // upper uncertainty threshold
+  int scan_rows = 50;           // m rows fetched per scanned table
+  bool random_sample = false;   // first-m vs random sampling
+  uint64_t sample_seed = 0;
+  bool use_latent_cache = true;   // reuse metadata latents in P2
+  bool enable_p2 = true;          // privacy mode: false = never scan
+  /// P2 admission threshold on the content classifier's probabilities.
+  double p2_admit_threshold = 0.5;
+  size_t cache_capacity = 4096;
+  /// Serving-time overrides of the model's input configuration (paper
+  /// Sec. 6.8 varies l and n at detection time); 0 keeps the model default.
+  int override_cells_per_column = 0;     // n
+  int override_split_threshold = 0;      // l
+};
+
+/// Orchestrates the two phases over a trained ADTD model. Thread-safe for
+/// concurrent stage execution on different jobs (the model is read-only at
+/// inference; the latent cache is internally synchronized).
+class TasteDetector {
+ public:
+  TasteDetector(const model::AdtdModel* model,
+                const text::WordPieceTokenizer* tokenizer,
+                TasteOptions options);
+
+  /// Mutable state of one table's detection as it moves through stages.
+  struct Job {
+    std::string table_name;
+    // After P1 data preparation:
+    std::vector<model::EncodedMetadata> chunks;
+    // After P1 inference (entry i matches chunks[i]):
+    std::vector<model::AdtdModel::MetadataEncoding> encodings;
+    std::vector<std::vector<float>> p1_probs;       // per chunk, ncols*|S|
+    std::vector<std::vector<int>> uncertain_columns;  // chunk-local indices
+    bool needs_p2 = false;
+    // After P2 data preparation: per metadata chunk, one or more content
+    // batches (scanned columns are split into batches so every content
+    // sequence fits the encoder's max_seq_len; empty for chunks with no
+    // uncertain columns).
+    std::vector<std::vector<model::EncodedContent>> contents;
+    // Filled by P2 inference (or by P1 when P2 is skipped):
+    TableDetectionResult result;
+  };
+
+  // -- Stage API (used by the pipeline scheduler) ---------------------------
+
+  /// S1 of P1: fetch metadata, split wide tables, encode.
+  Status PrepareP1(clouddb::Connection* conn, const std::string& table_name,
+                   Job* job) const;
+  /// S2 of P1: metadata-tower inference + threshold classification.
+  /// Populates `result` fully when no column is uncertain.
+  Status InferP1(Job* job) const;
+  /// S1 of P2: scan content of uncertain columns only.
+  Status PrepareP2(clouddb::Connection* conn, Job* job) const;
+  /// S2 of P2: content-tower inference over cached metadata latents and
+  /// final A^c merge.
+  Status InferP2(Job* job) const;
+
+  // -- Convenience -----------------------------------------------------------
+
+  /// Runs all four stages sequentially for one table.
+  Result<TableDetectionResult> DetectTable(clouddb::Connection* conn,
+                                           const std::string& table_name) const;
+
+  const TasteOptions& options() const { return options_; }
+  model::LatentCache& cache() const { return *cache_; }
+
+ private:
+  std::string ChunkCacheKey(const std::string& table, size_t chunk) const;
+  /// Applies the alpha/beta rules to one chunk's P1 probabilities.
+  void ClassifyP1Chunk(const model::EncodedMetadata& chunk,
+                       const std::vector<float>& probs, Job* job) const;
+
+  const model::AdtdModel* model_;
+  const text::WordPieceTokenizer* tokenizer_;
+  TasteOptions options_;
+  model::InputConfig input_config_;  // model config + serving overrides
+  model::InputEncoder encoder_;
+  std::unique_ptr<model::LatentCache> cache_;
+};
+
+}  // namespace taste::core
+
+#endif  // TASTE_CORE_TASTE_DETECTOR_H_

@@ -1,0 +1,597 @@
+#include "data/semantic_types.h"
+
+#include "common/string_util.h"
+#include "data/wordlists.h"
+
+namespace taste::data {
+
+namespace {
+
+// Confusion-group indices. Types within a group share ambiguous names.
+enum Group {
+  kDigits = 0,   // opaque digit strings
+  kPlace,        // geographic text
+  kPerson,       // people names
+  kMoney,        // monetary amounts
+  kDatetime,     // temporal values
+  kCategory,     // small closed categories
+  kIdentifier,   // business keys
+  kWeb,          // network/contact identifiers
+  kOrg,          // organizational text
+  kNumber,       // plain numerics
+  kFreeText,     // open text
+  kNumGroups,
+};
+
+std::string Capitalize(const std::string& s) {
+  std::string out = s;
+  if (!out.empty() && out[0] >= 'a' && out[0] <= 'z') {
+    out[0] = static_cast<char>(out[0] - 'a' + 'A');
+  }
+  return out;
+}
+
+}  // namespace
+
+const SemanticTypeRegistry& SemanticTypeRegistry::Default() {
+  static const SemanticTypeRegistry* kRegistry = new SemanticTypeRegistry();
+  return *kRegistry;
+}
+
+const SemanticTypeInfo& SemanticTypeRegistry::info(int id) const {
+  TASTE_CHECK(id >= 0 && id < size());
+  return types_[static_cast<size_t>(id)];
+}
+
+Result<int> SemanticTypeRegistry::IdByName(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("unknown semantic type: " + name);
+  }
+  return it->second;
+}
+
+std::string SemanticTypeRegistry::GenerateValue(int id, Rng& rng) const {
+  const SemanticTypeInfo& t = info(id);
+  TASTE_CHECK_MSG(t.generator != nullptr, "type has no generator: " + t.name);
+  return t.generator(rng);
+}
+
+const std::vector<std::string>& SemanticTypeRegistry::GroupAmbiguousNames(
+    int group) const {
+  TASTE_CHECK(group >= 0 && group < num_groups());
+  return group_names_[static_cast<size_t>(group)];
+}
+
+std::vector<int> SemanticTypeRegistry::GroupMembers(int group) const {
+  std::vector<int> out;
+  for (const auto& t : types_) {
+    if (t.confusion_group == group) out.push_back(t.id);
+  }
+  return out;
+}
+
+std::string SemanticTypeRegistry::UninformativeName(Rng& rng) {
+  static const char* kStems[] = {"col", "field", "attr", "c", "f", "var"};
+  return StrFormat("%s%d", kStems[rng.NextBelow(6)],
+                   static_cast<int>(rng.NextInt(1, 30)));
+}
+
+std::string SemanticTypeRegistry::GenerateMiscValue(int flavor, Rng& rng) {
+  switch (flavor % 3) {
+    case 0: {  // a couple of generic words
+      const auto& words = GenericWords();
+      return rng.Choice(words) + " " + rng.Choice(words);
+    }
+    case 1:
+      return StrFormat("%d", static_cast<int>(rng.NextInt(-5000, 5000)));
+    default:
+      return StrFormat("%.3f", rng.NextUniform(-100.0, 100.0));
+  }
+}
+
+std::string SemanticTypeRegistry::MiscSqlType(int flavor) {
+  switch (flavor % 3) {
+    case 0:
+      return "varchar(255)";
+    case 1:
+      return "int";
+    default:
+      return "double";
+  }
+}
+
+int SemanticTypeRegistry::Add(SemanticTypeInfo info) {
+  info.id = static_cast<int>(types_.size());
+  TASTE_CHECK_MSG(by_name_.count(info.name) == 0,
+                  "duplicate semantic type: " + info.name);
+  by_name_.emplace(info.name, info.id);
+  types_.push_back(std::move(info));
+  return types_.back().id;
+}
+
+SemanticTypeRegistry::SemanticTypeRegistry() {
+  group_names_ = {
+      /*kDigits=*/{"num", "number", "no"},
+      /*kPlace=*/{"place", "location", "region"},
+      /*kPerson=*/{"name", "person", "user"},
+      /*kMoney=*/{"amount", "value", "total"},
+      /*kDatetime=*/{"time", "dt", "when"},
+      /*kCategory=*/{"code", "type", "category"},
+      /*kIdentifier=*/{"id", "key", "ref"},
+      /*kWeb=*/{"address", "contact", "link"},
+      /*kOrg=*/{"unit", "group", "org"},
+      /*kNumber=*/{"val", "x", "measure"},
+      /*kFreeText=*/{"text", "info", "details"},
+  };
+
+  auto digits = [](Rng& rng, int n) {
+    std::string s;
+    for (int i = 0; i < n; ++i) {
+      s += static_cast<char>('0' + rng.NextBelow(10));
+    }
+    return s;
+  };
+
+  // -- kDigits ---------------------------------------------------------------
+  Add({.name = "phone_number",
+       .sql_type = "varchar(20)",
+       .informative_names = {"phone", "phone_number", "telephone", "mobile",
+                             "cell_phone"},
+       .comment_templates = {"primary phone number", "contact telephone",
+                             "mobile phone of the customer"},
+       .confusion_group = kDigits,
+       .generator = [digits](Rng& rng) {
+         if (rng.NextBool()) {
+           return StrFormat("+%d-%s-%s",
+                            static_cast<int>(rng.NextInt(1, 99)),
+                            digits(rng, 3).c_str(), digits(rng, 7).c_str());
+         }
+         return StrFormat("(%s) %s-%s", digits(rng, 3).c_str(),
+                          digits(rng, 3).c_str(), digits(rng, 4).c_str());
+       }});
+  Add({.name = "credit_card",
+       .sql_type = "varchar(19)",
+       .informative_names = {"credit_card", "card_number", "cc_number",
+                             "credit_card_no", "pan"},
+       .comment_templates = {"payment card number", "credit card pan",
+                             "masked card number"},
+       .confusion_group = kDigits,
+       .generator = [digits](Rng& rng) {
+         return digits(rng, 4) + " " + digits(rng, 4) + " " +
+                digits(rng, 4) + " " + digits(rng, 4);
+       }});
+  Add({.name = "ssn",
+       .sql_type = "varchar(11)",
+       .informative_names = {"ssn", "social_security", "ssn_number",
+                             "social_security_number"},
+       .comment_templates = {"social security number", "national id number"},
+       .confusion_group = kDigits,
+       .generator = [digits](Rng& rng) {
+         return digits(rng, 3) + "-" + digits(rng, 2) + "-" + digits(rng, 4);
+       }});
+  Add({.name = "zip_code",
+       .sql_type = "varchar(10)",
+       .informative_names = {"zip", "zip_code", "postal_code", "postcode"},
+       .comment_templates = {"postal code", "zip code of the address"},
+       .confusion_group = kDigits,
+       .generator = [digits](Rng& rng) { return digits(rng, 5); }});
+  Add({.name = "account_number",
+       .sql_type = "varchar(16)",
+       .informative_names = {"account_number", "account_no", "bank_account",
+                             "acct_num"},
+       .comment_templates = {"bank account number", "account identifier"},
+       .confusion_group = kDigits,
+       .generator = [digits](Rng& rng) { return digits(rng, 10); }});
+
+  // -- kPlace ---------------------------------------------------------------
+  Add({.name = "city",
+       .sql_type = "varchar(64)",
+       .informative_names = {"city", "city_name", "town", "municipality"},
+       .comment_templates = {"city of residence", "city name"},
+       .confusion_group = kPlace,
+       .generator = [](Rng& rng) { return Capitalize(rng.Choice(Cities())); }});
+  Add({.name = "country",
+       .sql_type = "varchar(64)",
+       .informative_names = {"country", "country_name", "nation"},
+       .comment_templates = {"country of the customer", "country name"},
+       .confusion_group = kPlace,
+       .generator = [](Rng& rng) {
+         return Capitalize(rng.Choice(Countries()));
+       }});
+  Add({.name = "state",
+       .sql_type = "varchar(32)",
+       .informative_names = {"state", "province", "state_name"},
+       .comment_templates = {"us state or province"},
+       .confusion_group = kPlace,
+       .generator = [](Rng& rng) {
+         return Capitalize(rng.Choice(UsStates()));
+       }});
+  Add({.name = "street_address",
+       .sql_type = "varchar(128)",
+       .informative_names = {"street", "street_address", "addr_line1",
+                             "home_address"},
+       .comment_templates = {"street line of the mailing address"},
+       .confusion_group = kPlace,
+       .generator = [](Rng& rng) {
+         return StrFormat("%d %s %s", static_cast<int>(rng.NextInt(1, 9999)),
+                          Capitalize(rng.Choice(LastNames())).c_str(),
+                          Capitalize(rng.Choice(StreetSuffixes())).c_str());
+       }});
+
+  // -- kPerson ---------------------------------------------------------------
+  Add({.name = "first_name",
+       .sql_type = "varchar(32)",
+       .informative_names = {"first_name", "given_name", "fname",
+                             "forename"},
+       .comment_templates = {"given name of the person"},
+       .confusion_group = kPerson,
+       .generator = [](Rng& rng) {
+         return Capitalize(rng.Choice(FirstNames()));
+       }});
+  Add({.name = "last_name",
+       .sql_type = "varchar(32)",
+       .informative_names = {"last_name", "surname", "lname",
+                             "family_name"},
+       .comment_templates = {"family name of the person"},
+       .confusion_group = kPerson,
+       .generator = [](Rng& rng) {
+         return Capitalize(rng.Choice(LastNames()));
+       }});
+  Add({.name = "full_name",
+       .sql_type = "varchar(64)",
+       .informative_names = {"full_name", "customer_name", "employee_name",
+                             "contact_name"},
+       .comment_templates = {"full display name"},
+       .confusion_group = kPerson,
+       .generator = [](Rng& rng) {
+         return Capitalize(rng.Choice(FirstNames())) + " " +
+                Capitalize(rng.Choice(LastNames()));
+       }});
+  Add({.name = "username",
+       .sql_type = "varchar(32)",
+       .informative_names = {"username", "login", "user_name", "handle"},
+       .comment_templates = {"unique login handle"},
+       .confusion_group = kPerson,
+       .generator = [](Rng& rng) {
+         return rng.Choice(FirstNames()) +
+                StrFormat("%d", static_cast<int>(rng.NextInt(1, 999)));
+       }});
+
+  // -- kMoney ----------------------------------------------------------------
+  Add({.name = "price",
+       .sql_type = "decimal(10,2)",
+       .informative_names = {"price", "unit_price", "cost", "list_price"},
+       .comment_templates = {"unit price in local currency"},
+       .confusion_group = kMoney,
+       .generator = [](Rng& rng) {
+         return StrFormat("%.2f", rng.NextUniform(0.5, 2000.0));
+       }});
+  Add({.name = "salary",
+       .sql_type = "decimal(12,2)",
+       .informative_names = {"salary", "annual_salary", "wage",
+                             "base_salary"},
+       .comment_templates = {"annual gross salary"},
+       .confusion_group = kMoney,
+       .generator = [](Rng& rng) {
+         return StrFormat("%d", static_cast<int>(rng.NextInt(28, 240)) * 1000);
+       }});
+  Add({.name = "discount",
+       .sql_type = "decimal(4,2)",
+       .informative_names = {"discount", "discount_rate", "rebate"},
+       .comment_templates = {"fractional discount applied"},
+       .confusion_group = kMoney,
+       .generator = [](Rng& rng) {
+         return StrFormat("%.2f", rng.NextUniform(0.0, 0.9));
+       }});
+
+  // -- kDatetime ---------------------------------------------------------------
+  Add({.name = "date",
+       .sql_type = "date",
+       .informative_names = {"date", "order_date", "birth_date",
+                             "created_date", "dob"},
+       .comment_templates = {"calendar date", "date of the event"},
+       .confusion_group = kDatetime,
+       .generator = [](Rng& rng) {
+         return StrFormat("%04d-%02d-%02d",
+                          static_cast<int>(rng.NextInt(1970, 2025)),
+                          static_cast<int>(rng.NextInt(1, 12)),
+                          static_cast<int>(rng.NextInt(1, 28)));
+       }});
+  Add({.name = "datetime",
+       .sql_type = "datetime",
+       .informative_names = {"timestamp", "created_at", "updated_at",
+                             "event_time"},
+       .comment_templates = {"timestamp with seconds precision"},
+       .confusion_group = kDatetime,
+       .generator = [](Rng& rng) {
+         return StrFormat("%04d-%02d-%02d %02d:%02d:%02d",
+                          static_cast<int>(rng.NextInt(2000, 2025)),
+                          static_cast<int>(rng.NextInt(1, 12)),
+                          static_cast<int>(rng.NextInt(1, 28)),
+                          static_cast<int>(rng.NextInt(0, 23)),
+                          static_cast<int>(rng.NextInt(0, 59)),
+                          static_cast<int>(rng.NextInt(0, 59)));
+       }});
+  Add({.name = "year",
+       .sql_type = "smallint",
+       .informative_names = {"year", "fiscal_year", "model_year"},
+       .comment_templates = {"four digit year"},
+       .confusion_group = kDatetime,
+       .generator = [](Rng& rng) {
+         return StrFormat("%d", static_cast<int>(rng.NextInt(1950, 2025)));
+       }});
+  Add({.name = "time",
+       .sql_type = "time",
+       .informative_names = {"time_of_day", "start_time", "end_time"},
+       .comment_templates = {"wall clock time"},
+       .confusion_group = kDatetime,
+       .generator = [](Rng& rng) {
+         return StrFormat("%02d:%02d", static_cast<int>(rng.NextInt(0, 23)),
+                          static_cast<int>(rng.NextInt(0, 59)));
+       }});
+
+  // -- kCategory ---------------------------------------------------------------
+  Add({.name = "country_code",
+       .sql_type = "char(2)",
+       .informative_names = {"country_code", "iso_country", "cc"},
+       .comment_templates = {"iso 3166 alpha-2 code"},
+       .confusion_group = kCategory,
+       .generator = [](Rng& rng) { return rng.Choice(CountryCodes()); }});
+  Add({.name = "currency_code",
+       .sql_type = "char(3)",
+       .informative_names = {"currency", "currency_code", "iso_currency"},
+       .comment_templates = {"iso 4217 currency code"},
+       .confusion_group = kCategory,
+       .generator = [](Rng& rng) { return rng.Choice(CurrencyCodes()); }});
+  Add({.name = "language",
+       .sql_type = "varchar(16)",
+       .informative_names = {"language", "lang", "locale_language"},
+       .comment_templates = {"preferred language"},
+       .confusion_group = kCategory,
+       .generator = [](Rng& rng) { return rng.Choice(Languages()); }});
+  Add({.name = "status",
+       .sql_type = "varchar(16)",
+       .informative_names = {"status", "order_status", "state_flag"},
+       .comment_templates = {"lifecycle status of the record"},
+       .confusion_group = kCategory,
+       .generator = [](Rng& rng) { return rng.Choice(OrderStatuses()); }});
+  Add({.name = "color",
+       .sql_type = "varchar(16)",
+       .informative_names = {"color", "colour", "color_name"},
+       .comment_templates = {"display color"},
+       .confusion_group = kCategory,
+       .generator = [](Rng& rng) { return rng.Choice(Colors()); }});
+  Add({.name = "gender",
+       .sql_type = "varchar(8)",
+       .informative_names = {"gender", "sex"},
+       .comment_templates = {"self reported gender"},
+       .confusion_group = kCategory,
+       .generator = [](Rng& rng) { return rng.Choice(Genders()); }});
+  Add({.name = "boolean_flag",
+       .sql_type = "tinyint(1)",
+       .informative_names = {"is_active", "enabled", "is_deleted",
+                             "verified"},
+       .comment_templates = {"boolean flag"},
+       .confusion_group = kCategory,
+       .generator = [](Rng& rng) {
+         static const std::vector<std::string> kVals = {"true", "false", "0",
+                                                        "1", "yes", "no"};
+         return rng.Choice(kVals);
+       }});
+
+  // -- kIdentifier --------------------------------------------------------------
+  Add({.name = "customer_id",
+       .sql_type = "int",
+       .informative_names = {"customer_id", "cust_id", "client_id",
+                             "buyer_id"},
+       .comment_templates = {"unique customer identifier"},
+       .confusion_group = kIdentifier,
+       .generator = [](Rng& rng) {
+         return StrFormat("%d", static_cast<int>(rng.NextInt(1, 999999)));
+       }});
+  Add({.name = "order_id",
+       .sql_type = "varchar(16)",
+       .informative_names = {"order_id", "order_no", "po_number"},
+       .comment_templates = {"sales order identifier"},
+       .confusion_group = kIdentifier,
+       .generator = [digits](Rng& rng) {
+         return "ORD-" + digits(rng, 6);
+       }});
+  Add({.name = "product_sku",
+       .sql_type = "varchar(16)",
+       .informative_names = {"sku", "product_sku", "item_code",
+                             "product_code"},
+       .comment_templates = {"stock keeping unit"},
+       .confusion_group = kIdentifier,
+       .generator = [digits](Rng& rng) {
+         std::string letters;
+         for (int i = 0; i < 3; ++i) {
+           letters += static_cast<char>('A' + rng.NextBelow(26));
+         }
+         return "SKU-" + letters + digits(rng, 4);
+       }});
+  Add({.name = "uuid",
+       .sql_type = "char(36)",
+       .informative_names = {"uuid", "guid", "object_uuid"},
+       .comment_templates = {"rfc 4122 uuid"},
+       .confusion_group = kIdentifier,
+       .generator = [](Rng& rng) {
+         auto hex = [&rng](int n) {
+           std::string s;
+           for (int i = 0; i < n; ++i) {
+             s += "0123456789abcdef"[rng.NextBelow(16)];
+           }
+           return s;
+         };
+         return hex(8) + "-" + hex(4) + "-" + hex(4) + "-" + hex(4) + "-" +
+                hex(12);
+       }});
+  Add({.name = "invoice_number",
+       .sql_type = "varchar(16)",
+       .informative_names = {"invoice_number", "invoice_no", "bill_number"},
+       .comment_templates = {"invoice identifier"},
+       .confusion_group = kIdentifier,
+       .generator = [digits](Rng& rng) {
+         return StrFormat("INV-%d-", static_cast<int>(rng.NextInt(2018, 2025))) +
+                digits(rng, 4);
+       }});
+
+  // -- kWeb ----------------------------------------------------------------------
+  Add({.name = "email",
+       .sql_type = "varchar(255)",
+       .informative_names = {"email", "email_address", "user_email",
+                             "e_mail"},
+       .comment_templates = {"primary email address", "contact email"},
+       .confusion_group = kWeb,
+       .generator = [](Rng& rng) {
+         return rng.Choice(FirstNames()) + "." + rng.Choice(LastNames()) +
+                "@" + rng.Choice(EmailDomains());
+       }});
+  Add({.name = "url",
+       .sql_type = "varchar(255)",
+       .informative_names = {"url", "website", "homepage", "web_url"},
+       .comment_templates = {"website url"},
+       .confusion_group = kWeb,
+       .generator = [](Rng& rng) {
+         return "https://www." + rng.Choice(UrlDomains()) + "/" +
+                rng.Choice(GenericWords());
+       }});
+  Add({.name = "ip_address",
+       .sql_type = "varchar(15)",
+       .informative_names = {"ip", "ip_address", "client_ip", "host_ip"},
+       .comment_templates = {"ipv4 address of the client"},
+       .confusion_group = kWeb,
+       .generator = [](Rng& rng) {
+         return StrFormat("%d.%d.%d.%d", static_cast<int>(rng.NextInt(1, 254)),
+                          static_cast<int>(rng.NextInt(0, 254)),
+                          static_cast<int>(rng.NextInt(0, 254)),
+                          static_cast<int>(rng.NextInt(1, 254)));
+       }});
+  Add({.name = "mac_address",
+       .sql_type = "char(17)",
+       .informative_names = {"mac", "mac_address", "device_mac"},
+       .comment_templates = {"hardware mac address"},
+       .confusion_group = kWeb,
+       .generator = [](Rng& rng) {
+         std::string s;
+         for (int i = 0; i < 6; ++i) {
+           if (i > 0) s += ':';
+           s += "0123456789abcdef"[rng.NextBelow(16)];
+           s += "0123456789abcdef"[rng.NextBelow(16)];
+         }
+         return s;
+       }});
+
+  // -- kOrg --------------------------------------------------------------------
+  Add({.name = "company",
+       .sql_type = "varchar(64)",
+       .informative_names = {"company", "company_name", "employer",
+                             "vendor_name"},
+       .comment_templates = {"legal company name"},
+       .confusion_group = kOrg,
+       .generator = [](Rng& rng) {
+         return Capitalize(rng.Choice(CompanyStems())) + " " +
+                Capitalize(rng.Choice(CompanySuffixes()));
+       }});
+  Add({.name = "job_title",
+       .sql_type = "varchar(64)",
+       .informative_names = {"job_title", "position", "role_title",
+                             "occupation"},
+       .comment_templates = {"job title of the employee"},
+       .confusion_group = kOrg,
+       .generator = [](Rng& rng) {
+         return Capitalize(rng.Choice(JobTitles()));
+       }});
+  Add({.name = "department",
+       .sql_type = "varchar(32)",
+       .informative_names = {"department", "dept", "division",
+                             "business_unit"},
+       .comment_templates = {"department within the company"},
+       .confusion_group = kOrg,
+       .generator = [](Rng& rng) {
+         return Capitalize(rng.Choice(Departments()));
+       }});
+
+  // -- kNumber ------------------------------------------------------------------
+  Add({.name = "age",
+       .sql_type = "int",
+       .informative_names = {"age", "customer_age", "age_years"},
+       .comment_templates = {"age in years"},
+       .confusion_group = kNumber,
+       .generator = [](Rng& rng) {
+         return StrFormat("%d", static_cast<int>(rng.NextInt(18, 95)));
+       }});
+  Add({.name = "quantity",
+       .sql_type = "int",
+       .informative_names = {"quantity", "qty", "units", "item_count"},
+       .comment_templates = {"number of units ordered"},
+       .confusion_group = kNumber,
+       .generator = [](Rng& rng) {
+         return StrFormat("%d", static_cast<int>(rng.NextInt(1, 500)));
+       }});
+  Add({.name = "rating",
+       .sql_type = "decimal(2,1)",
+       .informative_names = {"rating", "score", "stars"},
+       .comment_templates = {"rating from 0 to 5"},
+       .confusion_group = kNumber,
+       .generator = [](Rng& rng) {
+         return StrFormat("%.1f", rng.NextUniform(0.0, 5.0));
+       }});
+  Add({.name = "latitude",
+       .sql_type = "double",
+       .informative_names = {"lat", "latitude", "geo_lat"},
+       .comment_templates = {"wgs84 latitude"},
+       .confusion_group = kNumber,
+       .generator = [](Rng& rng) {
+         return StrFormat("%.4f", rng.NextUniform(-90.0, 90.0));
+       }});
+  Add({.name = "longitude",
+       .sql_type = "double",
+       .informative_names = {"lon", "longitude", "geo_lon", "lng"},
+       .comment_templates = {"wgs84 longitude"},
+       .confusion_group = kNumber,
+       .generator = [](Rng& rng) {
+         return StrFormat("%.4f", rng.NextUniform(-180.0, 180.0));
+       }});
+
+  // -- kFreeText -------------------------------------------------------------------
+  Add({.name = "product_name",
+       .sql_type = "varchar(128)",
+       .informative_names = {"product_name", "item_name", "product_title"},
+       .comment_templates = {"display name of the product"},
+       .confusion_group = kFreeText,
+       .generator = [](Rng& rng) {
+         return Capitalize(rng.Choice(ProductAdjectives())) + " " +
+                rng.Choice(ProductNouns());
+       }});
+  Add({.name = "description",
+       .sql_type = "text",
+       .informative_names = {"description", "summary", "notes",
+                             "remarks"},
+       .comment_templates = {"free text description"},
+       .confusion_group = kFreeText,
+       .generator = [](Rng& rng) {
+         int n = static_cast<int>(rng.NextInt(4, 10));
+         std::string s;
+         for (int i = 0; i < n; ++i) {
+           if (i > 0) s += ' ';
+           s += rng.Choice(GenericWords());
+         }
+         return s;
+       }});
+
+  // -- background type ---------------------------------------------------------
+  null_type_id_ = Add({.name = "type:null",
+                       .sql_type = "varchar(255)",
+                       .informative_names = {},
+                       .comment_templates = {},
+                       .confusion_group = kFreeText,
+                       .generator = [](Rng& rng) {
+                         return GenerateMiscValue(
+                             static_cast<int>(rng.NextBelow(3)), rng);
+                       }});
+  TASTE_CHECK(static_cast<int>(group_names_.size()) == kNumGroups);
+}
+
+}  // namespace taste::data

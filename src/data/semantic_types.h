@@ -1,0 +1,83 @@
+// The semantic type domain set S (paper Sec. 2.2) and its synthetic
+// grounding: for every type, a value generator, realistic column-name
+// variants at several informativeness levels, comment templates, and a
+// confusion-group assignment.
+//
+// Confusion groups are the lever that makes the two-phase evaluation
+// meaningful: types in one group share *ambiguous* column names (e.g.
+// "num" for phone numbers, credit cards and SSNs — the paper's own
+// example in Sec. 1), so a metadata-only model (P1) cannot separate them
+// and TASTE must scan content (P2). Informative names, by contrast, are
+// unique to a type and let P1 decide alone.
+
+#ifndef TASTE_DATA_SEMANTIC_TYPES_H_
+#define TASTE_DATA_SEMANTIC_TYPES_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace taste::data {
+
+/// Static description of one semantic type.
+struct SemanticTypeInfo {
+  int id = -1;
+  std::string name;                             // canonical, e.g. "email"
+  std::string sql_type;                         // declared raw type
+  std::vector<std::string> informative_names;   // unique to this type
+  std::vector<std::string> comment_templates;   // human-style comments
+  int confusion_group = -1;                     // index into group list
+  std::function<std::string(Rng&)> generator;   // draws one cell value
+};
+
+/// The registry of all semantic types, including the background type
+/// `type:null` assigned to columns without any semantic type
+/// (paper Sec. 6.1.1).
+class SemanticTypeRegistry {
+ public:
+  /// The built-in registry (46 concrete types + type:null), constructed
+  /// once per process.
+  static const SemanticTypeRegistry& Default();
+
+  int size() const { return static_cast<int>(types_.size()); }
+  const SemanticTypeInfo& info(int id) const;
+  /// Id for `name`; kNotFound if absent.
+  Result<int> IdByName(const std::string& name) const;
+  /// Id of the background type `type:null`.
+  int null_type_id() const { return null_type_id_; }
+
+  /// Draws one cell value of type `id`.
+  std::string GenerateValue(int id, Rng& rng) const;
+
+  /// Ambiguous column names shared by all members of `group`.
+  const std::vector<std::string>& GroupAmbiguousNames(int group) const;
+  int num_groups() const { return static_cast<int>(group_names_.size()); }
+  /// All type ids in `group`.
+  std::vector<int> GroupMembers(int group) const;
+
+  /// Names that reveal nothing about the type ("col3", "field_7", ...).
+  static std::string UninformativeName(Rng& rng);
+
+  /// A generic value for background (type:null) columns: random words,
+  /// integers or floats depending on `flavor` in [0, 3).
+  static std::string GenerateMiscValue(int flavor, Rng& rng);
+  /// SQL type matching GenerateMiscValue's flavor.
+  static std::string MiscSqlType(int flavor);
+
+ private:
+  SemanticTypeRegistry();
+  int Add(SemanticTypeInfo info);
+
+  std::vector<SemanticTypeInfo> types_;
+  std::unordered_map<std::string, int> by_name_;
+  std::vector<std::vector<std::string>> group_names_;
+  int null_type_id_ = -1;
+};
+
+}  // namespace taste::data
+
+#endif  // TASTE_DATA_SEMANTIC_TYPES_H_

@@ -1,0 +1,247 @@
+#include "data/table_generator.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace taste::data {
+
+namespace {
+
+/// Names given to background (type:null) columns. Distinct from both the
+/// typed informative names and the confusion-group ambiguous names, so a
+/// metadata model can learn to recognize them — which is exactly what
+/// drives the paper's Fig. 6 result (null columns resolved in P1).
+const std::vector<std::string>& NullColumnNames() {
+  static const std::vector<std::string> kList = {
+      "misc",  "extra",   "raw_data", "tmp",   "blob", "aux",
+      "spare", "padding", "memo",     "scratch", "payload", "leftover"};
+  return kList;
+}
+
+}  // namespace
+
+const std::vector<TableDomain>& BuiltinDomains() {
+  static const std::vector<TableDomain>* kDomains = new std::vector<
+      TableDomain>{
+      {"customers",
+       {"customers", "crm_customers", "customer_accounts", "clients"},
+       {"customer master data", "table of customer records",
+        "crm account registry"},
+       {"customer_id", "full_name", "first_name", "last_name", "email",
+        "phone_number", "street_address", "city", "country", "zip_code",
+        "gender", "age", "date"}},
+      {"orders",
+       {"orders", "sales_orders", "order_items", "purchases"},
+       {"sales order lines", "order transaction log"},
+       {"order_id", "customer_id", "product_sku", "quantity", "price",
+        "discount", "currency_code", "status", "date", "datetime",
+        "invoice_number"}},
+      {"products",
+       {"products", "catalog_items", "inventory", "sku_catalog"},
+       {"product catalog", "inventory master list"},
+       {"product_sku", "product_name", "description", "price", "quantity",
+        "color", "rating", "boolean_flag", "year"}},
+      {"employees",
+       {"employees", "hr_staff", "payroll_employees", "personnel"},
+       {"employee registry", "payroll master data"},
+       {"customer_id", "first_name", "last_name", "email", "job_title",
+        "department", "salary", "date", "ssn", "gender", "age",
+        "boolean_flag"}},
+      {"payments",
+       {"payments", "transactions", "billing_events", "invoices"},
+       {"payment transaction history", "billing ledger"},
+       {"invoice_number", "credit_card", "account_number", "price",
+        "currency_code", "datetime", "status", "customer_id"}},
+      {"shipments",
+       {"shipments", "deliveries", "logistics_events", "parcels"},
+       {"parcel delivery tracking", "shipment status log"},
+       {"order_id", "street_address", "city", "country", "zip_code",
+        "status", "date", "datetime", "quantity"}},
+      {"web_sessions",
+       {"web_sessions", "access_log", "clickstream", "visits"},
+       {"web access log", "per session clickstream"},
+       {"uuid", "ip_address", "url", "datetime", "username", "language",
+        "country_code", "boolean_flag", "mac_address"}},
+      {"devices",
+       {"devices", "iot_devices", "hardware_assets", "sensors"},
+       {"registered device inventory", "iot asset registry"},
+       {"uuid", "mac_address", "ip_address", "company", "status", "date",
+        "latitude", "longitude", "boolean_flag"}},
+      {"geo_places",
+       {"geo_places", "locations", "branches", "stores"},
+       {"points of interest", "branch office locations"},
+       {"city", "country", "state", "zip_code", "latitude", "longitude",
+        "street_address", "phone_number", "company"}},
+      {"reviews",
+       {"reviews", "feedback", "ratings", "survey_responses"},
+       {"customer product reviews", "user feedback records"},
+       {"customer_id", "product_sku", "rating", "description", "date",
+        "username", "language", "boolean_flag"}},
+  };
+  return *kDomains;
+}
+
+TableGenerator::TableGenerator(DatasetProfile profile,
+                               const SemanticTypeRegistry& registry)
+    : profile_(std::move(profile)), registry_(registry) {
+  TASTE_CHECK(profile_.min_columns >= 1 &&
+              profile_.min_columns <= profile_.max_columns);
+  TASTE_CHECK(profile_.min_rows >= 1 && profile_.min_rows <= profile_.max_rows);
+  TASTE_CHECK(profile_.p_informative_name + profile_.p_ambiguous_name <= 1.0);
+}
+
+TableGenerator::NameQuality TableGenerator::SampleNameQuality(Rng& rng) const {
+  double x = rng.NextDouble();
+  if (x < profile_.p_informative_name) return NameQuality::kInformative;
+  if (x < profile_.p_informative_name + profile_.p_ambiguous_name) {
+    return NameQuality::kAmbiguous;
+  }
+  return NameQuality::kUninformative;
+}
+
+ColumnSpec TableGenerator::GenerateTypedColumn(int type_id, int num_rows,
+                                               Rng& rng) const {
+  const SemanticTypeInfo& t = registry_.info(type_id);
+  ColumnSpec col;
+  col.sql_type = t.sql_type;
+  col.labels.push_back(type_id);
+  NameQuality quality = SampleNameQuality(rng);
+  switch (quality) {
+    case NameQuality::kInformative:
+      col.name = rng.Choice(t.informative_names);
+      break;
+    case NameQuality::kAmbiguous:
+      col.name = rng.Choice(registry_.GroupAmbiguousNames(t.confusion_group));
+      break;
+    case NameQuality::kUninformative:
+      col.name = SemanticTypeRegistry::UninformativeName(rng);
+      break;
+  }
+  // Comments accompany informative schemas far more often than sloppy ones.
+  double p_comment = profile_.p_column_comment;
+  if (quality != NameQuality::kInformative) p_comment *= 0.25;
+  if (!t.comment_templates.empty() && rng.NextBool(p_comment)) {
+    col.comment = rng.Choice(t.comment_templates);
+  }
+  col.values.reserve(static_cast<size_t>(num_rows));
+  for (int r = 0; r < num_rows; ++r) {
+    // Sparse nulls: realistic tables have missing cells.
+    if (rng.NextBool(0.03)) {
+      col.values.emplace_back();
+    } else {
+      col.values.push_back(registry_.GenerateValue(type_id, rng));
+    }
+  }
+  // Occasional secondary label from the same confusion group (multi-label
+  // ground truth, paper Sec. 2.2).
+  if (rng.NextBool(profile_.p_secondary_label)) {
+    std::vector<int> members = registry_.GroupMembers(t.confusion_group);
+    members.erase(std::remove(members.begin(), members.end(), type_id),
+                  members.end());
+    members.erase(std::remove(members.begin(), members.end(),
+                              registry_.null_type_id()),
+                  members.end());
+    if (!members.empty()) col.labels.push_back(rng.Choice(members));
+  }
+  return col;
+}
+
+ColumnSpec TableGenerator::GenerateNullColumn(int num_rows, Rng& rng) const {
+  ColumnSpec col;
+  int flavor = static_cast<int>(rng.NextBelow(3));
+  col.sql_type = SemanticTypeRegistry::MiscSqlType(flavor);
+  col.labels.push_back(registry_.null_type_id());
+  // Background columns get either a recognizable "junk" name or an
+  // uninformative one; they carry comments rarely.
+  col.name = rng.NextBool(0.8) ? rng.Choice(NullColumnNames())
+                               : SemanticTypeRegistry::UninformativeName(rng);
+  col.values.reserve(static_cast<size_t>(num_rows));
+  for (int r = 0; r < num_rows; ++r) {
+    col.values.push_back(SemanticTypeRegistry::GenerateMiscValue(flavor, rng));
+  }
+  return col;
+}
+
+void TableGenerator::DedupeColumnNames(TableSpec* table) const {
+  std::unordered_set<std::string> seen;
+  for (auto& c : table->columns) {
+    std::string base = c.name;
+    int suffix = 2;
+    while (!seen.insert(c.name).second) {
+      c.name = StrFormat("%s_%d", base.c_str(), suffix++);
+    }
+  }
+}
+
+TableSpec TableGenerator::GenerateTable(Rng& rng) const {
+  const TableDomain& domain = rng.Choice(BuiltinDomains());
+  TableSpec table;
+  table.name = rng.Choice(domain.table_names);
+  if (rng.NextBool(profile_.p_table_comment)) {
+    table.comment = rng.Choice(domain.comments);
+  }
+  table.num_rows =
+      static_cast<int>(rng.NextInt(profile_.min_rows, profile_.max_rows));
+  int num_cols =
+      static_cast<int>(rng.NextInt(profile_.min_columns, profile_.max_columns));
+
+  // Draw the typed columns from the domain's typical types (without
+  // replacement while possible), with a small chance of an off-domain type.
+  std::vector<std::string> pool = domain.typical_types;
+  Rng pool_rng = rng.Fork(1);
+  pool_rng.Shuffle(pool);
+  size_t pool_pos = 0;
+  for (int i = 0; i < num_cols; ++i) {
+    if (rng.NextBool(profile_.null_type_ratio)) {
+      table.columns.push_back(GenerateNullColumn(table.num_rows, rng));
+      continue;
+    }
+    int type_id;
+    if (rng.NextBool(0.1) || pool_pos >= pool.size()) {
+      // Off-domain or pool exhausted: any concrete type.
+      do {
+        type_id = static_cast<int>(rng.NextBelow(registry_.size()));
+      } while (type_id == registry_.null_type_id());
+    } else {
+      auto res = registry_.IdByName(pool[pool_pos++]);
+      TASTE_CHECK_MSG(res.ok(), "domain references unknown type");
+      type_id = *res;
+    }
+    table.columns.push_back(GenerateTypedColumn(type_id, table.num_rows, rng));
+  }
+  DedupeColumnNames(&table);
+  return table;
+}
+
+Dataset TableGenerator::GenerateDataset() const {
+  Dataset ds;
+  ds.name = profile_.name;
+  Rng rng(profile_.seed);
+  ds.tables.reserve(static_cast<size_t>(profile_.num_tables));
+  for (int i = 0; i < profile_.num_tables; ++i) {
+    Rng table_rng = rng.Fork(static_cast<uint64_t>(i) + 1);
+    ds.tables.push_back(GenerateTable(table_rng));
+    ds.tables.back().name +=
+        StrFormat("_%05d", i);  // unique table names across the corpus
+  }
+  // 80/10/10 split, shuffled deterministically.
+  std::vector<int> idx(ds.tables.size());
+  for (size_t i = 0; i < idx.size(); ++i) idx[i] = static_cast<int>(i);
+  Rng split_rng(profile_.seed ^ 0x5eedULL);
+  split_rng.Shuffle(idx);
+  size_t n_train = idx.size() * 8 / 10;
+  size_t n_valid = idx.size() / 10;
+  ds.train.assign(idx.begin(), idx.begin() + n_train);
+  ds.valid.assign(idx.begin() + n_train, idx.begin() + n_train + n_valid);
+  ds.test.assign(idx.begin() + n_train + n_valid, idx.end());
+  return ds;
+}
+
+Dataset GenerateDataset(const DatasetProfile& profile) {
+  TableGenerator gen(profile, SemanticTypeRegistry::Default());
+  return gen.GenerateDataset();
+}
+
+}  // namespace taste::data

@@ -1,0 +1,64 @@
+// Synthetic table synthesis: business domains, name-quality sampling, and
+// whole-dataset generation with splits.
+
+#ifndef TASTE_DATA_TABLE_GENERATOR_H_
+#define TASTE_DATA_TABLE_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "data/semantic_types.h"
+
+namespace taste::data {
+
+/// A business domain biases which semantic types co-occur in one table
+/// (orders tables have order ids, prices and dates; CRM tables have names,
+/// emails and phones). This induces the cross-column correlation that the
+/// paper's table-wise model design (Sec. 3.1) exploits.
+struct TableDomain {
+  std::string name;                          // e.g. "orders"
+  std::vector<std::string> table_names;      // candidate table names
+  std::vector<std::string> comments;         // candidate table comments
+  std::vector<std::string> typical_types;    // semantic type names
+};
+
+/// The built-in set of ten business domains.
+const std::vector<TableDomain>& BuiltinDomains();
+
+/// Generates tables according to a DatasetProfile.
+class TableGenerator {
+ public:
+  TableGenerator(DatasetProfile profile, const SemanticTypeRegistry& registry);
+
+  /// Generates one table (deterministic given the generator's RNG state).
+  TableSpec GenerateTable(Rng& rng) const;
+
+  /// Generates the full dataset with 80/10/10 train/valid/test splits.
+  Dataset GenerateDataset() const;
+
+  const DatasetProfile& profile() const { return profile_; }
+
+ private:
+  /// Chooses the column name for a typed column according to the profile's
+  /// informativeness distribution; returns the label quality chosen so the
+  /// caller can correlate comments.
+  enum class NameQuality { kInformative, kAmbiguous, kUninformative };
+  NameQuality SampleNameQuality(Rng& rng) const;
+
+  ColumnSpec GenerateTypedColumn(int type_id, int num_rows, Rng& rng) const;
+  ColumnSpec GenerateNullColumn(int num_rows, Rng& rng) const;
+  void DedupeColumnNames(TableSpec* table) const;
+
+  DatasetProfile profile_;
+  const SemanticTypeRegistry& registry_;
+};
+
+/// Convenience: generate a dataset straight from a profile with the
+/// default registry.
+Dataset GenerateDataset(const DatasetProfile& profile);
+
+}  // namespace taste::data
+
+#endif  // TASTE_DATA_TABLE_GENERATOR_H_

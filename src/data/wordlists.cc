@@ -1,0 +1,180 @@
+#include "data/wordlists.h"
+
+namespace taste::data {
+
+const std::vector<std::string>& FirstNames() {
+  static const std::vector<std::string> kList = {
+      "james",  "mary",    "john",   "linda",  "robert", "susan",
+      "michael", "karen",  "david",  "nancy",  "william", "lisa",
+      "richard", "betty",  "joseph", "helen",  "thomas", "sandra",
+      "charles", "donna",  "daniel", "carol",  "matthew", "ruth",
+      "anthony", "sharon", "mark",   "laura",  "steven", "emily",
+      "paul",   "anna",    "andrew", "olivia", "joshua", "sophia",
+      "kevin",  "emma",    "brian",  "grace"};
+  return kList;
+}
+
+const std::vector<std::string>& LastNames() {
+  static const std::vector<std::string> kList = {
+      "smith",   "johnson", "williams", "brown",  "jones",   "garcia",
+      "miller",  "davis",   "martinez", "lopez",  "wilson",  "anderson",
+      "taylor",  "thomas",  "moore",    "martin", "jackson", "thompson",
+      "white",   "harris",  "clark",    "lewis",  "walker",  "hall",
+      "young",   "allen",   "king",     "wright", "scott",   "green",
+      "adams",   "baker",   "nelson",   "hill",   "campbell", "mitchell",
+      "roberts", "carter",  "phillips", "evans"};
+  return kList;
+}
+
+const std::vector<std::string>& Cities() {
+  static const std::vector<std::string> kList = {
+      "london",   "paris",     "berlin",   "madrid",   "rome",
+      "vienna",   "dublin",    "lisbon",   "prague",   "warsaw",
+      "athens",   "budapest",  "helsinki", "oslo",     "stockholm",
+      "amsterdam", "brussels", "zurich",   "geneva",   "munich",
+      "hamburg",  "milan",     "naples",   "barcelona", "valencia",
+      "porto",    "krakow",    "riga",     "vilnius",  "tallinn",
+      "shenzhen", "guangzhou", "beijing",  "shanghai", "chengdu",
+      "tokyo",    "osaka",     "seoul",    "sydney",   "toronto"};
+  return kList;
+}
+
+const std::vector<std::string>& Countries() {
+  static const std::vector<std::string> kList = {
+      "france", "germany", "spain",   "italy",    "austria", "ireland",
+      "portugal", "czechia", "poland", "greece",  "hungary", "finland",
+      "norway", "sweden",  "netherlands", "belgium", "switzerland",
+      "china",  "japan",   "korea",   "australia", "canada", "brazil",
+      "mexico", "india",   "egypt",   "kenya",    "chile",   "peru",
+      "denmark"};
+  return kList;
+}
+
+const std::vector<std::string>& CountryCodes() {
+  static const std::vector<std::string> kList = {
+      "FR", "DE", "ES", "IT", "AT", "IE", "PT", "CZ", "PL", "GR",
+      "HU", "FI", "NO", "SE", "NL", "BE", "CH", "CN", "JP", "KR",
+      "AU", "CA", "BR", "MX", "IN", "EG", "KE", "CL", "PE", "DK"};
+  return kList;
+}
+
+const std::vector<std::string>& UsStates() {
+  static const std::vector<std::string> kList = {
+      "alabama",  "alaska",   "arizona",  "california", "colorado",
+      "florida",  "georgia",  "hawaii",   "idaho",      "illinois",
+      "indiana",  "iowa",     "kansas",   "kentucky",   "maine",
+      "maryland", "michigan", "minnesota", "missouri",  "montana",
+      "nevada",   "ohio",     "oregon",   "texas",      "utah",
+      "vermont",  "virginia", "washington", "wisconsin", "wyoming"};
+  return kList;
+}
+
+const std::vector<std::string>& StreetSuffixes() {
+  static const std::vector<std::string> kList = {
+      "street", "avenue", "road", "lane", "boulevard", "drive", "court",
+      "place",  "way",    "terrace"};
+  return kList;
+}
+
+const std::vector<std::string>& CompanySuffixes() {
+  static const std::vector<std::string> kList = {
+      "inc", "ltd", "llc", "corp", "group", "holdings", "labs", "systems",
+      "partners", "solutions"};
+  return kList;
+}
+
+const std::vector<std::string>& CompanyStems() {
+  static const std::vector<std::string> kList = {
+      "acme",   "globex",  "initech", "umbrella", "stark",  "wayne",
+      "wonka",  "hooli",   "vandelay", "dunder",  "cyberdyne", "tyrell",
+      "oscorp", "massive", "pied",    "aperture", "blackmesa", "soylent",
+      "nakatomi", "gringotts"};
+  return kList;
+}
+
+const std::vector<std::string>& JobTitles() {
+  static const std::vector<std::string> kList = {
+      "engineer",  "manager",  "analyst",  "director", "designer",
+      "developer", "architect", "consultant", "accountant", "technician",
+      "scientist", "administrator", "specialist", "coordinator", "officer"};
+  return kList;
+}
+
+const std::vector<std::string>& Departments() {
+  static const std::vector<std::string> kList = {
+      "engineering", "sales", "marketing", "finance", "operations",
+      "support",     "legal", "research",  "logistics", "procurement"};
+  return kList;
+}
+
+const std::vector<std::string>& EmailDomains() {
+  static const std::vector<std::string> kList = {
+      "example.com", "mail.org", "corp.net", "cloud.io", "post.co",
+      "inbox.dev",   "work.biz"};
+  return kList;
+}
+
+const std::vector<std::string>& UrlDomains() {
+  static const std::vector<std::string> kList = {
+      "example.com", "shop.net", "portal.org", "data.io", "news.co",
+      "wiki.dev",    "docs.app"};
+  return kList;
+}
+
+const std::vector<std::string>& Colors() {
+  static const std::vector<std::string> kList = {
+      "red",   "green", "blue",   "yellow", "black", "white",
+      "purple", "orange", "brown", "silver", "gold", "teal"};
+  return kList;
+}
+
+const std::vector<std::string>& Languages() {
+  static const std::vector<std::string> kList = {
+      "english", "french", "german", "spanish", "italian", "chinese",
+      "japanese", "korean", "portuguese", "dutch", "polish", "greek"};
+  return kList;
+}
+
+const std::vector<std::string>& CurrencyCodes() {
+  static const std::vector<std::string> kList = {
+      "USD", "EUR", "GBP", "JPY", "CNY", "CHF", "CAD", "AUD", "SEK", "KRW"};
+  return kList;
+}
+
+const std::vector<std::string>& OrderStatuses() {
+  static const std::vector<std::string> kList = {
+      "pending", "shipped", "delivered", "cancelled", "returned",
+      "processing", "refunded", "failed"};
+  return kList;
+}
+
+const std::vector<std::string>& Genders() {
+  static const std::vector<std::string> kList = {"male", "female", "other",
+                                                 "unknown"};
+  return kList;
+}
+
+const std::vector<std::string>& ProductNouns() {
+  static const std::vector<std::string> kList = {
+      "widget", "gadget", "cable",  "monitor", "keyboard", "chair",
+      "desk",   "lamp",   "router", "battery", "speaker",  "camera",
+      "printer", "tablet", "phone", "headset"};
+  return kList;
+}
+
+const std::vector<std::string>& ProductAdjectives() {
+  static const std::vector<std::string> kList = {
+      "compact", "wireless", "ergonomic", "portable", "smart", "classic",
+      "premium", "budget",   "rugged",    "slim",     "turbo", "eco"};
+  return kList;
+}
+
+const std::vector<std::string>& GenericWords() {
+  static const std::vector<std::string> kList = {
+      "alpha", "beta",  "gamma", "delta", "omega", "prime", "nova",
+      "terra", "aqua",  "ember", "frost", "cloud", "stone", "river",
+      "forest", "metal", "quartz", "pixel", "vector", "matrix"};
+  return kList;
+}
+
+}  // namespace taste::data

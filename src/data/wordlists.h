@@ -1,0 +1,37 @@
+// Static word lists backing the synthetic value generators. ASCII, small,
+// and deterministic — enough lexical diversity for the tokenizer and models
+// to learn from without shipping real-world data.
+
+#ifndef TASTE_DATA_WORDLISTS_H_
+#define TASTE_DATA_WORDLISTS_H_
+
+#include <string>
+#include <vector>
+
+namespace taste::data {
+
+const std::vector<std::string>& FirstNames();
+const std::vector<std::string>& LastNames();
+const std::vector<std::string>& Cities();
+const std::vector<std::string>& Countries();
+const std::vector<std::string>& CountryCodes();
+const std::vector<std::string>& UsStates();
+const std::vector<std::string>& StreetSuffixes();
+const std::vector<std::string>& CompanySuffixes();
+const std::vector<std::string>& CompanyStems();
+const std::vector<std::string>& JobTitles();
+const std::vector<std::string>& Departments();
+const std::vector<std::string>& EmailDomains();
+const std::vector<std::string>& UrlDomains();
+const std::vector<std::string>& Colors();
+const std::vector<std::string>& Languages();
+const std::vector<std::string>& CurrencyCodes();
+const std::vector<std::string>& OrderStatuses();
+const std::vector<std::string>& Genders();
+const std::vector<std::string>& ProductNouns();
+const std::vector<std::string>& ProductAdjectives();
+const std::vector<std::string>& GenericWords();
+
+}  // namespace taste::data
+
+#endif  // TASTE_DATA_WORDLISTS_H_

@@ -1,0 +1,102 @@
+// Shared experiment harness for the benchmark binaries: builds a dataset,
+// trains (or loads cached) models for TASTE and the baselines, stages test
+// tables in a simulated cloud database, and evaluates detectors.
+//
+// Model training is deterministic given StackOptions, so trained weights
+// are cached as checkpoints under `cache_dir` and reused across bench
+// binaries — each figure/table bench stays fast after the first run.
+
+#ifndef TASTE_EVAL_EXPERIMENT_H_
+#define TASTE_EVAL_EXPERIMENT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "baselines/single_tower.h"
+#include "clouddb/database.h"
+#include "core/taste_detector.h"
+#include "data/table_generator.h"
+#include "eval/metrics.h"
+#include "model/adtd.h"
+#include "model/trainer.h"
+#include "text/wordpiece.h"
+
+namespace taste::eval {
+
+/// Controls dataset size, model scale and training budget of a stack.
+struct StackOptions {
+  int num_tables = 240;        // dataset size (80/10/10 split)
+  int vocab_size = 700;        // WordPiece vocabulary budget
+  int pretrain_epochs = 2;     // MLM epochs on the unlabeled corpus
+  int finetune_epochs = 16;    // supervised epochs (paper: 20)
+  float finetune_lr = 2e-3f;   // Adam learning rate for fine-tuning
+  bool train_adtd = true;          // train the default ADTD model
+  bool train_adtd_hist = true;     // also train the "with histogram" ADTD
+  bool train_baselines = true;     // also train TURL-like and Doduo-like
+  std::string cache_dir = ".taste_model_cache";  // "" disables caching
+  uint64_t seed = 1234;
+};
+
+/// Dataset + tokenizer + all trained models for one dataset profile.
+struct TrainedStack {
+  std::string name;
+  data::Dataset dataset;
+  std::unique_ptr<text::WordPieceTokenizer> tokenizer;
+  std::unique_ptr<model::AdtdModel> adtd;       // default TASTE model
+  std::unique_ptr<model::AdtdModel> adtd_hist;  // histogram variant (or null)
+  std::unique_ptr<baselines::SingleTowerModel> turl;   // or null
+  std::unique_ptr<baselines::SingleTowerModel> doduo;  // or null
+};
+
+/// Generates the dataset from `profile` (overriding its table count with
+/// options.num_tables) and trains/loads every requested model.
+Result<TrainedStack> BuildStack(data::DatasetProfile profile,
+                                const StackOptions& options);
+
+/// Same, but over an externally prepared dataset (e.g. the retained-type
+/// tuned WikiTable-S_k datasets of Fig. 6). `name` keys the cache.
+Result<TrainedStack> BuildStackFromDataset(const std::string& name,
+                                           data::Dataset dataset,
+                                           const StackOptions& options);
+
+/// Stages the tables selected by `indices` into a fresh simulated database.
+Result<std::unique_ptr<clouddb::SimulatedDatabase>> MakeTestDatabase(
+    const data::Dataset& dataset, const std::vector<int>& indices,
+    bool with_histograms, clouddb::CostModel cost);
+
+/// Outcome of evaluating one detector over one test split.
+struct EvalRunResult {
+  PrfScores scores;
+  double wall_ms = 0.0;           // end-to-end wall-clock time
+  double simulated_io_ms = 0.0;   // modeled data-retrieval time
+  int64_t scanned_columns = 0;
+  int64_t total_columns = 0;
+  double scanned_ratio() const {
+    return total_columns > 0
+               ? static_cast<double>(scanned_columns) / total_columns
+               : 0.0;
+  }
+};
+
+/// Any detector exposed as a per-table callable.
+using DetectFn = std::function<Result<core::TableDetectionResult>(
+    clouddb::Connection*, const std::string&)>;
+
+/// Runs `detect` sequentially over the test tables, collecting accuracy
+/// and cost. Resets the database ledger first.
+Result<EvalRunResult> EvaluateSequential(const DetectFn& detect,
+                                         clouddb::SimulatedDatabase* db,
+                                         const data::Dataset& dataset,
+                                         const std::vector<int>& indices);
+
+/// Merges ledger + accuracy accounting for results produced elsewhere
+/// (e.g. by the pipelined executor).
+EvalRunResult SummarizeResults(
+    const std::vector<core::TableDetectionResult>& results,
+    const data::Dataset& dataset, const std::vector<int>& indices,
+    const clouddb::IoLedger::Snapshot& ledger, double wall_ms);
+
+}  // namespace taste::eval
+
+#endif  // TASTE_EVAL_EXPERIMENT_H_

@@ -1,0 +1,65 @@
+#include "eval/metrics.h"
+
+#include <unordered_set>
+
+namespace taste::eval {
+
+void MetricsAccumulator::AddColumn(const std::vector<int>& truth,
+                                   const std::vector<int>& pred) {
+  std::unordered_set<int> truth_set;
+  for (int t : truth) {
+    if (t != null_type_id_) truth_set.insert(t);
+  }
+  std::unordered_set<int> pred_set;
+  for (int p : pred) {
+    if (p != null_type_id_) pred_set.insert(p);
+  }
+  for (int p : pred_set) {
+    if (truth_set.count(p) != 0) {
+      ++tp_;
+    } else {
+      ++fp_;
+    }
+  }
+  for (int t : truth_set) {
+    if (pred_set.count(t) == 0) ++fn_;
+  }
+}
+
+void MetricsAccumulator::AddTable(const data::TableSpec& truth_table,
+                                  const core::TableDetectionResult& result) {
+  for (const auto& col : result.columns) {
+    TASTE_CHECK(col.ordinal >= 0 &&
+                col.ordinal < static_cast<int>(truth_table.columns.size()));
+    AddColumn(truth_table.columns[static_cast<size_t>(col.ordinal)].labels,
+              col.admitted_types);
+  }
+}
+
+PrfScores MetricsAccumulator::Compute() const {
+  PrfScores s;
+  s.tp = tp_;
+  s.fp = fp_;
+  s.fn = fn_;
+  s.precision = (tp_ + fp_) > 0
+                    ? static_cast<double>(tp_) / static_cast<double>(tp_ + fp_)
+                    : 0.0;
+  s.recall = (tp_ + fn_) > 0
+                 ? static_cast<double>(tp_) / static_cast<double>(tp_ + fn_)
+                 : 0.0;
+  s.f1 = (s.precision + s.recall) > 0
+             ? 2 * s.precision * s.recall / (s.precision + s.recall)
+             : 0.0;
+  return s;
+}
+
+PrfScores MicroPrf(const std::vector<std::vector<int>>& truth,
+                   const std::vector<std::vector<int>>& pred,
+                   int null_type_id) {
+  TASTE_CHECK(truth.size() == pred.size());
+  MetricsAccumulator acc(null_type_id);
+  for (size_t i = 0; i < truth.size(); ++i) acc.AddColumn(truth[i], pred[i]);
+  return acc.Compute();
+}
+
+}  // namespace taste::eval

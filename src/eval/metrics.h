@@ -1,0 +1,58 @@
+// Multi-label evaluation metrics.
+//
+// Micro-averaged precision/recall/F1 over (column, type) decisions, as in
+// Sherlock/TURL/Doduo evaluations. The background type `type:null` encodes
+// "no semantic type" and is excluded from the TP/FP/FN accounting: a column
+// whose truth and prediction are both empty (or type:null) contributes
+// nothing, and wrongly predicting a concrete type for it counts as FP.
+
+#ifndef TASTE_EVAL_METRICS_H_
+#define TASTE_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "core/detection_result.h"
+#include "data/dataset.h"
+
+namespace taste::eval {
+
+/// Aggregated scores.
+struct PrfScores {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  int64_t tp = 0;
+  int64_t fp = 0;
+  int64_t fn = 0;
+};
+
+/// Streaming accumulator of micro P/R/F1.
+class MetricsAccumulator {
+ public:
+  explicit MetricsAccumulator(int null_type_id) : null_type_id_(null_type_id) {}
+
+  /// Adds one column's truth/prediction label sets.
+  void AddColumn(const std::vector<int>& truth, const std::vector<int>& pred);
+
+  /// Adds all columns of one table result, aligned to ground truth by
+  /// column ordinal.
+  void AddTable(const data::TableSpec& truth_table,
+                const core::TableDetectionResult& result);
+
+  PrfScores Compute() const;
+
+ private:
+  int null_type_id_;
+  int64_t tp_ = 0;
+  int64_t fp_ = 0;
+  int64_t fn_ = 0;
+};
+
+/// One-shot convenience over parallel per-column label vectors.
+PrfScores MicroPrf(const std::vector<std::vector<int>>& truth,
+                   const std::vector<std::vector<int>>& pred,
+                   int null_type_id);
+
+}  // namespace taste::eval
+
+#endif  // TASTE_EVAL_METRICS_H_

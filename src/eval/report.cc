@@ -1,0 +1,55 @@
+#include "eval/report.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace taste::eval {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  TASTE_CHECK(!headers_.empty());
+}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  TASTE_CHECK_MSG(cells.size() == headers_.size(), "row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::AddSeparator() { rows_.emplace_back(); }
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto rule = [&widths] {
+    std::string s = "+";
+    for (size_t w : widths) s += std::string(w + 2, '-') + "+";
+    return s + "\n";
+  };
+  auto render = [&widths](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (size_t i = 0; i < widths.size(); ++i) {
+      std::string c = i < cells.size() ? cells[i] : "";
+      s += " " + c + std::string(widths[i] - c.size(), ' ') + " |";
+    }
+    return s + "\n";
+  };
+  std::string out = rule() + render(headers_) + rule();
+  for (const auto& row : rows_) {
+    out += row.empty() ? rule() : render(row);
+  }
+  out += rule();
+  return out;
+}
+
+std::string SectionHeader(const std::string& title) {
+  std::string bar(title.size() + 4, '=');
+  return "\n" + bar + "\n| " + title + " |\n" + bar + "\n";
+}
+
+}  // namespace taste::eval

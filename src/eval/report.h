@@ -1,0 +1,33 @@
+// Plain-text table rendering for the benchmark binaries that regenerate
+// the paper's tables and figures.
+
+#ifndef TASTE_EVAL_REPORT_H_
+#define TASTE_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace taste::eval {
+
+/// Monospace text table with auto-sized columns.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  /// Inserts a horizontal separator before the next row.
+  void AddSeparator();
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;  // empty row = separator
+};
+
+/// Renders a titled section header for bench output.
+std::string SectionHeader(const std::string& title);
+
+}  // namespace taste::eval
+
+#endif  // TASTE_EVAL_REPORT_H_

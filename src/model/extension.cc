@@ -1,0 +1,75 @@
+#include "model/extension.h"
+
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace taste::model {
+
+namespace {
+
+/// Copies an old classifier output parameter into its grown counterpart.
+/// Weights are (in, out_types) row-major: per input row, the first
+/// old_types entries are copied. Biases are (out_types).
+void CopyGrownOutput(const tensor::Tensor& old_p, tensor::Tensor& new_p,
+                     int64_t old_types, int64_t new_types) {
+  if (old_p.rank() == 2) {
+    int64_t in = old_p.dim(0);
+    TASTE_CHECK(new_p.dim(0) == in && old_p.dim(1) == old_types &&
+                new_p.dim(1) == new_types);
+    for (int64_t r = 0; r < in; ++r) {
+      std::memcpy(new_p.data() + r * new_types, old_p.data() + r * old_types,
+                  sizeof(float) * static_cast<size_t>(old_types));
+    }
+  } else {
+    TASTE_CHECK(old_p.rank() == 1 && old_p.dim(0) == old_types &&
+                new_p.dim(0) == new_types);
+    std::memcpy(new_p.data(), old_p.data(),
+                sizeof(float) * static_cast<size_t>(old_types));
+  }
+}
+
+bool IsClassifierOutput(const std::string& name) {
+  return EndsWith(name, "_clf.out.weight") || EndsWith(name, "_clf.out.bias");
+}
+
+}  // namespace
+
+Result<std::unique_ptr<AdtdModel>> ExtendAdtdModel(const AdtdModel& old_model,
+                                                   int new_num_types,
+                                                   Rng& rng) {
+  const AdtdConfig& old_cfg = old_model.config();
+  if (new_num_types <= old_cfg.num_types) {
+    return Status::Invalid(
+        "ExtendAdtdModel: new_num_types must exceed the current type count");
+  }
+  AdtdConfig new_cfg = old_cfg;
+  new_cfg.num_types = new_num_types;
+  auto extended = std::make_unique<AdtdModel>(new_cfg, rng);
+
+  auto old_params = old_model.NamedParameters();
+  auto new_params = extended->NamedParameters();
+  if (old_params.size() != new_params.size()) {
+    return Status::Internal("parameter tree mismatch during extension");
+  }
+  for (size_t i = 0; i < old_params.size(); ++i) {
+    const auto& [old_name, old_p] = old_params[i];
+    auto& [new_name, new_p] = new_params[i];
+    if (old_name != new_name) {
+      return Status::Internal("parameter name mismatch: " + old_name +
+                              " vs " + new_name);
+    }
+    if (IsClassifierOutput(old_name)) {
+      CopyGrownOutput(old_p, new_p, old_cfg.num_types, new_num_types);
+    } else {
+      if (old_p.shape() != new_p.shape()) {
+        return Status::Internal("unexpected shape change in " + old_name);
+      }
+      std::memcpy(new_p.data(), old_p.data(),
+                  sizeof(float) * static_cast<size_t>(old_p.numel()));
+    }
+  }
+  return extended;
+}
+
+}  // namespace taste::model

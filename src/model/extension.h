@@ -1,0 +1,37 @@
+// Domain-set evolution (paper Sec. 8, first future-work direction):
+// efficiently accommodating NEW semantic types after a model is deployed,
+// without retraining the encoder from scratch.
+//
+// Mechanics: the encoder towers are type-agnostic — only the two classifier
+// heads have a per-type output row. ExtendAdtdModel() builds a model with a
+// larger type space, transplants every shared parameter, copies the
+// existing classifier outputs for old types, and freshly initializes the
+// rows of the new types. A classifier-only fine-tune (
+// FineTuneOptions::classifier_only) then teaches the new rows from a small
+// amount of labeled data while the encoder — and therefore every old
+// type's representation — stays frozen.
+
+#ifndef TASTE_MODEL_EXTENSION_H_
+#define TASTE_MODEL_EXTENSION_H_
+
+#include <memory>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "model/adtd.h"
+
+namespace taste::model {
+
+/// Builds an ADTD model whose type space grew from old.config().num_types
+/// to `new_num_types`. All encoder/embedding parameters and the classifier
+/// weights of the existing types are copied; new-type classifier rows are
+/// initialized with N(0, 0.02^2) weights and zero bias. Local type ids of
+/// existing types are preserved (new ids are appended), matching
+/// data::TypeRemap::Extend.
+Result<std::unique_ptr<AdtdModel>> ExtendAdtdModel(const AdtdModel& old_model,
+                                                   int new_num_types,
+                                                   Rng& rng);
+
+}  // namespace taste::model
+
+#endif  // TASTE_MODEL_EXTENSION_H_

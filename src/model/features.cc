@@ -1,0 +1,131 @@
+#include "model/features.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace taste::model {
+
+namespace {
+
+/// Parses the declared width out of e.g. "varchar(255)"; 0 if absent.
+int DeclaredWidth(const std::string& sql_type) {
+  size_t open = sql_type.find('(');
+  if (open == std::string::npos) return 0;
+  return std::atoi(sql_type.c_str() + open + 1);
+}
+
+float Clamp01(double x) {
+  if (x < 0) return 0.0f;
+  if (x > 1) return 1.0f;
+  return static_cast<float>(x);
+}
+
+bool ParseNumeric(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+SqlTypeCategory CategorizeSqlType(const std::string& sql_type) {
+  std::string t = ToLowerAscii(sql_type);
+  if (StartsWith(t, "tinyint") || StartsWith(t, "smallint") ||
+      StartsWith(t, "int") || StartsWith(t, "bigint")) {
+    return SqlTypeCategory::kInteger;
+  }
+  if (StartsWith(t, "decimal") || StartsWith(t, "double") ||
+      StartsWith(t, "float") || StartsWith(t, "numeric")) {
+    return SqlTypeCategory::kDecimal;
+  }
+  if (StartsWith(t, "datetime") || StartsWith(t, "timestamp")) {
+    return SqlTypeCategory::kDatetime;
+  }
+  if (StartsWith(t, "date")) return SqlTypeCategory::kDate;
+  if (StartsWith(t, "time")) return SqlTypeCategory::kTime;
+  if (StartsWith(t, "char") || StartsWith(t, "varchar")) {
+    return DeclaredWidth(t) > 64 ? SqlTypeCategory::kLongText
+                                 : SqlTypeCategory::kShortChar;
+  }
+  if (StartsWith(t, "text") || StartsWith(t, "blob")) {
+    return SqlTypeCategory::kLongText;
+  }
+  return SqlTypeCategory::kOther;
+}
+
+NonTextualFeatures ComputeFeatures(const clouddb::ColumnMetadata& column,
+                                   int64_t table_rows, bool use_histogram) {
+  NonTextualFeatures f;
+  auto& v = f.values;
+  int i = 0;
+  // [0..7] SQL type one-hot.
+  v[i + static_cast<int>(CategorizeSqlType(column.data_type))] = 1.0f;
+  i += static_cast<int>(SqlTypeCategory::kNumCategories);
+  // [8] log-scaled table size.
+  v[i++] = static_cast<float>(std::log1p(static_cast<double>(table_rows)) / 15.0);
+  // [9] distinct ratio.
+  v[i++] = table_rows > 0
+               ? Clamp01(static_cast<double>(column.num_distinct) /
+                         static_cast<double>(table_rows))
+               : 0.0f;
+  // [10] null fraction.
+  v[i++] = Clamp01(column.null_fraction);
+  // [11] average value length (normalized).
+  v[i++] = Clamp01(column.avg_length / 64.0);
+  // [12] nullable flag.
+  v[i++] = column.nullable ? 1.0f : 0.0f;
+  // [13,14] min/max parse as numeric + normalized magnitude.
+  double num = 0;
+  bool min_numeric = ParseNumeric(column.min_value, &num);
+  v[i++] = min_numeric ? 1.0f : 0.0f;
+  v[i++] = min_numeric
+               ? static_cast<float>(std::tanh(std::log1p(std::fabs(num)) / 10))
+               : 0.0f;
+  // [15] ordinal position (normalized).
+  v[i++] = Clamp01(column.ordinal / 32.0);
+
+  // Histogram block [16..23].
+  const int hist_base = i;
+  if (use_histogram && column.histogram.has_value()) {
+    const clouddb::Histogram& h = *column.histogram;
+    v[hist_base + 0] = 1.0f;  // histogram present
+    v[hist_base + 1] =
+        h.kind == clouddb::Histogram::Kind::kEquiWidth ? 1.0f : 0.0f;
+    if (h.kind == clouddb::Histogram::Kind::kEquiWidth) {
+      // Entropy of bucket frequencies, normalized by log(#buckets).
+      double entropy = 0;
+      for (double p : h.frequencies) {
+        if (p > 0) entropy -= p * std::log(p);
+      }
+      double max_ent = std::log(std::max<size_t>(h.frequencies.size(), 2));
+      v[hist_base + 2] = Clamp01(entropy / max_ent);
+      // Numeric range magnitude.
+      if (h.bounds.size() >= 2) {
+        double range = h.bounds.back() - h.bounds.front();
+        v[hist_base + 3] =
+            static_cast<float>(std::tanh(std::log1p(std::fabs(range)) / 12));
+        v[hist_base + 4] = h.bounds.front() < 0 ? 1.0f : 0.0f;
+      }
+      // Peak bucket concentration.
+      double peak = 0;
+      for (double p : h.frequencies) peak = std::max(peak, p);
+      v[hist_base + 5] = Clamp01(peak);
+    } else {
+      // Categorical: concentration of the most frequent value and the
+      // effective number of listed values.
+      if (!h.top_values.empty()) {
+        v[hist_base + 6] = Clamp01(h.top_values[0].second);
+        v[hist_base + 7] =
+            Clamp01(static_cast<double>(h.top_values.size()) / 16.0);
+      }
+    }
+  }
+  return f;
+}
+
+}  // namespace taste::model

@@ -1,0 +1,47 @@
+// Non-textual metadata features M_n^c (paper Sec. 4.1/4.3): raw data type,
+// native statistics, and optional histogram characteristics, flattened into
+// a fixed-size float vector that is concatenated to the latent
+// representations at the classifier inputs.
+
+#ifndef TASTE_MODEL_FEATURES_H_
+#define TASTE_MODEL_FEATURES_H_
+
+#include <array>
+
+#include "clouddb/database.h"
+
+namespace taste::model {
+
+/// Fixed-size non-textual feature vector for one column.
+struct NonTextualFeatures {
+  static constexpr int kDim = 24;
+  std::array<float, kDim> values{};
+};
+
+/// SQL type categories used for the one-hot block of the feature vector.
+enum class SqlTypeCategory {
+  kInteger = 0,
+  kDecimal,
+  kShortChar,   // char/varchar with small declared width
+  kLongText,    // wide varchar or text
+  kDate,
+  kTime,
+  kDatetime,
+  kOther,
+  kNumCategories,
+};
+
+/// Categorizes a declared SQL type string like "varchar(20)" or "int".
+SqlTypeCategory CategorizeSqlType(const std::string& sql_type);
+
+/// Computes M_n^c from information_schema metadata. Histogram-derived
+/// features are populated only when `use_histogram` is set and the column
+/// has one (i.e. ANALYZE TABLE ran); otherwise the histogram block is zero
+/// with a "missing" indicator, so the same model can run with or without
+/// histograms.
+NonTextualFeatures ComputeFeatures(const clouddb::ColumnMetadata& column,
+                                   int64_t table_rows, bool use_histogram);
+
+}  // namespace taste::model
+
+#endif  // TASTE_MODEL_FEATURES_H_

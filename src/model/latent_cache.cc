@@ -1,0 +1,53 @@
+#include "model/latent_cache.h"
+
+namespace taste::model {
+
+LatentCache::LatentCache(size_t capacity) : capacity_(capacity) {
+  TASTE_CHECK(capacity_ > 0);
+}
+
+void LatentCache::Put(const std::string& key, CachedMetadata value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  lru_.emplace_front(key, std::move(value));
+  index_[key] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+std::optional<CachedMetadata> LatentCache::Get(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->second;
+}
+
+void LatentCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+size_t LatentCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+LatentCache::Stats LatentCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace taste::model

@@ -1,0 +1,62 @@
+// The latent cache of the metadata tower (paper Sec. 4.2.2): stores the
+// per-layer metadata latent representations computed during P1 so that P2's
+// content tower reuses them instead of re-encoding the metadata sequence.
+//
+// Keyed by table-chunk identity; bounded LRU; thread-safe (P1 and P2
+// inference stages may run on different pool threads).
+
+#ifndef TASTE_MODEL_LATENT_CACHE_H_
+#define TASTE_MODEL_LATENT_CACHE_H_
+
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "model/adtd.h"
+
+namespace taste::model {
+
+/// One cached unit: the encoded metadata input (needed to rebuild masks and
+/// gather features in P2) plus everything the metadata tower produced.
+struct CachedMetadata {
+  EncodedMetadata input;
+  AdtdModel::MetadataEncoding encoding;
+};
+
+/// Bounded LRU cache of metadata-tower latents.
+class LatentCache {
+ public:
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t evictions = 0;
+  };
+
+  explicit LatentCache(size_t capacity = 4096);
+
+  /// Inserts (or refreshes) an entry. Tensors are shared, not copied.
+  void Put(const std::string& key, CachedMetadata value);
+
+  /// Returns the entry and marks it most-recently-used, or nullopt.
+  std::optional<CachedMetadata> Get(const std::string& key);
+
+  /// Removes everything.
+  void Clear();
+
+  size_t size() const;
+  Stats stats() const;
+
+ private:
+  size_t capacity_;
+  mutable std::mutex mu_;
+  // LRU list: front = most recent. Map values point into the list.
+  std::list<std::pair<std::string, CachedMetadata>> lru_;
+  std::unordered_map<std::string, decltype(lru_)::iterator> index_;
+  Stats stats_;
+};
+
+}  // namespace taste::model
+
+#endif  // TASTE_MODEL_LATENT_CACHE_H_

@@ -1,0 +1,90 @@
+// Elementary trainable layers: Linear, Embedding, LayerNorm, Dropout, and a
+// two-layer MLP classifier head.
+
+#ifndef TASTE_NN_LAYERS_H_
+#define TASTE_NN_LAYERS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/module.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace taste::nn {
+
+using tensor::Tensor;
+
+/// Affine layer y = x W + b, weight shaped (in, out).
+class Linear : public Module {
+ public:
+  /// Initializes the weight with N(0, 0.02^2) (BERT-style) and zero bias.
+  Linear(int64_t in_features, int64_t out_features, Rng& rng);
+
+  /// x is (n, in) -> (n, out).
+  Tensor Forward(const Tensor& x) const;
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  Tensor weight_;
+  Tensor bias_;
+};
+
+/// Token-id to dense-vector table.
+class Embedding : public Module {
+ public:
+  Embedding(int64_t vocab_size, int64_t dim, Rng& rng);
+
+  /// ids (length n, each in [0, vocab)) -> (n, dim).
+  Tensor Forward(const std::vector<int>& ids) const;
+
+  int64_t vocab_size() const { return vocab_size_; }
+  int64_t dim() const { return dim_; }
+  /// Raw table (vocab, dim); exposed for weight tying in the MLM head.
+  const Tensor& weight() const { return weight_; }
+
+ private:
+  int64_t vocab_size_;
+  int64_t dim_;
+  Tensor weight_;
+};
+
+/// Layer normalization over the last dimension with learned affine.
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(int64_t dim);
+
+  Tensor Forward(const Tensor& x) const;
+
+ private:
+  Tensor gamma_;
+  Tensor beta_;
+};
+
+/// Two-layer MLP head: Linear -> ReLU -> Linear, producing logits.
+///
+/// The paper's classifier networks (Sec. 4.3) use a ReLU hidden layer and a
+/// sigmoid output; here the sigmoid lives in the loss / inference path, so
+/// Forward returns logits.
+class MlpClassifier : public Module {
+ public:
+  MlpClassifier(int64_t in_features, int64_t hidden, int64_t num_labels,
+                Rng& rng);
+
+  /// x (n, in) -> logits (n, num_labels).
+  Tensor Forward(const Tensor& x) const;
+
+  int64_t num_labels() const { return out_.out_features(); }
+
+ private:
+  Linear hidden_;
+  Linear out_;
+};
+
+}  // namespace taste::nn
+
+#endif  // TASTE_NN_LAYERS_H_

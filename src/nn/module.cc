@@ -1,0 +1,47 @@
+#include "nn/module.h"
+
+#include "common/status.h"
+
+namespace taste::nn {
+
+std::vector<std::pair<std::string, tensor::Tensor>> Module::NamedParameters()
+    const {
+  std::vector<std::pair<std::string, tensor::Tensor>> out = params_;
+  for (const auto& [name, child] : children_) {
+    for (const auto& [pname, p] : child->NamedParameters()) {
+      out.emplace_back(name + "." + pname, p);
+    }
+  }
+  return out;
+}
+
+std::vector<tensor::Tensor> Module::Parameters() const {
+  std::vector<tensor::Tensor> out;
+  for (const auto& [name, p] : NamedParameters()) out.push_back(p);
+  return out;
+}
+
+int64_t Module::ParameterCount() const {
+  int64_t n = 0;
+  for (const auto& p : Parameters()) n += p.numel();
+  return n;
+}
+
+void Module::SetTraining(bool training) {
+  training_ = training;
+  for (auto& [name, child] : children_) child->SetTraining(training);
+}
+
+tensor::Tensor Module::RegisterParameter(std::string name, tensor::Tensor t) {
+  TASTE_CHECK(t.defined());
+  TASTE_CHECK_MSG(t.requires_grad(), "parameters must require grad: " + name);
+  params_.emplace_back(std::move(name), t);
+  return t;
+}
+
+void Module::RegisterModule(std::string name, Module* child) {
+  TASTE_CHECK(child != nullptr && child != this);
+  children_.emplace_back(std::move(name), child);
+}
+
+}  // namespace taste::nn

@@ -1,0 +1,59 @@
+// Module base class: hierarchical parameter registration, in the spirit of
+// torch::nn::Module, over taste::tensor::Tensor parameters.
+
+#ifndef TASTE_NN_MODULE_H_
+#define TASTE_NN_MODULE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace taste::nn {
+
+/// Base class for neural-network building blocks.
+///
+/// Subclasses register their parameter tensors (RegisterParameter) and
+/// child modules (RegisterModule) in their constructor; NamedParameters()
+/// then walks the tree producing "child.param"-style names used by the
+/// optimizer and the checkpoint (de)serializer.
+///
+/// Modules are not copyable: parameters are shared tensors and an implicit
+/// copy would silently alias them.
+class Module {
+ public:
+  Module() = default;
+  virtual ~Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All parameters in registration order with hierarchical names.
+  std::vector<std::pair<std::string, tensor::Tensor>> NamedParameters() const;
+
+  /// All parameters in registration order.
+  std::vector<tensor::Tensor> Parameters() const;
+
+  /// Total number of scalar parameters.
+  int64_t ParameterCount() const;
+
+  /// Sets `training` mode recursively (affects dropout).
+  void SetTraining(bool training);
+  bool training() const { return training_; }
+
+ protected:
+  /// Registers and returns a parameter tensor (sets requires_grad).
+  tensor::Tensor RegisterParameter(std::string name, tensor::Tensor t);
+  /// Registers a child whose parameters are reported under `name.`.
+  /// The child must outlive this module (typically a member).
+  void RegisterModule(std::string name, Module* child);
+
+ private:
+  std::vector<std::pair<std::string, tensor::Tensor>> params_;
+  std::vector<std::pair<std::string, Module*>> children_;
+  bool training_ = false;
+};
+
+}  // namespace taste::nn
+
+#endif  // TASTE_NN_MODULE_H_

@@ -1,0 +1,155 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+namespace taste::nn {
+
+namespace {
+
+constexpr char kMagic[8] = {'T', 'S', 'T', 'C', 'K', 'P', 'T', '1'};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+template <typename T>
+bool WritePod(std::FILE* f, const T& v) {
+  return std::fwrite(&v, sizeof(T), 1, f) == 1;
+}
+
+template <typename T>
+bool ReadPod(std::FILE* f, T* v) {
+  return std::fread(v, sizeof(T), 1, f) == 1;
+}
+
+}  // namespace
+
+Status SaveCheckpoint(const Module& module, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return Status::IOError("cannot open for write: " + path);
+  auto params = module.NamedParameters();
+  if (std::fwrite(kMagic, 1, 8, f.get()) != 8) {
+    return Status::IOError("write failed: " + path);
+  }
+  uint64_t count = params.size();
+  if (!WritePod(f.get(), count)) return Status::IOError("write failed");
+  for (const auto& [name, p] : params) {
+    uint32_t name_len = static_cast<uint32_t>(name.size());
+    if (!WritePod(f.get(), name_len)) return Status::IOError("write failed");
+    if (std::fwrite(name.data(), 1, name_len, f.get()) != name_len) {
+      return Status::IOError("write failed");
+    }
+    uint32_t rank = static_cast<uint32_t>(p.shape().size());
+    if (!WritePod(f.get(), rank)) return Status::IOError("write failed");
+    for (int64_t d : p.shape()) {
+      uint64_t du = static_cast<uint64_t>(d);
+      if (!WritePod(f.get(), du)) return Status::IOError("write failed");
+    }
+    size_t n = static_cast<size_t>(p.numel());
+    if (std::fwrite(p.data(), sizeof(float), n, f.get()) != n) {
+      return Status::IOError("write failed");
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::map<std::string, tensor::Tensor>> ReadCheckpoint(
+    const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IOError("cannot open for read: " + path);
+  char magic[8];
+  if (std::fread(magic, 1, 8, f.get()) != 8 ||
+      std::memcmp(magic, kMagic, 8) != 0) {
+    return Status::Invalid("bad checkpoint magic: " + path);
+  }
+  uint64_t count = 0;
+  if (!ReadPod(f.get(), &count)) return Status::IOError("truncated header");
+  std::map<std::string, tensor::Tensor> out;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t name_len = 0;
+    if (!ReadPod(f.get(), &name_len)) return Status::IOError("truncated");
+    std::string name(name_len, '\0');
+    if (std::fread(name.data(), 1, name_len, f.get()) != name_len) {
+      return Status::IOError("truncated name");
+    }
+    uint32_t rank = 0;
+    if (!ReadPod(f.get(), &rank)) return Status::IOError("truncated rank");
+    if (rank > 8) return Status::Invalid("implausible rank in checkpoint");
+    tensor::Shape shape(rank);
+    for (uint32_t d = 0; d < rank; ++d) {
+      uint64_t du = 0;
+      if (!ReadPod(f.get(), &du)) return Status::IOError("truncated dims");
+      shape[d] = static_cast<int64_t>(du);
+    }
+    size_t n = static_cast<size_t>(tensor::NumElements(shape));
+    std::vector<float> data(n);
+    if (std::fread(data.data(), sizeof(float), n, f.get()) != n) {
+      return Status::IOError("truncated tensor data");
+    }
+    if (out.count(name) != 0) {
+      return Status::Invalid("duplicate parameter name: " + name);
+    }
+    out.emplace(name, tensor::Tensor::FromVector(shape, std::move(data)));
+  }
+  return out;
+}
+
+Status LoadCheckpoint(Module* module, const std::string& path) {
+  TASTE_CHECK(module != nullptr);
+  TASTE_ASSIGN_OR_RETURN(auto stored, ReadCheckpoint(path));
+  auto params = module->NamedParameters();
+  if (params.size() != stored.size()) {
+    return Status::Invalid(
+        "parameter count mismatch: model has " +
+        std::to_string(params.size()) + ", checkpoint has " +
+        std::to_string(stored.size()));
+  }
+  for (auto& [name, p] : params) {
+    auto it = stored.find(name);
+    if (it == stored.end()) {
+      return Status::NotFound("checkpoint missing parameter: " + name);
+    }
+    if (it->second.shape() != p.shape()) {
+      return Status::Invalid("shape mismatch for " + name + ": model " +
+                             tensor::ShapeToString(p.shape()) +
+                             " vs checkpoint " +
+                             tensor::ShapeToString(it->second.shape()));
+    }
+    std::memcpy(p.data(), it->second.data(),
+                sizeof(float) * static_cast<size_t>(p.numel()));
+  }
+  return Status::OK();
+}
+
+Status CopyParameters(const Module& src, Module* dst) {
+  TASTE_CHECK(dst != nullptr);
+  auto src_params = src.NamedParameters();
+  auto dst_params = dst->NamedParameters();
+  if (src_params.size() != dst_params.size()) {
+    return Status::Invalid("parameter count mismatch in CopyParameters");
+  }
+  for (size_t i = 0; i < src_params.size(); ++i) {
+    if (src_params[i].first != dst_params[i].first) {
+      return Status::Invalid("parameter name mismatch: " +
+                             src_params[i].first + " vs " +
+                             dst_params[i].first);
+    }
+    if (src_params[i].second.shape() != dst_params[i].second.shape()) {
+      return Status::Invalid("parameter shape mismatch: " +
+                             src_params[i].first);
+    }
+    std::memcpy(dst_params[i].second.data(), src_params[i].second.data(),
+                sizeof(float) *
+                    static_cast<size_t>(src_params[i].second.numel()));
+  }
+  return Status::OK();
+}
+
+}  // namespace taste::nn

@@ -1,0 +1,40 @@
+// Checkpoint (de)serialization for Module parameter trees.
+//
+// Format (little-endian): magic "TSTCKPT1", u64 param count, then per
+// parameter: u32 name length, name bytes, u32 rank, u64 dims..., float data.
+// Loading matches by name and verifies shapes, so a checkpoint written from
+// one model instance can initialize another with the same architecture —
+// the paper's "initialize from the pre-trained checkpoint" step (Sec. 6.1.3).
+
+#ifndef TASTE_NN_SERIALIZE_H_
+#define TASTE_NN_SERIALIZE_H_
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace taste::nn {
+
+/// Writes all named parameters of `module` to `path`.
+Status SaveCheckpoint(const Module& module, const std::string& path);
+
+/// Loads parameters from `path` into `module` (matched by name).
+/// Fails if a stored name is missing in the module, a module parameter is
+/// missing in the file, or shapes disagree.
+Status LoadCheckpoint(Module* module, const std::string& path);
+
+/// Copies every parameter value from `src` into `dst`; both must expose the
+/// same names and shapes. Used to transplant pre-trained encoder weights
+/// into a fresh model without touching the filesystem.
+Status CopyParameters(const Module& src, Module* dst);
+
+/// Parses a checkpoint file into name -> tensor (for tests/inspection).
+Result<std::map<std::string, tensor::Tensor>> ReadCheckpoint(
+    const std::string& path);
+
+}  // namespace taste::nn
+
+#endif  // TASTE_NN_SERIALIZE_H_

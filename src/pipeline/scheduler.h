@@ -1,0 +1,71 @@
+// Pipelined execution of the TASTE framework — Algorithm 1 of the paper.
+//
+// Each table contributes four stages, in order:
+//   P1-prep (S1, I/O+CPU) -> P1-infer (S2, "GPU") ->
+//   P2-prep (S1)          -> P2-infer (S2)
+// with P2 stages skipped when P1 decided every column.
+//
+// Two thread pools process the two stage kinds: TP1 runs data-preparation
+// stages (they block on simulated network latency), TP2 runs inference
+// stages (they burn compute). The scheduler repeatedly polls the first
+// ELIGIBLE stage of the right kind — a stage is eligible when all previous
+// stages of the same table have finished — and dispatches it whenever its
+// pool has a free slot, exactly as in the paper's pseudocode. Multiple
+// tables are therefore in flight simultaneously, overlapping I/O waits
+// with inference.
+
+#ifndef TASTE_PIPELINE_SCHEDULER_H_
+#define TASTE_PIPELINE_SCHEDULER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "clouddb/database.h"
+#include "common/thread_pool.h"
+#include "core/taste_detector.h"
+
+namespace taste::pipeline {
+
+struct PipelineOptions {
+  int prep_threads = 2;   // |TP1|
+  int infer_threads = 2;  // |TP2|
+  bool pipelined = true;  // false = paper's "sequential mode" baseline
+};
+
+/// Timing/throughput of one Run().
+struct PipelineRunStats {
+  double wall_ms = 0.0;
+  int tables_processed = 0;
+  int tables_entered_p2 = 0;
+};
+
+/// Runs a batch of tables (from one database, reusing its connections)
+/// through a TasteDetector, pipelined or sequentially.
+class PipelineExecutor {
+ public:
+  PipelineExecutor(const core::TasteDetector* detector,
+                   clouddb::SimulatedDatabase* db, PipelineOptions options);
+
+  /// Processes the batch; results are returned in input order.
+  Result<std::vector<core::TableDetectionResult>> Run(
+      const std::vector<std::string>& table_names);
+
+  /// Stats of the most recent Run().
+  const PipelineRunStats& stats() const { return stats_; }
+
+ private:
+  Result<std::vector<core::TableDetectionResult>> RunSequential(
+      const std::vector<std::string>& table_names);
+  Result<std::vector<core::TableDetectionResult>> RunPipelined(
+      const std::vector<std::string>& table_names);
+
+  const core::TasteDetector* detector_;
+  clouddb::SimulatedDatabase* db_;
+  PipelineOptions options_;
+  PipelineRunStats stats_;
+};
+
+}  // namespace taste::pipeline
+
+#endif  // TASTE_PIPELINE_SCHEDULER_H_

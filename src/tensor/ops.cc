@@ -1,0 +1,868 @@
+#include "tensor/ops.h"
+
+#include "common/fpu.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace taste::tensor {
+
+namespace {
+
+using internal::TensorImpl;
+
+std::shared_ptr<TensorImpl> NewImpl(Shape shape) {
+  // Subnormal floats cripple throughput on x86 (see common/fpu.h); arm
+  // flush-to-zero once per thread that performs tensor math.
+  thread_local FlushDenormalsScope flush_denormals;
+  auto impl = std::make_shared<TensorImpl>();
+  impl->data.assign(static_cast<size_t>(NumElements(shape)), 0.0f);
+  impl->shape = std::move(shape);
+  return impl;
+}
+
+bool AnyRequiresGrad(std::initializer_list<const Tensor*> ts) {
+  for (const Tensor* t : ts) {
+    if (t->defined() && t->requires_grad()) return true;
+  }
+  return false;
+}
+
+/// Registers the autograd edge on `out` if recording is active.
+void SetEdge(const std::shared_ptr<TensorImpl>& out,
+             std::initializer_list<const Tensor*> inputs,
+             std::function<void()> backward) {
+  if (!GradEnabled() || !AnyRequiresGrad(inputs)) return;
+  out->requires_grad = true;
+  out->backward = std::move(backward);
+  for (const Tensor* t : inputs) out->parents.push_back(t->impl());
+}
+
+/// C += op(A) * op(B) where op(A) is (m,k) and op(B) is (k,n).
+/// If trans_a, A is stored as (k,m); if trans_b, B is stored as (n,k).
+void GemmAcc(const float* a, const float* b, float* c, int64_t m, int64_t n,
+             int64_t k, bool trans_a, bool trans_b) {
+  if (!trans_a && !trans_b) {
+    for (int64_t i = 0; i < m; ++i) {
+      float* crow = c + i * n;
+      const float* arow = a + i * k;
+      for (int64_t p = 0; p < k; ++p) {
+        float av = arow[p];
+        const float* brow = b + p * n;
+        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  } else if (!trans_a && trans_b) {
+    for (int64_t i = 0; i < m; ++i) {
+      const float* arow = a + i * k;
+      float* crow = c + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        const float* brow = b + j * k;
+        float acc = 0.0f;
+        for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+        crow[j] += acc;
+      }
+    }
+  } else if (trans_a && !trans_b) {
+    for (int64_t p = 0; p < k; ++p) {
+      const float* arow = a + p * m;
+      const float* brow = b + p * n;
+      for (int64_t i = 0; i < m; ++i) {
+        float av = arow[i];
+        float* crow = c + i * n;
+        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  } else {  // trans_a && trans_b
+    for (int64_t i = 0; i < m; ++i) {
+      float* crow = c + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        const float* brow = b + j * k;
+        float acc = 0.0f;
+        for (int64_t p = 0; p < k; ++p) acc += a[p * m + i] * brow[p];
+        crow[j] += acc;
+      }
+    }
+  }
+}
+
+/// Generic unary elementwise op: y = f(x), dx += df(x, y) * dy.
+template <typename F, typename DF>
+Tensor UnaryOp(const Tensor& x, F f, DF df) {
+  auto out = NewImpl(x.shape());
+  const float* xd = x.data();
+  for (int64_t i = 0; i < x.numel(); ++i) out->data[i] = f(xd[i]);
+  auto xi = x.impl();
+  internal::TensorImpl* oi = out.get();
+  SetEdge(out, {&x}, [xi, oi, df] {
+    if (!xi->requires_grad) return;
+    auto& xg = xi->MutableGrad();
+    const auto& og = oi->MutableGrad();
+    for (size_t i = 0; i < xg.size(); ++i) {
+      xg[i] += df(xi->data[i], oi->data[i]) * og[i];
+    }
+  });
+  return Tensor(out);
+}
+
+void CheckSameShape(const Tensor& a, const Tensor& b, const char* op) {
+  TASTE_CHECK_MSG(a.shape() == b.shape(),
+                  std::string(op) + " shape mismatch: " +
+                      ShapeToString(a.shape()) + " vs " +
+                      ShapeToString(b.shape()));
+}
+
+}  // namespace
+
+// -- Elementwise --------------------------------------------------------------
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Add");
+  auto out = NewImpl(a.shape());
+  const float* ad = a.data();
+  const float* bd = b.data();
+  for (int64_t i = 0; i < a.numel(); ++i) out->data[i] = ad[i] + bd[i];
+  auto ai = a.impl();
+  auto bi = b.impl();
+  internal::TensorImpl* oi = out.get();
+  SetEdge(out, {&a, &b}, [ai, bi, oi] {
+    const auto& og = oi->MutableGrad();
+    if (ai->requires_grad) {
+      auto& g = ai->MutableGrad();
+      for (size_t i = 0; i < g.size(); ++i) g[i] += og[i];
+    }
+    if (bi->requires_grad) {
+      auto& g = bi->MutableGrad();
+      for (size_t i = 0; i < g.size(); ++i) g[i] += og[i];
+    }
+  });
+  return Tensor(out);
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Sub");
+  auto out = NewImpl(a.shape());
+  const float* ad = a.data();
+  const float* bd = b.data();
+  for (int64_t i = 0; i < a.numel(); ++i) out->data[i] = ad[i] - bd[i];
+  auto ai = a.impl();
+  auto bi = b.impl();
+  internal::TensorImpl* oi = out.get();
+  SetEdge(out, {&a, &b}, [ai, bi, oi] {
+    const auto& og = oi->MutableGrad();
+    if (ai->requires_grad) {
+      auto& g = ai->MutableGrad();
+      for (size_t i = 0; i < g.size(); ++i) g[i] += og[i];
+    }
+    if (bi->requires_grad) {
+      auto& g = bi->MutableGrad();
+      for (size_t i = 0; i < g.size(); ++i) g[i] -= og[i];
+    }
+  });
+  return Tensor(out);
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Mul");
+  auto out = NewImpl(a.shape());
+  const float* ad = a.data();
+  const float* bd = b.data();
+  for (int64_t i = 0; i < a.numel(); ++i) out->data[i] = ad[i] * bd[i];
+  auto ai = a.impl();
+  auto bi = b.impl();
+  internal::TensorImpl* oi = out.get();
+  SetEdge(out, {&a, &b}, [ai, bi, oi] {
+    const auto& og = oi->MutableGrad();
+    if (ai->requires_grad) {
+      auto& g = ai->MutableGrad();
+      for (size_t i = 0; i < g.size(); ++i) g[i] += bi->data[i] * og[i];
+    }
+    if (bi->requires_grad) {
+      auto& g = bi->MutableGrad();
+      for (size_t i = 0; i < g.size(); ++i) g[i] += ai->data[i] * og[i];
+    }
+  });
+  return Tensor(out);
+}
+
+Tensor Scale(const Tensor& x, float s) {
+  return UnaryOp(
+      x, [s](float v) { return v * s; },
+      [s](float, float) { return s; });
+}
+
+Tensor AddScalar(const Tensor& x, float c) {
+  return UnaryOp(
+      x, [c](float v) { return v + c; }, [](float, float) { return 1.0f; });
+}
+
+Tensor Square(const Tensor& x) {
+  return UnaryOp(
+      x, [](float v) { return v * v; },
+      [](float v, float) { return 2.0f * v; });
+}
+
+Tensor Log(const Tensor& x) {
+  return UnaryOp(
+      x, [](float v) { return std::log(v); },
+      [](float v, float) { return 1.0f / v; });
+}
+
+Tensor Reciprocal(const Tensor& x) {
+  return UnaryOp(
+      x, [](float v) { return 1.0f / v; },
+      [](float, float y) { return -y * y; });
+}
+
+Tensor Relu(const Tensor& x) {
+  return UnaryOp(
+      x, [](float v) { return v > 0 ? v : 0.0f; },
+      [](float v, float) { return v > 0 ? 1.0f : 0.0f; });
+}
+
+Tensor Gelu(const Tensor& x) {
+  constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
+  constexpr float kA = 0.044715f;
+  return UnaryOp(
+      x,
+      [](float v) {
+        float u = kC * (v + kA * v * v * v);
+        return 0.5f * v * (1.0f + std::tanh(u));
+      },
+      [](float v, float) {
+        float u = kC * (v + kA * v * v * v);
+        float t = std::tanh(u);
+        float du = kC * (1.0f + 3.0f * kA * v * v);
+        return 0.5f * (1.0f + t) + 0.5f * v * (1.0f - t * t) * du;
+      });
+}
+
+Tensor Sigmoid(const Tensor& x) {
+  return UnaryOp(
+      x, [](float v) { return 1.0f / (1.0f + std::exp(-v)); },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Tensor Tanh(const Tensor& x) {
+  return UnaryOp(
+      x, [](float v) { return std::tanh(v); },
+      [](float, float y) { return 1.0f - y * y; });
+}
+
+Tensor Dropout(const Tensor& x, float p, Rng& rng, bool training) {
+  if (!training || p <= 0.0f) return x;
+  TASTE_CHECK(p < 1.0f);
+  auto out = NewImpl(x.shape());
+  auto mask = std::make_shared<std::vector<float>>(x.numel());
+  const float scale = 1.0f / (1.0f - p);
+  const float* xd = x.data();
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    (*mask)[i] = rng.NextBool(p) ? 0.0f : scale;
+    out->data[i] = xd[i] * (*mask)[i];
+  }
+  auto xi = x.impl();
+  internal::TensorImpl* oi = out.get();
+  SetEdge(out, {&x}, [xi, oi, mask] {
+    if (!xi->requires_grad) return;
+    auto& g = xi->MutableGrad();
+    const auto& og = oi->MutableGrad();
+    for (size_t i = 0; i < g.size(); ++i) g[i] += (*mask)[i] * og[i];
+  });
+  return Tensor(out);
+}
+
+// -- Broadcast adds -------------------------------------------------------------
+
+Tensor AddBias(const Tensor& x, const Tensor& bias) {
+  TASTE_CHECK(bias.rank() == 1);
+  int64_t h = bias.dim(0);
+  TASTE_CHECK_MSG(x.dim(-1) == h, "AddBias last-dim mismatch");
+  auto out = NewImpl(x.shape());
+  const float* xd = x.data();
+  const float* bd = bias.data();
+  int64_t rows = x.numel() / h;
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t j = 0; j < h; ++j) {
+      out->data[r * h + j] = xd[r * h + j] + bd[j];
+    }
+  }
+  auto xi = x.impl();
+  auto bi = bias.impl();
+  internal::TensorImpl* oi = out.get();
+  SetEdge(out, {&x, &bias}, [xi, bi, oi, rows, h] {
+    const auto& og = oi->MutableGrad();
+    if (xi->requires_grad) {
+      auto& g = xi->MutableGrad();
+      for (size_t i = 0; i < g.size(); ++i) g[i] += og[i];
+    }
+    if (bi->requires_grad) {
+      auto& g = bi->MutableGrad();
+      for (int64_t r = 0; r < rows; ++r) {
+        for (int64_t j = 0; j < h; ++j) g[j] += og[r * h + j];
+      }
+    }
+  });
+  return Tensor(out);
+}
+
+Tensor AddBroadcastMat(const Tensor& x, const Tensor& m2) {
+  TASTE_CHECK(x.rank() == 3 && m2.rank() == 2);
+  int64_t batch = x.dim(0), m = x.dim(1), n = x.dim(2);
+  TASTE_CHECK_MSG(m2.dim(0) == m && m2.dim(1) == n,
+                  "AddBroadcastMat shape mismatch");
+  auto out = NewImpl(x.shape());
+  const float* xd = x.data();
+  const float* md = m2.data();
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t i = 0; i < m * n; ++i) {
+      out->data[b * m * n + i] = xd[b * m * n + i] + md[i];
+    }
+  }
+  auto xi = x.impl();
+  auto mi = m2.impl();
+  internal::TensorImpl* oi = out.get();
+  SetEdge(out, {&x, &m2}, [xi, mi, oi, batch, m, n] {
+    const auto& og = oi->MutableGrad();
+    if (xi->requires_grad) {
+      auto& g = xi->MutableGrad();
+      for (size_t i = 0; i < g.size(); ++i) g[i] += og[i];
+    }
+    if (mi->requires_grad) {
+      auto& g = mi->MutableGrad();
+      for (int64_t b = 0; b < batch; ++b) {
+        for (int64_t i = 0; i < m * n; ++i) g[i] += og[b * m * n + i];
+      }
+    }
+  });
+  return Tensor(out);
+}
+
+// -- Linear algebra --------------------------------------------------------------
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  TASTE_CHECK(a.rank() == 2 && b.rank() == 2);
+  int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  TASTE_CHECK_MSG(b.dim(0) == k, "MatMul inner-dim mismatch");
+  auto out = NewImpl({m, n});
+  GemmAcc(a.data(), b.data(), out->data.data(), m, n, k, false, false);
+  auto ai = a.impl();
+  auto bi = b.impl();
+  internal::TensorImpl* oi = out.get();
+  SetEdge(out, {&a, &b}, [ai, bi, oi, m, n, k] {
+    const float* og = oi->MutableGrad().data();
+    if (ai->requires_grad) {
+      // dA = dC * B^T : (m,n) x (n,k)
+      GemmAcc(og, bi->data.data(), ai->MutableGrad().data(), m, k, n, false,
+              true);
+    }
+    if (bi->requires_grad) {
+      // dB = A^T * dC : (k,m) x (m,n)
+      GemmAcc(ai->data.data(), og, bi->MutableGrad().data(), k, n, m, true,
+              false);
+    }
+  });
+  return Tensor(out);
+}
+
+Tensor BatchedMatMul(const Tensor& a, const Tensor& b) {
+  TASTE_CHECK(a.rank() == 3 && b.rank() == 3);
+  int64_t batch = a.dim(0), m = a.dim(1), k = a.dim(2), n = b.dim(2);
+  TASTE_CHECK_MSG(b.dim(0) == batch && b.dim(1) == k,
+                  "BatchedMatMul shape mismatch");
+  auto out = NewImpl({batch, m, n});
+  for (int64_t bi_ = 0; bi_ < batch; ++bi_) {
+    GemmAcc(a.data() + bi_ * m * k, b.data() + bi_ * k * n,
+            out->data.data() + bi_ * m * n, m, n, k, false, false);
+  }
+  auto ai = a.impl();
+  auto bi = b.impl();
+  internal::TensorImpl* oi = out.get();
+  SetEdge(out, {&a, &b}, [ai, bi, oi, batch, m, n, k] {
+    const float* og = oi->MutableGrad().data();
+    if (ai->requires_grad) {
+      float* ag = ai->MutableGrad().data();
+      for (int64_t t = 0; t < batch; ++t) {
+        GemmAcc(og + t * m * n, bi->data.data() + t * k * n, ag + t * m * k,
+                m, k, n, false, true);
+      }
+    }
+    if (bi->requires_grad) {
+      float* bg = bi->MutableGrad().data();
+      for (int64_t t = 0; t < batch; ++t) {
+        GemmAcc(ai->data.data() + t * m * k, og + t * m * n, bg + t * k * n,
+                k, n, m, true, false);
+      }
+    }
+  });
+  return Tensor(out);
+}
+
+Tensor TransposeLast2(const Tensor& x) {
+  TASTE_CHECK(x.rank() == 2 || x.rank() == 3);
+  int64_t batch = x.rank() == 3 ? x.dim(0) : 1;
+  int64_t m = x.dim(-2), n = x.dim(-1);
+  Shape out_shape = x.shape();
+  std::swap(out_shape[out_shape.size() - 1], out_shape[out_shape.size() - 2]);
+  auto out = NewImpl(out_shape);
+  const float* xd = x.data();
+  for (int64_t b = 0; b < batch; ++b) {
+    const float* src = xd + b * m * n;
+    float* dst = out->data.data() + b * m * n;
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t j = 0; j < n; ++j) dst[j * m + i] = src[i * n + j];
+    }
+  }
+  auto xi = x.impl();
+  internal::TensorImpl* oi = out.get();
+  SetEdge(out, {&x}, [xi, oi, batch, m, n] {
+    if (!xi->requires_grad) return;
+    auto& g = xi->MutableGrad();
+    const auto& og = oi->MutableGrad();
+    for (int64_t b = 0; b < batch; ++b) {
+      for (int64_t i = 0; i < m; ++i) {
+        for (int64_t j = 0; j < n; ++j) {
+          g[b * m * n + i * n + j] += og[b * m * n + j * m + i];
+        }
+      }
+    }
+  });
+  return Tensor(out);
+}
+
+Tensor Reshape(const Tensor& x, Shape shape) {
+  TASTE_CHECK_MSG(NumElements(shape) == x.numel(), "Reshape numel mismatch");
+  auto out = NewImpl(std::move(shape));
+  std::memcpy(out->data.data(), x.data(), sizeof(float) * x.numel());
+  auto xi = x.impl();
+  internal::TensorImpl* oi = out.get();
+  SetEdge(out, {&x}, [xi, oi] {
+    if (!xi->requires_grad) return;
+    auto& g = xi->MutableGrad();
+    const auto& og = oi->MutableGrad();
+    for (size_t i = 0; i < g.size(); ++i) g[i] += og[i];
+  });
+  return Tensor(out);
+}
+
+Tensor Permute3(const Tensor& x, const std::vector<int>& perm) {
+  TASTE_CHECK(x.rank() == 3 && perm.size() == 3);
+  const Shape& s = x.shape();
+  Shape out_shape = {s[perm[0]], s[perm[1]], s[perm[2]]};
+  auto out = NewImpl(out_shape);
+  int64_t d0 = s[0], d1 = s[1], d2 = s[2];
+  // Strides of output coordinates in terms of input coordinates.
+  int64_t in_strides[3] = {d1 * d2, d2, 1};
+  int64_t os1 = out_shape[1] * out_shape[2], os2 = out_shape[2];
+  const float* xd = x.data();
+  for (int64_t i = 0; i < d0; ++i) {
+    for (int64_t j = 0; j < d1; ++j) {
+      for (int64_t k = 0; k < d2; ++k) {
+        int64_t coord[3] = {i, j, k};
+        int64_t out_idx = coord[perm[0]] * os1 + coord[perm[1]] * os2 +
+                          coord[perm[2]];
+        out->data[out_idx] = xd[i * in_strides[0] + j * in_strides[1] + k];
+      }
+    }
+  }
+  auto xi = x.impl();
+  internal::TensorImpl* oi = out.get();
+  SetEdge(out, {&x}, [xi, oi, perm, d0, d1, d2, os1, os2] {
+    if (!xi->requires_grad) return;
+    auto& g = xi->MutableGrad();
+    const auto& og = oi->MutableGrad();
+    for (int64_t i = 0; i < d0; ++i) {
+      for (int64_t j = 0; j < d1; ++j) {
+        for (int64_t k = 0; k < d2; ++k) {
+          int64_t coord[3] = {i, j, k};
+          int64_t out_idx = coord[perm[0]] * os1 + coord[perm[1]] * os2 +
+                            coord[perm[2]];
+          g[(i * d1 + j) * d2 + k] += og[out_idx];
+        }
+      }
+    }
+  });
+  return Tensor(out);
+}
+
+// -- Normalization & softmax -------------------------------------------------------
+
+Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                 float eps) {
+  TASTE_CHECK(gamma.rank() == 1 && beta.rank() == 1);
+  int64_t h = x.dim(-1);
+  TASTE_CHECK(gamma.dim(0) == h && beta.dim(0) == h);
+  int64_t rows = x.numel() / h;
+  auto out = NewImpl(x.shape());
+  auto xhat = std::make_shared<std::vector<float>>(x.numel());
+  auto inv_std = std::make_shared<std::vector<float>>(rows);
+  const float* xd = x.data();
+  const float* gd = gamma.data();
+  const float* bd = beta.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = xd + r * h;
+    float mean = 0;
+    for (int64_t j = 0; j < h; ++j) mean += row[j];
+    mean /= static_cast<float>(h);
+    float var = 0;
+    for (int64_t j = 0; j < h; ++j) {
+      float d = row[j] - mean;
+      var += d * d;
+    }
+    var /= static_cast<float>(h);
+    float inv = 1.0f / std::sqrt(var + eps);
+    (*inv_std)[r] = inv;
+    for (int64_t j = 0; j < h; ++j) {
+      float xh = (row[j] - mean) * inv;
+      (*xhat)[r * h + j] = xh;
+      out->data[r * h + j] = gd[j] * xh + bd[j];
+    }
+  }
+  auto xi = x.impl();
+  auto gi = gamma.impl();
+  auto bi = beta.impl();
+  internal::TensorImpl* oi = out.get();
+  SetEdge(out, {&x, &gamma, &beta},
+          [xi, gi, bi, oi, xhat, inv_std, rows, h] {
+            const auto& og = oi->MutableGrad();
+            if (gi->requires_grad) {
+              auto& gg = gi->MutableGrad();
+              for (int64_t r = 0; r < rows; ++r) {
+                for (int64_t j = 0; j < h; ++j) {
+                  gg[j] += og[r * h + j] * (*xhat)[r * h + j];
+                }
+              }
+            }
+            if (bi->requires_grad) {
+              auto& bg = bi->MutableGrad();
+              for (int64_t r = 0; r < rows; ++r) {
+                for (int64_t j = 0; j < h; ++j) bg[j] += og[r * h + j];
+              }
+            }
+            if (xi->requires_grad) {
+              auto& xg = xi->MutableGrad();
+              const float* gd2 = gi->data.data();
+              for (int64_t r = 0; r < rows; ++r) {
+                float mean_dxhat = 0, mean_dxhat_xhat = 0;
+                for (int64_t j = 0; j < h; ++j) {
+                  float dxh = og[r * h + j] * gd2[j];
+                  mean_dxhat += dxh;
+                  mean_dxhat_xhat += dxh * (*xhat)[r * h + j];
+                }
+                mean_dxhat /= static_cast<float>(h);
+                mean_dxhat_xhat /= static_cast<float>(h);
+                float inv = (*inv_std)[r];
+                for (int64_t j = 0; j < h; ++j) {
+                  float dxh = og[r * h + j] * gd2[j];
+                  xg[r * h + j] +=
+                      inv * (dxh - mean_dxhat -
+                             (*xhat)[r * h + j] * mean_dxhat_xhat);
+                }
+              }
+            }
+          });
+  return Tensor(out);
+}
+
+Tensor Softmax(const Tensor& x) {
+  int64_t h = x.dim(-1);
+  int64_t rows = x.numel() / h;
+  auto out = NewImpl(x.shape());
+  const float* xd = x.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = xd + r * h;
+    float mx = row[0];
+    for (int64_t j = 1; j < h; ++j) mx = std::max(mx, row[j]);
+    float sum = 0;
+    for (int64_t j = 0; j < h; ++j) {
+      float e = std::exp(row[j] - mx);
+      out->data[r * h + j] = e;
+      sum += e;
+    }
+    float inv = 1.0f / sum;
+    for (int64_t j = 0; j < h; ++j) out->data[r * h + j] *= inv;
+  }
+  auto xi = x.impl();
+  internal::TensorImpl* oi = out.get();
+  SetEdge(out, {&x}, [xi, oi, rows, h] {
+    if (!xi->requires_grad) return;
+    auto& xg = xi->MutableGrad();
+    const auto& og = oi->MutableGrad();
+    for (int64_t r = 0; r < rows; ++r) {
+      float dot = 0;
+      for (int64_t j = 0; j < h; ++j) {
+        dot += og[r * h + j] * oi->data[r * h + j];
+      }
+      for (int64_t j = 0; j < h; ++j) {
+        xg[r * h + j] += oi->data[r * h + j] * (og[r * h + j] - dot);
+      }
+    }
+  });
+  return Tensor(out);
+}
+
+// -- Gather / concat / slice ---------------------------------------------------------
+
+Tensor EmbeddingLookup(const Tensor& weight, const std::vector<int>& ids) {
+  TASTE_CHECK(weight.rank() == 2);
+  int64_t v = weight.dim(0), h = weight.dim(1);
+  auto out = NewImpl({static_cast<int64_t>(ids.size()), h});
+  const float* wd = weight.data();
+  for (size_t i = 0; i < ids.size(); ++i) {
+    TASTE_CHECK_MSG(ids[i] >= 0 && ids[i] < v, "EmbeddingLookup id range");
+    std::memcpy(out->data.data() + i * h, wd + ids[i] * h,
+                sizeof(float) * h);
+  }
+  auto wi = weight.impl();
+  internal::TensorImpl* oi = out.get();
+  SetEdge(out, {&weight}, [wi, oi, ids, h] {
+    if (!wi->requires_grad) return;
+    auto& wg = wi->MutableGrad();
+    const auto& og = oi->MutableGrad();
+    for (size_t i = 0; i < ids.size(); ++i) {
+      for (int64_t j = 0; j < h; ++j) {
+        wg[ids[i] * h + j] += og[i * h + j];
+      }
+    }
+  });
+  return Tensor(out);
+}
+
+Tensor GatherRows(const Tensor& x, const std::vector<int>& rows) {
+  TASTE_CHECK(x.rank() == 2);
+  int64_t n = x.dim(0), h = x.dim(1);
+  auto out = NewImpl({static_cast<int64_t>(rows.size()), h});
+  const float* xd = x.data();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    TASTE_CHECK_MSG(rows[i] >= 0 && rows[i] < n, "GatherRows index range");
+    std::memcpy(out->data.data() + i * h, xd + rows[i] * h,
+                sizeof(float) * h);
+  }
+  auto xi = x.impl();
+  internal::TensorImpl* oi = out.get();
+  SetEdge(out, {&x}, [xi, oi, rows, h] {
+    if (!xi->requires_grad) return;
+    auto& xg = xi->MutableGrad();
+    const auto& og = oi->MutableGrad();
+    for (size_t i = 0; i < rows.size(); ++i) {
+      for (int64_t j = 0; j < h; ++j) {
+        xg[rows[i] * h + j] += og[i * h + j];
+      }
+    }
+  });
+  return Tensor(out);
+}
+
+Tensor ConcatRows(const std::vector<Tensor>& xs) {
+  TASTE_CHECK(!xs.empty());
+  int64_t h = xs[0].dim(1);
+  int64_t total = 0;
+  for (const Tensor& t : xs) {
+    TASTE_CHECK(t.rank() == 2 && t.dim(1) == h);
+    total += t.dim(0);
+  }
+  auto out = NewImpl({total, h});
+  int64_t offset = 0;
+  for (const Tensor& t : xs) {
+    std::memcpy(out->data.data() + offset, t.data(),
+                sizeof(float) * t.numel());
+    offset += t.numel();
+  }
+  // Build the edge manually: variadic parents.
+  bool rec = GradEnabled();
+  bool any = false;
+  for (const Tensor& t : xs) any = any || t.requires_grad();
+  if (rec && any) {
+    out->requires_grad = true;
+    std::vector<std::shared_ptr<internal::TensorImpl>> parents;
+    for (const Tensor& t : xs) parents.push_back(t.impl());
+    internal::TensorImpl* oi = out.get();
+    out->parents = parents;
+    out->backward = [oi, parents] {
+      const auto& og = oi->MutableGrad();
+      size_t offset2 = 0;
+      for (const auto& p : parents) {
+        if (p->requires_grad) {
+          auto& g = p->MutableGrad();
+          for (size_t i = 0; i < g.size(); ++i) g[i] += og[offset2 + i];
+        }
+        offset2 += p->data.size();
+      }
+    };
+  }
+  return Tensor(out);
+}
+
+Tensor ConcatCols(const Tensor& a, const Tensor& b) {
+  TASTE_CHECK(a.rank() == 2 && b.rank() == 2);
+  int64_t n = a.dim(0);
+  TASTE_CHECK(b.dim(0) == n);
+  int64_t wa = a.dim(1), wb = b.dim(1);
+  auto out = NewImpl({n, wa + wb});
+  const float* ad = a.data();
+  const float* bd = b.data();
+  for (int64_t r = 0; r < n; ++r) {
+    std::memcpy(out->data.data() + r * (wa + wb), ad + r * wa,
+                sizeof(float) * wa);
+    std::memcpy(out->data.data() + r * (wa + wb) + wa, bd + r * wb,
+                sizeof(float) * wb);
+  }
+  auto ai = a.impl();
+  auto bi = b.impl();
+  internal::TensorImpl* oi = out.get();
+  SetEdge(out, {&a, &b}, [ai, bi, oi, n, wa, wb] {
+    const auto& og = oi->MutableGrad();
+    if (ai->requires_grad) {
+      auto& g = ai->MutableGrad();
+      for (int64_t r = 0; r < n; ++r) {
+        for (int64_t j = 0; j < wa; ++j) {
+          g[r * wa + j] += og[r * (wa + wb) + j];
+        }
+      }
+    }
+    if (bi->requires_grad) {
+      auto& g = bi->MutableGrad();
+      for (int64_t r = 0; r < n; ++r) {
+        for (int64_t j = 0; j < wb; ++j) {
+          g[r * wb + j] += og[r * (wa + wb) + wa + j];
+        }
+      }
+    }
+  });
+  return Tensor(out);
+}
+
+Tensor SliceRows(const Tensor& x, int64_t begin, int64_t end) {
+  TASTE_CHECK(x.rank() == 2);
+  int64_t n = x.dim(0), h = x.dim(1);
+  TASTE_CHECK(begin >= 0 && begin <= end && end <= n);
+  auto out = NewImpl({end - begin, h});
+  std::memcpy(out->data.data(), x.data() + begin * h,
+              sizeof(float) * (end - begin) * h);
+  auto xi = x.impl();
+  internal::TensorImpl* oi = out.get();
+  SetEdge(out, {&x}, [xi, oi, begin, h] {
+    if (!xi->requires_grad) return;
+    auto& g = xi->MutableGrad();
+    const auto& og = oi->MutableGrad();
+    for (size_t i = 0; i < og.size(); ++i) g[begin * h + i] += og[i];
+  });
+  return Tensor(out);
+}
+
+// -- Reductions & losses --------------------------------------------------------------
+
+Tensor SumAll(const Tensor& x) {
+  auto out = NewImpl({1});
+  float acc = 0;
+  const float* xd = x.data();
+  for (int64_t i = 0; i < x.numel(); ++i) acc += xd[i];
+  out->data[0] = acc;
+  auto xi = x.impl();
+  internal::TensorImpl* oi = out.get();
+  SetEdge(out, {&x}, [xi, oi] {
+    if (!xi->requires_grad) return;
+    auto& g = xi->MutableGrad();
+    float go = oi->MutableGrad()[0];
+    for (size_t i = 0; i < g.size(); ++i) g[i] += go;
+  });
+  return Tensor(out);
+}
+
+Tensor MeanAll(const Tensor& x) {
+  return Scale(SumAll(x), 1.0f / static_cast<float>(x.numel()));
+}
+
+Tensor BceWithLogits(const Tensor& logits, const Tensor& targets,
+                     float pos_weight) {
+  CheckSameShape(logits, targets, "BceWithLogits");
+  TASTE_CHECK(pos_weight > 0.0f);
+  auto out = NewImpl({1});
+  const float* z = logits.data();
+  const float* y = targets.data();
+  int64_t n = logits.numel();
+  // softplus(x) = max(x, 0) + log1p(exp(-|x|)).
+  auto softplus = [](float x) {
+    return std::max(x, 0.0f) + std::log1p(std::exp(-std::abs(x)));
+  };
+  double acc = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    acc += pos_weight * y[i] * softplus(-z[i]) +
+           (1.0f - y[i]) * softplus(z[i]);
+  }
+  out->data[0] = static_cast<float>(acc / static_cast<double>(n));
+  auto li = logits.impl();
+  auto ti = targets.impl();
+  internal::TensorImpl* oi = out.get();
+  SetEdge(out, {&logits}, [li, ti, oi, n, pos_weight] {
+    if (!li->requires_grad) return;
+    auto& g = li->MutableGrad();
+    float go = oi->MutableGrad()[0] / static_cast<float>(n);
+    for (int64_t i = 0; i < n; ++i) {
+      float p = 1.0f / (1.0f + std::exp(-li->data[i]));
+      float yi = ti->data[i];
+      // d/dz [pw*y*softplus(-z) + (1-y)*softplus(z)]
+      //   = (1-y)*p - pw*y*(1-p)
+      g[i] += ((1.0f - yi) * p - pos_weight * yi * (1.0f - p)) * go;
+    }
+  });
+  return Tensor(out);
+}
+
+Tensor CrossEntropyWithLogits(const Tensor& logits,
+                              const std::vector<int>& targets,
+                              int ignore_index) {
+  TASTE_CHECK(logits.rank() == 2);
+  int64_t n = logits.dim(0), v = logits.dim(1);
+  TASTE_CHECK(static_cast<int64_t>(targets.size()) == n);
+  auto out = NewImpl({1});
+  // Cache softmax probabilities for the backward pass.
+  auto probs = std::make_shared<std::vector<float>>(logits.numel());
+  const float* z = logits.data();
+  double acc = 0;
+  int64_t valid = 0;
+  for (int64_t r = 0; r < n; ++r) {
+    const float* row = z + r * v;
+    float mx = row[0];
+    for (int64_t j = 1; j < v; ++j) mx = std::max(mx, row[j]);
+    double sum = 0;
+    for (int64_t j = 0; j < v; ++j) sum += std::exp(row[j] - mx);
+    double logsum = std::log(sum) + mx;
+    for (int64_t j = 0; j < v; ++j) {
+      (*probs)[r * v + j] = static_cast<float>(std::exp(row[j] - logsum));
+    }
+    if (targets[r] != ignore_index) {
+      TASTE_CHECK(targets[r] >= 0 && targets[r] < v);
+      acc += logsum - row[targets[r]];
+      ++valid;
+    }
+  }
+  out->data[0] =
+      valid > 0 ? static_cast<float>(acc / static_cast<double>(valid)) : 0.0f;
+  auto li = logits.impl();
+  internal::TensorImpl* oi = out.get();
+  SetEdge(out, {&logits}, [li, oi, probs, targets, ignore_index, n, v, valid] {
+    if (!li->requires_grad || valid == 0) return;
+    auto& g = li->MutableGrad();
+    float go = oi->MutableGrad()[0] / static_cast<float>(valid);
+    for (int64_t r = 0; r < n; ++r) {
+      if (targets[r] == ignore_index) continue;
+      for (int64_t j = 0; j < v; ++j) {
+        float delta = (j == targets[r]) ? 1.0f : 0.0f;
+        g[r * v + j] += ((*probs)[r * v + j] - delta) * go;
+      }
+    }
+  });
+  return Tensor(out);
+}
+
+std::vector<float> SigmoidValues(const Tensor& logits) {
+  std::vector<float> out(static_cast<size_t>(logits.numel()));
+  const float* z = logits.data();
+  for (int64_t i = 0; i < logits.numel(); ++i) {
+    out[i] = 1.0f / (1.0f + std::exp(-z[i]));
+  }
+  return out;
+}
+
+}  // namespace taste::tensor

@@ -1,0 +1,120 @@
+// Differentiable operators over taste::tensor::Tensor.
+//
+// Every function builds the forward result eagerly and, when gradient
+// recording is enabled (see NoGradGuard), attaches a backward closure that
+// accumulates into the inputs' gradient buffers. Shape contracts are
+// enforced with TASTE_CHECK: shape mismatches are programmer errors, not
+// recoverable conditions.
+
+#ifndef TASTE_TENSOR_OPS_H_
+#define TASTE_TENSOR_OPS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace taste::tensor {
+
+// -- Elementwise ------------------------------------------------------------
+
+/// a + b, identical shapes.
+Tensor Add(const Tensor& a, const Tensor& b);
+/// a - b, identical shapes.
+Tensor Sub(const Tensor& a, const Tensor& b);
+/// a * b elementwise, identical shapes.
+Tensor Mul(const Tensor& a, const Tensor& b);
+/// x * s for a compile-time-constant scalar s (no grad through s).
+Tensor Scale(const Tensor& x, float s);
+/// x + c elementwise for a constant c.
+Tensor AddScalar(const Tensor& x, float c);
+/// x^2 elementwise.
+Tensor Square(const Tensor& x);
+/// ln(x) elementwise; x must be positive.
+Tensor Log(const Tensor& x);
+/// 1/x elementwise; x must be nonzero.
+Tensor Reciprocal(const Tensor& x);
+/// max(x, 0).
+Tensor Relu(const Tensor& x);
+/// Gaussian error linear unit (tanh approximation, as in BERT).
+Tensor Gelu(const Tensor& x);
+/// Logistic sigmoid.
+Tensor Sigmoid(const Tensor& x);
+/// Hyperbolic tangent.
+Tensor Tanh(const Tensor& x);
+/// Inverted-dropout with keep-prob 1-p; identity when !training or p == 0.
+Tensor Dropout(const Tensor& x, float p, Rng& rng, bool training);
+
+// -- Broadcast adds ----------------------------------------------------------
+
+/// x (..., H) + bias (H): bias broadcast over all leading dims.
+Tensor AddBias(const Tensor& x, const Tensor& bias);
+/// x (B, m, n) + m2 (m, n): matrix broadcast over the batch dim. Used to
+/// apply an attention mask across heads.
+Tensor AddBroadcastMat(const Tensor& x, const Tensor& m2);
+
+// -- Linear algebra ----------------------------------------------------------
+
+/// (m, k) x (k, n) -> (m, n).
+Tensor MatMul(const Tensor& a, const Tensor& b);
+/// (B, m, k) x (B, k, n) -> (B, m, n).
+Tensor BatchedMatMul(const Tensor& a, const Tensor& b);
+/// Swaps the last two dims of a rank-2 or rank-3 tensor.
+Tensor TransposeLast2(const Tensor& x);
+/// Reinterprets data in a new shape with equal element count (no copy of
+/// layout; grad flows straight through).
+Tensor Reshape(const Tensor& x, Shape shape);
+/// Permutes the axes of a rank-3 tensor.
+Tensor Permute3(const Tensor& x, const std::vector<int>& perm);
+
+// -- Normalization & softmax -------------------------------------------------
+
+/// Layer normalization over the last dim with affine parameters
+/// gamma, beta of shape (H).
+Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                 float eps = 1e-5f);
+/// Softmax over the last dimension.
+Tensor Softmax(const Tensor& x);
+
+// -- Gather / concat / slice --------------------------------------------------
+
+/// Rows of `weight` (V, H) selected by ids -> (|ids|, H). Grad scatters into
+/// `weight`. Ids must be in [0, V).
+Tensor EmbeddingLookup(const Tensor& weight, const std::vector<int>& ids);
+/// Rows of a rank-2 tensor (n, H) selected by indices -> (|rows|, H).
+Tensor GatherRows(const Tensor& x, const std::vector<int>& rows);
+/// Concatenation of rank-2 tensors (n_i, H) along dim 0.
+Tensor ConcatRows(const std::vector<Tensor>& xs);
+/// Concatenation of two rank-2 tensors (n, a) and (n, b) -> (n, a+b).
+Tensor ConcatCols(const Tensor& a, const Tensor& b);
+/// Rows [begin, end) of a rank-2 tensor.
+Tensor SliceRows(const Tensor& x, int64_t begin, int64_t end);
+
+// -- Reductions & losses -------------------------------------------------------
+
+/// Sum of all elements -> scalar.
+Tensor SumAll(const Tensor& x);
+/// Mean of all elements -> scalar.
+Tensor MeanAll(const Tensor& x);
+/// Numerically stable mean binary cross-entropy with logits:
+/// mean over all elements of
+///   pos_weight * y * softplus(-z) + (1-y) * softplus(z).
+/// `targets` is same-shape, in [0,1], not differentiated. `pos_weight` > 1
+/// counterweights sparse positives (many-type multi-label targets).
+Tensor BceWithLogits(const Tensor& logits, const Tensor& targets,
+                     float pos_weight = 1.0f);
+/// Softmax cross-entropy with integer targets, mean over rows whose target
+/// is not `ignore_index`. logits is (n, V). Returns scalar (0 if all rows
+/// are ignored).
+Tensor CrossEntropyWithLogits(const Tensor& logits,
+                              const std::vector<int>& targets,
+                              int ignore_index = -1);
+
+// -- Non-differentiable helpers -----------------------------------------------
+
+/// Elementwise sigmoid of values into a plain vector (inference helper).
+std::vector<float> SigmoidValues(const Tensor& logits);
+
+}  // namespace taste::tensor
+
+#endif  // TASTE_TENSOR_OPS_H_

@@ -1,0 +1,70 @@
+#include "tensor/optimizer.h"
+
+#include <cmath>
+
+#include "common/fpu.h"
+
+#include "common/status.h"
+
+namespace taste::tensor {
+
+Adam::Adam(std::vector<Tensor> params, AdamOptions options)
+    : params_(std::move(params)), options_(options) {
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    TASTE_CHECK(params_[i].defined());
+    m_[i].assign(static_cast<size_t>(params_[i].numel()), 0.0f);
+    v_[i].assign(static_cast<size_t>(params_[i].numel()), 0.0f);
+  }
+}
+
+void Adam::Step() {
+  thread_local FlushDenormalsScope flush_denormals;
+  ++step_;
+  float clip_scale = 1.0f;
+  if (options_.clip_norm > 0) {
+    double sq = 0;
+    for (auto& p : params_) {
+      const auto& g = p.grad();
+      for (float gv : g) sq += static_cast<double>(gv) * gv;
+    }
+    double norm = std::sqrt(sq);
+    if (norm > options_.clip_norm) {
+      clip_scale = static_cast<float>(options_.clip_norm / norm);
+    }
+  }
+  const float bc1 = 1.0f - std::pow(options_.beta1, static_cast<float>(step_));
+  const float bc2 = 1.0f - std::pow(options_.beta2, static_cast<float>(step_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Tensor& p = params_[i];
+    const auto& g = p.grad();
+    float* pd = p.data();
+    for (size_t j = 0; j < g.size(); ++j) {
+      float gj = g[j] * clip_scale;
+      m_[i][j] = options_.beta1 * m_[i][j] + (1.0f - options_.beta1) * gj;
+      v_[i][j] = options_.beta2 * v_[i][j] + (1.0f - options_.beta2) * gj * gj;
+      float mhat = m_[i][j] / bc1;
+      float vhat = v_[i][j] / bc2;
+      float update = mhat / (std::sqrt(vhat) + options_.eps);
+      if (options_.weight_decay > 0) update += options_.weight_decay * pd[j];
+      pd[j] -= options_.lr * update;
+    }
+    p.ZeroGrad();
+  }
+}
+
+void Adam::ZeroGrad() {
+  for (auto& p : params_) p.ZeroGrad();
+}
+
+void Sgd::Step() {
+  for (auto& p : params_) {
+    const auto& g = p.grad();
+    float* pd = p.data();
+    for (size_t j = 0; j < g.size(); ++j) pd[j] -= lr_ * g[j];
+    p.ZeroGrad();
+  }
+}
+
+}  // namespace taste::tensor

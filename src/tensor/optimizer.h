@@ -1,0 +1,65 @@
+// First-order optimizers over lists of parameter tensors.
+
+#ifndef TASTE_TENSOR_OPTIMIZER_H_
+#define TASTE_TENSOR_OPTIMIZER_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace taste::tensor {
+
+/// Options for the Adam optimizer (Kingma & Ba, 2015).
+struct AdamOptions {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float weight_decay = 0.0f;  // decoupled (AdamW-style) when > 0
+  float clip_norm = 0.0f;     // global gradient-norm clip; 0 disables
+};
+
+/// Adam with optional decoupled weight decay and global grad-norm clipping.
+///
+/// Holds non-owning references (shared impls) to the parameters passed at
+/// construction; Step() consumes their gradients and ZeroGrad()s them.
+class Adam {
+ public:
+  Adam(std::vector<Tensor> params, AdamOptions options = {});
+
+  /// Applies one update using the gradients currently accumulated in the
+  /// parameters, then zeroes those gradients.
+  void Step();
+
+  /// Zeroes all parameter gradients without updating.
+  void ZeroGrad();
+
+  /// Number of updates applied so far.
+  int64_t step_count() const { return step_; }
+
+  /// Mutable learning rate (for warmup / decay schedules).
+  void set_lr(float lr) { options_.lr = lr; }
+  float lr() const { return options_.lr; }
+
+ private:
+  std::vector<Tensor> params_;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+  AdamOptions options_;
+  int64_t step_ = 0;
+};
+
+/// Plain SGD (used in tests as a reference optimizer).
+class Sgd {
+ public:
+  Sgd(std::vector<Tensor> params, float lr) : params_(std::move(params)), lr_(lr) {}
+  void Step();
+
+ private:
+  std::vector<Tensor> params_;
+  float lr_;
+};
+
+}  // namespace taste::tensor
+
+#endif  // TASTE_TENSOR_OPTIMIZER_H_

@@ -1,0 +1,186 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+namespace taste::tensor {
+
+namespace {
+thread_local bool g_grad_enabled = true;
+}
+
+int64_t NumElements(const Shape& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    TASTE_CHECK(d >= 0);
+    n *= d;
+  }
+  return n;
+}
+
+std::string ShapeToString(const Shape& shape) {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << shape[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+Tensor Tensor::Zeros(Shape shape, bool requires_grad) {
+  auto impl = std::make_shared<internal::TensorImpl>();
+  impl->data.assign(NumElements(shape), 0.0f);
+  impl->shape = std::move(shape);
+  impl->requires_grad = requires_grad;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::Full(Shape shape, float value, bool requires_grad) {
+  Tensor t = Zeros(std::move(shape), requires_grad);
+  std::fill(t.impl()->data.begin(), t.impl()->data.end(), value);
+  return t;
+}
+
+Tensor Tensor::FromVector(Shape shape, std::vector<float> values,
+                          bool requires_grad) {
+  TASTE_CHECK_MSG(
+      static_cast<int64_t>(values.size()) == NumElements(shape),
+      "FromVector size mismatch");
+  auto impl = std::make_shared<internal::TensorImpl>();
+  impl->shape = std::move(shape);
+  impl->data = std::move(values);
+  impl->requires_grad = requires_grad;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::Randn(Shape shape, Rng& rng, float stddev,
+                     bool requires_grad) {
+  Tensor t = Zeros(std::move(shape), requires_grad);
+  for (auto& v : t.impl()->data) {
+    v = static_cast<float>(rng.NextGaussian()) * stddev;
+  }
+  return t;
+}
+
+Tensor Tensor::Uniform(Shape shape, Rng& rng, float lo, float hi,
+                       bool requires_grad) {
+  Tensor t = Zeros(std::move(shape), requires_grad);
+  for (auto& v : t.impl()->data) {
+    v = static_cast<float>(rng.NextUniform(lo, hi));
+  }
+  return t;
+}
+
+Tensor Tensor::Scalar(float value, bool requires_grad) {
+  return FromVector({1}, {value}, requires_grad);
+}
+
+const Shape& Tensor::shape() const {
+  TASTE_CHECK(defined());
+  return impl_->shape;
+}
+
+int64_t Tensor::dim(int64_t i) const {
+  const Shape& s = shape();
+  if (i < 0) i += static_cast<int64_t>(s.size());
+  TASTE_CHECK(i >= 0 && i < static_cast<int64_t>(s.size()));
+  return s[i];
+}
+
+int64_t Tensor::numel() const {
+  TASTE_CHECK(defined());
+  return static_cast<int64_t>(impl_->data.size());
+}
+
+float* Tensor::data() {
+  TASTE_CHECK(defined());
+  return impl_->data.data();
+}
+
+const float* Tensor::data() const {
+  TASTE_CHECK(defined());
+  return impl_->data.data();
+}
+
+float Tensor::item() const {
+  TASTE_CHECK_MSG(numel() == 1, "item() on non-scalar tensor");
+  return impl_->data[0];
+}
+
+bool Tensor::requires_grad() const {
+  TASTE_CHECK(defined());
+  return impl_->requires_grad;
+}
+
+const std::vector<float>& Tensor::grad() const {
+  TASTE_CHECK(defined());
+  return impl_->MutableGrad();
+}
+
+void Tensor::ZeroGrad() {
+  TASTE_CHECK(defined());
+  std::fill(impl_->grad.begin(), impl_->grad.end(), 0.0f);
+}
+
+void Tensor::Backward() {
+  TASTE_CHECK_MSG(numel() == 1, "Backward() requires a one-element tensor");
+  // Topological order via iterative post-order DFS.
+  std::vector<internal::TensorImpl*> topo;
+  std::unordered_set<internal::TensorImpl*> visited;
+  struct Frame {
+    internal::TensorImpl* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  if (visited.insert(impl_.get()).second) {
+    stack.push_back({impl_.get(), 0});
+  }
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_parent < f.node->parents.size()) {
+      internal::TensorImpl* p = f.node->parents[f.next_parent++].get();
+      if (visited.insert(p).second) stack.push_back({p, 0});
+    } else {
+      topo.push_back(f.node);
+      stack.pop_back();
+    }
+  }
+  // Seed: d(loss)/d(loss) = 1.
+  impl_->MutableGrad()[0] += 1.0f;
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    if ((*it)->backward) (*it)->backward();
+  }
+}
+
+Tensor Tensor::Detach() const {
+  TASTE_CHECK(defined());
+  auto impl = std::make_shared<internal::TensorImpl>();
+  impl->shape = impl_->shape;
+  impl->data = impl_->data;
+  impl->requires_grad = false;
+  return Tensor(std::move(impl));
+}
+
+std::string Tensor::ToString(int64_t max_items) const {
+  if (!defined()) return "Tensor(null)";
+  std::ostringstream os;
+  os << "Tensor" << ShapeToString(shape()) << " {";
+  int64_t n = std::min<int64_t>(numel(), max_items);
+  for (int64_t i = 0; i < n; ++i) {
+    if (i > 0) os << ", ";
+    os << impl_->data[i];
+  }
+  if (numel() > n) os << ", ...";
+  os << "}";
+  return os.str();
+}
+
+bool GradEnabled() { return g_grad_enabled; }
+
+NoGradGuard::NoGradGuard() : prev_(g_grad_enabled) { g_grad_enabled = false; }
+NoGradGuard::~NoGradGuard() { g_grad_enabled = prev_; }
+
+}  // namespace taste::tensor

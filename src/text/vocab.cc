@@ -1,0 +1,69 @@
+#include "text/vocab.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace taste::text {
+
+namespace {
+const char* const kSpecialTokens[] = {"[PAD]", "[UNK]", "[CLS]", "[SEP]",
+                                      "[MASK]"};
+}
+
+Vocab::Vocab() {
+  for (const char* t : kSpecialTokens) AddToken(t);
+}
+
+int Vocab::AddToken(const std::string& token) {
+  auto it = index_.find(token);
+  if (it != index_.end()) return it->second;
+  int id = static_cast<int>(tokens_.size());
+  tokens_.push_back(token);
+  index_.emplace(token, id);
+  return id;
+}
+
+int Vocab::Id(const std::string& token) const {
+  auto it = index_.find(token);
+  return it == index_.end() ? kUnkId : it->second;
+}
+
+bool Vocab::Contains(const std::string& token) const {
+  return index_.count(token) != 0;
+}
+
+const std::string& Vocab::Token(int id) const {
+  TASTE_CHECK(id >= 0 && id < size());
+  return tokens_[static_cast<size_t>(id)];
+}
+
+Status Vocab::Save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  for (const auto& t : tokens_) out << t << "\n";
+  return out.good() ? Status::OK() : Status::IOError("write failed: " + path);
+}
+
+Result<Vocab> Vocab::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  Vocab v;
+  std::string line;
+  int i = 0;
+  while (std::getline(in, line)) {
+    if (i < kNumSpecialTokens) {
+      if (line != kSpecialTokens[i]) {
+        return Status::Invalid("vocab file missing special token prefix");
+      }
+    } else {
+      v.AddToken(line);
+    }
+    ++i;
+  }
+  if (i < kNumSpecialTokens) {
+    return Status::Invalid("vocab file too short");
+  }
+  return v;
+}
+
+}  // namespace taste::text

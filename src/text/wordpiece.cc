@@ -1,0 +1,175 @@
+#include "text/wordpiece.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+
+#include "common/string_util.h"
+
+namespace taste::text {
+
+namespace {
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c));
+}
+
+bool IsSeparator(char c) {
+  return c == '_' || c == '-' || c == '.' || c == '/' ||
+         std::isspace(static_cast<unsigned char>(c));
+}
+
+}  // namespace
+
+std::vector<std::string> PreTokenize(const std::string& text) {
+  std::string lower = ToLowerAscii(text);
+  std::vector<std::string> out;
+  std::string cur;
+  auto flush = [&] {
+    if (!cur.empty()) {
+      out.push_back(cur);
+      cur.clear();
+    }
+  };
+  for (char c : lower) {
+    if (IsSeparator(c)) {
+      flush();
+    } else if (IsWordChar(c)) {
+      cur.push_back(c);
+    } else {
+      // Other punctuation becomes its own single-character token.
+      flush();
+      out.emplace_back(1, c);
+    }
+  }
+  flush();
+  return out;
+}
+
+void WordPieceTrainer::AddDocument(const std::string& text) {
+  for (const std::string& w : PreTokenize(text)) {
+    if (static_cast<int>(w.size()) <= options_.max_word_length) {
+      ++word_counts_[w];
+    }
+  }
+}
+
+Vocab WordPieceTrainer::Train() const {
+  // Represent each distinct word as a sequence of symbols: first character
+  // bare, continuation characters prefixed with "##".
+  struct Word {
+    std::vector<std::string> symbols;
+    int64_t count;
+  };
+  std::vector<Word> words;
+  words.reserve(word_counts_.size());
+  Vocab vocab;
+  // Deterministic iteration: sort words lexicographically.
+  std::map<std::string, int64_t> sorted(word_counts_.begin(),
+                                        word_counts_.end());
+  for (const auto& [w, count] : sorted) {
+    Word word;
+    word.count = count;
+    for (size_t i = 0; i < w.size(); ++i) {
+      std::string sym = i == 0 ? std::string(1, w[i])
+                               : "##" + std::string(1, w[i]);
+      word.symbols.push_back(sym);
+      vocab.AddToken(sym);
+    }
+    words.push_back(std::move(word));
+  }
+
+  // Merge loop: repeatedly fuse the most frequent adjacent symbol pair.
+  while (vocab.size() < options_.vocab_size) {
+    std::map<std::pair<std::string, std::string>, int64_t> pair_counts;
+    for (const Word& w : words) {
+      for (size_t i = 0; i + 1 < w.symbols.size(); ++i) {
+        pair_counts[{w.symbols[i], w.symbols[i + 1]}] += w.count;
+      }
+    }
+    if (pair_counts.empty()) break;
+    auto best = pair_counts.begin();
+    for (auto it = pair_counts.begin(); it != pair_counts.end(); ++it) {
+      if (it->second > best->second) best = it;
+    }
+    if (best->second < options_.min_pair_frequency) break;
+    const auto [left, right] = best->first;
+    // "ab" + "##cd" -> "abcd"; "##ab" + "##cd" -> "##abcd".
+    std::string merged = left + (StartsWith(right, "##")
+                                     ? right.substr(2)
+                                     : right);
+    vocab.AddToken(merged);
+    for (Word& w : words) {
+      std::vector<std::string> out;
+      out.reserve(w.symbols.size());
+      for (size_t i = 0; i < w.symbols.size(); ++i) {
+        if (i + 1 < w.symbols.size() && w.symbols[i] == left &&
+            w.symbols[i + 1] == right) {
+          out.push_back(merged);
+          ++i;
+        } else {
+          out.push_back(w.symbols[i]);
+        }
+      }
+      w.symbols = std::move(out);
+    }
+  }
+  return vocab;
+}
+
+void WordPieceTokenizer::EncodeWord(const std::string& word,
+                                    std::vector<int>* out) const {
+  size_t pos = 0;
+  std::vector<int> pieces;
+  while (pos < word.size()) {
+    size_t len = word.size() - pos;
+    bool found = false;
+    while (len > 0) {
+      std::string candidate =
+          (pos == 0 ? "" : "##") + word.substr(pos, len);
+      if (vocab_.Contains(candidate)) {
+        pieces.push_back(vocab_.Id(candidate));
+        pos += len;
+        found = true;
+        break;
+      }
+      --len;
+    }
+    if (!found) {
+      // Whole word becomes [UNK] (BERT semantics).
+      out->push_back(Vocab::kUnkId);
+      return;
+    }
+  }
+  out->insert(out->end(), pieces.begin(), pieces.end());
+}
+
+std::vector<int> WordPieceTokenizer::Encode(const std::string& text) const {
+  std::vector<int> out;
+  for (const std::string& w : PreTokenize(text)) EncodeWord(w, &out);
+  return out;
+}
+
+std::vector<int> WordPieceTokenizer::EncodeFixed(const std::string& text,
+                                                 int len) const {
+  TASTE_CHECK(len >= 0);
+  std::vector<int> ids = Encode(text);
+  ids.resize(static_cast<size_t>(len), Vocab::kPadId);
+  return ids;
+}
+
+std::string WordPieceTokenizer::Decode(const std::vector<int>& ids) const {
+  std::string out;
+  for (int id : ids) {
+    const std::string& t = vocab_.Token(id);
+    if (StartsWith(t, "##")) {
+      out += t.substr(2);
+    } else {
+      if (!out.empty()) out += ' ';
+      out += t;
+    }
+  }
+  return out;
+}
+
+}  // namespace taste::text

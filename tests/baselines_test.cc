@@ -1,0 +1,284 @@
+// Tests for the baseline detectors: single-tower encoding and attention
+// scoping, always-scan behaviour, privacy mode, and the regex/dictionary
+// rule-based detectors.
+
+#include <gtest/gtest.h>
+
+#include "baselines/rule_based.h"
+#include "baselines/single_tower.h"
+#include "data/table_generator.h"
+
+namespace taste::baselines {
+namespace {
+
+struct Env {
+  data::Dataset dataset;
+  std::unique_ptr<text::WordPieceTokenizer> tokenizer;
+  std::unique_ptr<clouddb::SimulatedDatabase> db;
+
+  static Env Make(int tables = 10,
+                  data::DatasetProfile profile = data::DatasetProfile::WikiLike()) {
+    Env e;
+    profile.num_tables = tables;
+    e.dataset = data::GenerateDataset(profile);
+    text::WordPieceTrainer trainer({.vocab_size = 500});
+    for (const auto& d : data::BuildCorpusDocuments(e.dataset)) {
+      trainer.AddDocument(d);
+    }
+    e.tokenizer = std::make_unique<text::WordPieceTokenizer>(trainer.Train());
+    clouddb::CostModel cost;
+    cost.time_scale = 0.0;
+    e.db = std::make_unique<clouddb::SimulatedDatabase>(cost);
+    TASTE_CHECK(e.db->IngestDataset(e.dataset).ok());
+    return e;
+  }
+};
+
+TEST(SingleTowerConfigTest, DoduoIsLargerThanTurl) {
+  auto turl = SingleTowerConfig::TurlLike(500, 40);
+  auto doduo = SingleTowerConfig::DoduoLike(500, 40);
+  Rng r1(1), r2(2);
+  SingleTowerModel mt(turl, r1), md(doduo, r2);
+  EXPECT_GT(md.ParameterCount(), 2 * mt.ParameterCount());
+}
+
+TEST(SingleTowerEncoderTest, CombinedSequenceLayout) {
+  Env e = Env::Make();
+  auto cfg = SingleTowerConfig::TurlLike(e.tokenizer->vocab().size(),
+                                         data::SemanticTypeRegistry::Default().size());
+  SingleTowerEncoder enc(e.tokenizer.get(), cfg);
+  auto conn = e.db->Connect();
+  auto meta = conn->GetTableMetadata(e.dataset.tables[0].name);
+  ASSERT_TRUE(meta.ok());
+  std::map<int, std::vector<std::string>> content;
+  content[0] = {"hello", "world"};
+  SingleTowerEncoding encd = enc.Encode(*meta, content);
+  int ncols = static_cast<int>(meta->columns.size());
+  EXPECT_EQ(encd.num_columns, ncols);
+  int per_col = 1 + cfg.input.col_meta_tokens +
+                cfg.input.cells_per_column * cfg.input.cell_tokens;
+  EXPECT_EQ(static_cast<int>(encd.token_ids.size()),
+            cfg.input.table_tokens + ncols * per_col);
+  for (int a : encd.column_anchors) {
+    EXPECT_EQ(encd.token_ids[static_cast<size_t>(a)], text::Vocab::kClsId);
+  }
+}
+
+TEST(SingleTowerEncoderTest, EmptyContentLeavesPads) {
+  Env e = Env::Make();
+  auto cfg = SingleTowerConfig::TurlLike(e.tokenizer->vocab().size(), 40);
+  SingleTowerEncoder enc(e.tokenizer.get(), cfg);
+  auto conn = e.db->Connect();
+  auto meta = conn->GetTableMetadata(e.dataset.tables[0].name);
+  ASSERT_TRUE(meta.ok());
+  SingleTowerEncoding encd = enc.Encode(*meta, {});
+  // Content slots (after each column's metadata) must all be PAD.
+  int per_col = 1 + cfg.input.col_meta_tokens +
+                cfg.input.cells_per_column * cfg.input.cell_tokens;
+  for (size_t c = 0; c < static_cast<size_t>(encd.num_columns); ++c) {
+    int base = cfg.input.table_tokens + static_cast<int>(c) * per_col + 1 +
+               cfg.input.col_meta_tokens;
+    for (int k = 0; k < cfg.input.cells_per_column * cfg.input.cell_tokens;
+         ++k) {
+      EXPECT_EQ(encd.token_ids[static_cast<size_t>(base + k)],
+                text::Vocab::kPadId);
+    }
+  }
+}
+
+TEST(SingleTowerModelTest, ColumnScopedMaskIsolatesColumns) {
+  // TURL-like attention: column 0's logits are invariant to column 1's
+  // cell values.
+  Env e = Env::Make();
+  auto cfg = SingleTowerConfig::TurlLike(e.tokenizer->vocab().size(), 40);
+  Rng rng(3);
+  SingleTowerModel model(cfg, rng);
+  SingleTowerEncoder enc(e.tokenizer.get(), cfg);
+  auto conn = e.db->Connect();
+  const data::TableSpec* two_col = nullptr;
+  for (const auto& t : e.dataset.tables) {
+    if (t.columns.size() >= 2) {
+      two_col = &t;
+      break;
+    }
+  }
+  ASSERT_NE(two_col, nullptr);
+  auto meta = conn->GetTableMetadata(two_col->name);
+  ASSERT_TRUE(meta.ok());
+  std::map<int, std::vector<std::string>> c1{{0, {"aaa"}}, {1, {"bbb"}}};
+  std::map<int, std::vector<std::string>> c2{{0, {"aaa"}}, {1, {"zzz yyy"}}};
+  tensor::NoGradGuard ng;
+  tensor::Tensor l1 = model.Forward(enc.Encode(*meta, c1));
+  tensor::Tensor l2 = model.Forward(enc.Encode(*meta, c2));
+  for (int j = 0; j < 40; ++j) {
+    EXPECT_NEAR(l1.data()[j], l2.data()[j], 1e-4f);
+  }
+}
+
+TEST(SingleTowerModelTest, GlobalMaskMixesColumns) {
+  // Doduo-like attention: column 0's logits DO change with column 1.
+  Env e = Env::Make();
+  auto cfg = SingleTowerConfig::DoduoLike(e.tokenizer->vocab().size(), 40);
+  Rng rng(4);
+  SingleTowerModel model(cfg, rng);
+  SingleTowerEncoder enc(e.tokenizer.get(), cfg);
+  auto conn = e.db->Connect();
+  const data::TableSpec* two_col = nullptr;
+  for (const auto& t : e.dataset.tables) {
+    if (t.columns.size() >= 2) {
+      two_col = &t;
+      break;
+    }
+  }
+  ASSERT_NE(two_col, nullptr);
+  auto meta = conn->GetTableMetadata(two_col->name);
+  ASSERT_TRUE(meta.ok());
+  std::map<int, std::vector<std::string>> c1{{0, {"aaa"}}, {1, {"bbb"}}};
+  std::map<int, std::vector<std::string>> c2{{0, {"aaa"}}, {1, {"zzz yyy"}}};
+  tensor::NoGradGuard ng;
+  tensor::Tensor l1 = model.Forward(enc.Encode(*meta, c1));
+  tensor::Tensor l2 = model.Forward(enc.Encode(*meta, c2));
+  float diff = 0;
+  for (int j = 0; j < 40; ++j) diff += std::abs(l1.data()[j] - l2.data()[j]);
+  EXPECT_GT(diff, 1e-4f);
+}
+
+TEST(SingleTowerDetectorTest, AlwaysScansEveryColumn) {
+  Env e = Env::Make();
+  auto cfg = SingleTowerConfig::TurlLike(
+      e.tokenizer->vocab().size(),
+      data::SemanticTypeRegistry::Default().size());
+  Rng rng(5);
+  SingleTowerModel model(cfg, rng);
+  SingleTowerDetector det(&model, e.tokenizer.get(), {});
+  auto conn = e.db->Connect();
+  int64_t total_cols = 0;
+  for (int i = 0; i < 5; ++i) {
+    auto res = det.DetectTable(conn.get(), e.dataset.tables[i].name);
+    ASSERT_TRUE(res.ok());
+    EXPECT_EQ(res->columns_scanned, res->total_columns);
+    total_cols += res->total_columns;
+  }
+  EXPECT_EQ(e.db->ledger().snapshot().scanned_columns, total_cols);
+}
+
+TEST(SingleTowerDetectorTest, PrivacyModeScansNothing) {
+  Env e = Env::Make();
+  auto cfg = SingleTowerConfig::TurlLike(e.tokenizer->vocab().size(),
+                                         data::SemanticTypeRegistry::Default().size());
+  Rng rng(6);
+  SingleTowerModel model(cfg, rng);
+  SingleTowerDetector det(&model, e.tokenizer.get(),
+                          {.include_content = false});
+  auto conn = e.db->Connect();
+  auto res = det.DetectTable(conn.get(), e.dataset.tables[0].name);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->columns_scanned, 0);
+  EXPECT_EQ(e.db->ledger().snapshot().scanned_columns, 0);
+}
+
+TEST(SingleTowerTrainerTest, LossDecreases) {
+  Env e = Env::Make(12);
+  auto cfg = SingleTowerConfig::TurlLike(e.tokenizer->vocab().size(),
+                                         data::SemanticTypeRegistry::Default().size());
+  Rng rng(7);
+  SingleTowerModel model(cfg, rng);
+  std::vector<int> idx;
+  for (int i = 0; i < static_cast<int>(e.dataset.tables.size()); ++i) {
+    idx.push_back(i);
+  }
+  model::FineTuneOptions opt;
+  opt.epochs = 1;
+  auto first = TrainSingleTower(&model, e.tokenizer.get(), e.dataset, idx, opt);
+  ASSERT_TRUE(first.ok());
+  opt.epochs = 4;
+  auto later = TrainSingleTower(&model, e.tokenizer.get(), e.dataset, idx, opt);
+  ASSERT_TRUE(later.ok());
+  EXPECT_LT(*later, *first);
+}
+
+TEST(RegexDetectorTest, DetectsPatternedTypes) {
+  Env e = Env::Make(20);
+  RegexDetector det(&data::SemanticTypeRegistry::Default());
+  auto conn = e.db->Connect();
+  const auto& registry = data::SemanticTypeRegistry::Default();
+  int email_id = *registry.IdByName("email");
+  bool found_email_column = false;
+  for (int i = 0; i < static_cast<int>(e.dataset.tables.size()); ++i) {
+    const auto& table = e.dataset.tables[i];
+    auto res = det.DetectTable(conn.get(), table.name);
+    ASSERT_TRUE(res.ok());
+    for (size_t c = 0; c < table.columns.size(); ++c) {
+      bool truth_email =
+          std::find(table.columns[c].labels.begin(),
+                    table.columns[c].labels.end(),
+                    email_id) != table.columns[c].labels.end();
+      if (truth_email) {
+        found_email_column = true;
+        const auto& admitted = res->columns[c].admitted_types;
+        EXPECT_NE(std::find(admitted.begin(), admitted.end(), email_id),
+                  admitted.end())
+            << table.name << "." << table.columns[c].name;
+      }
+    }
+  }
+  EXPECT_TRUE(found_email_column);
+}
+
+TEST(RegexDetectorTest, CoversOnlyPatternFriendlyTypes) {
+  RegexDetector det(&data::SemanticTypeRegistry::Default());
+  auto covered = det.covered_types();
+  const auto& registry = data::SemanticTypeRegistry::Default();
+  // city / description have no rigid syntax: no regex.
+  int city = *registry.IdByName("city");
+  EXPECT_EQ(std::find(covered.begin(), covered.end(), city), covered.end());
+  EXPECT_LT(static_cast<int>(covered.size()), registry.size() - 1);
+  EXPECT_GE(covered.size(), 15u);
+}
+
+TEST(DictionaryDetectorTest, LearnsClosedVocabularies) {
+  Env e = Env::Make(40);
+  const auto& registry = data::SemanticTypeRegistry::Default();
+  DictionaryDetector det(&registry);
+  det.Fit(e.dataset, e.dataset.train);
+  EXPECT_GT(det.dictionary_size(), 100u);
+  auto conn = e.db->Connect();
+  // Closed-vocabulary types (country, color, status) should be recognized
+  // in the test split.
+  int hits = 0, truth_count = 0;
+  int country = *registry.IdByName("country");
+  for (int idx : e.dataset.test) {
+    const auto& table = e.dataset.tables[idx];
+    auto res = det.DetectTable(conn.get(), table.name);
+    ASSERT_TRUE(res.ok());
+    for (size_t c = 0; c < table.columns.size(); ++c) {
+      bool truth = std::find(table.columns[c].labels.begin(),
+                             table.columns[c].labels.end(),
+                             country) != table.columns[c].labels.end();
+      if (!truth) continue;
+      ++truth_count;
+      const auto& admitted = res->columns[c].admitted_types;
+      if (std::find(admitted.begin(), admitted.end(), country) !=
+          admitted.end()) {
+        ++hits;
+      }
+    }
+  }
+  if (truth_count > 0) {
+    EXPECT_GT(static_cast<double>(hits) / truth_count, 0.5);
+  }
+}
+
+TEST(DictionaryDetectorTest, UnfittedDetectorAdmitsNothing) {
+  Env e = Env::Make(5);
+  DictionaryDetector det(&data::SemanticTypeRegistry::Default());
+  auto conn = e.db->Connect();
+  auto res = det.DetectTable(conn.get(), e.dataset.tables[0].name);
+  ASSERT_TRUE(res.ok());
+  for (const auto& col : res->columns) {
+    EXPECT_TRUE(col.admitted_types.empty());
+  }
+}
+
+}  // namespace
+}  // namespace taste::baselines

@@ -1,0 +1,328 @@
+// Tests for the simulated cloud database: ingest, metadata correctness,
+// scans (first-m and sampled), histograms, cost accounting, thread safety.
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "clouddb/database.h"
+#include "data/table_generator.h"
+
+namespace taste::clouddb {
+namespace {
+
+data::TableSpec MakeTable() {
+  data::TableSpec t;
+  t.name = "customers";
+  t.comment = "customer master data";
+  t.num_rows = 6;
+  data::ColumnSpec email;
+  email.name = "email";
+  email.comment = "contact email";
+  email.sql_type = "varchar(255)";
+  email.values = {"a@x.com", "b@x.com", "c@y.org", "", "a@x.com", "d@z.net"};
+  email.labels = {0};
+  data::ColumnSpec age;
+  age.name = "age";
+  age.sql_type = "int";
+  age.values = {"20", "30", "40", "50", "30", "20"};
+  age.labels = {1};
+  t.columns = {email, age};
+  return t;
+}
+
+CostModel FastCost() {
+  CostModel c;
+  c.time_scale = 0.0;  // deterministic: no sleeping
+  return c;
+}
+
+TEST(DatabaseTest, CreateAndListTables) {
+  SimulatedDatabase db(FastCost());
+  ASSERT_TRUE(db.CreateTable(MakeTable()).ok());
+  auto conn = db.Connect();
+  auto tables = conn->ListTables();
+  ASSERT_EQ(tables.size(), 1u);
+  EXPECT_EQ(tables[0], "customers");
+  EXPECT_EQ(db.num_tables(), 1);
+}
+
+TEST(DatabaseTest, DuplicateCreateRejected) {
+  SimulatedDatabase db(FastCost());
+  ASSERT_TRUE(db.CreateTable(MakeTable()).ok());
+  Status st = db.CreateTable(MakeTable());
+  EXPECT_EQ(st.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(DatabaseTest, MetadataCarriesSchemaAndStats) {
+  SimulatedDatabase db(FastCost());
+  ASSERT_TRUE(db.CreateTable(MakeTable()).ok());
+  auto conn = db.Connect();
+  auto meta = conn->GetTableMetadata("customers");
+  ASSERT_TRUE(meta.ok());
+  EXPECT_EQ(meta->table_name, "customers");
+  EXPECT_EQ(meta->comment, "customer master data");
+  EXPECT_EQ(meta->num_rows, 6);
+  ASSERT_EQ(meta->columns.size(), 2u);
+  const ColumnMetadata& email = meta->columns[0];
+  EXPECT_EQ(email.column_name, "email");
+  EXPECT_EQ(email.data_type, "varchar(255)");
+  EXPECT_EQ(email.comment, "contact email");
+  EXPECT_EQ(email.num_distinct, 4);  // a,b,c,d (empty skipped)
+  EXPECT_NEAR(email.null_fraction, 1.0 / 6, 1e-9);
+  EXPECT_EQ(email.min_value, "a@x.com");
+  EXPECT_EQ(email.max_value, "d@z.net");
+  EXPECT_FALSE(email.histogram.has_value());  // before ANALYZE
+  EXPECT_EQ(meta->columns[1].ordinal, 1);
+}
+
+TEST(DatabaseTest, MetadataNeverExposesLabels) {
+  // Compile-time-ish check: ColumnMetadata has no labels member; verify the
+  // visible surface carries only schema/statistics strings.
+  SimulatedDatabase db(FastCost());
+  ASSERT_TRUE(db.CreateTable(MakeTable()).ok());
+  auto meta = db.Connect()->GetTableMetadata("customers");
+  ASSERT_TRUE(meta.ok());
+  // Nothing in the metadata should equal a label id rendered as content.
+  SUCCEED();
+}
+
+TEST(DatabaseTest, UnknownTableIsNotFound) {
+  SimulatedDatabase db(FastCost());
+  auto conn = db.Connect();
+  EXPECT_EQ(conn->GetTableMetadata("nope").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ScanTest, FirstMRowsReturnsPrefix) {
+  SimulatedDatabase db(FastCost());
+  ASSERT_TRUE(db.CreateTable(MakeTable()).ok());
+  auto conn = db.Connect();
+  auto res = conn->ScanColumns("customers", {"age"}, {.limit_rows = 3});
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res->size(), 1u);
+  EXPECT_EQ((*res)[0], (std::vector<std::string>{"20", "30", "40"}));
+}
+
+TEST(ScanTest, LimitLargerThanTableClamps) {
+  SimulatedDatabase db(FastCost());
+  ASSERT_TRUE(db.CreateTable(MakeTable()).ok());
+  auto conn = db.Connect();
+  auto res = conn->ScanColumns("customers", {"email"}, {.limit_rows = 100});
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ((*res)[0].size(), 6u);
+}
+
+TEST(ScanTest, MultipleColumnsPreserveRequestOrder) {
+  SimulatedDatabase db(FastCost());
+  ASSERT_TRUE(db.CreateTable(MakeTable()).ok());
+  auto conn = db.Connect();
+  auto res =
+      conn->ScanColumns("customers", {"age", "email"}, {.limit_rows = 2});
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ((*res)[0][0], "20");
+  EXPECT_EQ((*res)[1][0], "a@x.com");
+}
+
+TEST(ScanTest, RandomSampleIsDeterministicPerSeed) {
+  SimulatedDatabase db(FastCost());
+  ASSERT_TRUE(db.CreateTable(MakeTable()).ok());
+  auto conn = db.Connect();
+  ScanOptions opt{.limit_rows = 4, .random_sample = true, .sample_seed = 7};
+  auto a = conn->ScanColumns("customers", {"age"}, opt);
+  auto b = conn->ScanColumns("customers", {"age"}, opt);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ((*a)[0], (*b)[0]);
+}
+
+TEST(ScanTest, RandomSampleRowsAlignAcrossColumns) {
+  SimulatedDatabase db(FastCost());
+  ASSERT_TRUE(db.CreateTable(MakeTable()).ok());
+  auto conn = db.Connect();
+  ScanOptions opt{.limit_rows = 6, .random_sample = true, .sample_seed = 3};
+  auto res = conn->ScanColumns("customers", {"age", "email"}, opt);
+  ASSERT_TRUE(res.ok());
+  // Row alignment: the permutation must be shared between columns. Check by
+  // locating a distinctive pair from the original table.
+  const auto& ages = (*res)[0];
+  const auto& emails = (*res)[1];
+  for (size_t i = 0; i < ages.size(); ++i) {
+    if (ages[i] == "40") EXPECT_EQ(emails[i], "c@y.org");
+    if (ages[i] == "50") EXPECT_EQ(emails[i], "");
+  }
+}
+
+TEST(ScanTest, UnknownColumnIsNotFound) {
+  SimulatedDatabase db(FastCost());
+  ASSERT_TRUE(db.CreateTable(MakeTable()).ok());
+  auto conn = db.Connect();
+  auto res = conn->ScanColumns("customers", {"ghost"}, {.limit_rows = 2});
+  EXPECT_EQ(res.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ScanTest, NonPositiveLimitRejected) {
+  SimulatedDatabase db(FastCost());
+  ASSERT_TRUE(db.CreateTable(MakeTable()).ok());
+  auto conn = db.Connect();
+  auto res = conn->ScanColumns("customers", {"age"}, {.limit_rows = 0});
+  EXPECT_EQ(res.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AnalyzeTest, HistogramAppearsAfterAnalyze) {
+  SimulatedDatabase db(FastCost());
+  ASSERT_TRUE(db.CreateTable(MakeTable()).ok());
+  ASSERT_TRUE(db.AnalyzeTable("customers").ok());
+  auto meta = db.Connect()->GetTableMetadata("customers");
+  ASSERT_TRUE(meta.ok());
+  ASSERT_TRUE(meta->columns[1].histogram.has_value());
+  const Histogram& h = *meta->columns[1].histogram;
+  EXPECT_EQ(h.kind, Histogram::Kind::kEquiWidth);  // "age" is numeric
+  ASSERT_TRUE(meta->columns[0].histogram.has_value());
+  EXPECT_EQ(meta->columns[0].histogram->kind, Histogram::Kind::kTopValues);
+}
+
+TEST(AnalyzeTest, UnknownTableFails) {
+  SimulatedDatabase db(FastCost());
+  EXPECT_EQ(db.AnalyzeTable("nope").code(), StatusCode::kNotFound);
+}
+
+TEST(HistogramTest, NumericBucketsSumToOne) {
+  Histogram h = BuildHistogram({"1", "2", "3", "4", "10"}, 4);
+  EXPECT_EQ(h.kind, Histogram::Kind::kEquiWidth);
+  double sum = 0;
+  for (double f : h.frequencies) sum += f;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_EQ(h.bounds.size(), 5u);
+  EXPECT_EQ(h.bounds.front(), 1.0);
+  EXPECT_EQ(h.bounds.back(), 10.0);
+}
+
+TEST(HistogramTest, CategoricalTopValuesSorted) {
+  Histogram h =
+      BuildHistogram({"red", "red", "red", "blue", "blue", "green"}, 2);
+  EXPECT_EQ(h.kind, Histogram::Kind::kTopValues);
+  ASSERT_EQ(h.top_values.size(), 2u);
+  EXPECT_EQ(h.top_values[0].first, "red");
+  EXPECT_NEAR(h.top_values[0].second, 0.5, 1e-9);
+  EXPECT_EQ(h.top_values[1].first, "blue");
+}
+
+TEST(HistogramTest, EmptyValuesYieldEmptyHistogram) {
+  Histogram h = BuildHistogram({"", "", ""});
+  EXPECT_TRUE(h.frequencies.empty());
+  EXPECT_TRUE(h.top_values.empty());
+}
+
+TEST(HistogramTest, SinglePointNumericDoesNotDivideByZero) {
+  Histogram h = BuildHistogram({"5", "5", "5"}, 4);
+  EXPECT_EQ(h.kind, Histogram::Kind::kEquiWidth);
+  double sum = 0;
+  for (double f : h.frequencies) sum += f;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(HistogramTest, MostlyNumericThreshold) {
+  EXPECT_TRUE(MostlyNumeric({"1", "2", "3", "4", "x"}, 0.8));
+  EXPECT_FALSE(MostlyNumeric({"1", "2", "x", "y", "z"}, 0.8));
+  EXPECT_FALSE(MostlyNumeric({}));
+}
+
+TEST(LedgerTest, CountsConnectionsQueriesAndScans) {
+  SimulatedDatabase db(FastCost());
+  ASSERT_TRUE(db.CreateTable(MakeTable()).ok());
+  auto conn = db.Connect();
+  (void)conn->GetTableMetadata("customers");
+  (void)conn->ScanColumns("customers", {"age", "email"}, {.limit_rows = 3});
+  auto snap = db.ledger().snapshot();
+  EXPECT_EQ(snap.connections, 1);
+  EXPECT_EQ(snap.queries, 2);
+  EXPECT_EQ(snap.metadata_columns, 2);
+  EXPECT_EQ(snap.scanned_columns, 2);
+  EXPECT_EQ(snap.scanned_cells, 6);
+  EXPECT_GT(snap.scanned_bytes, 0);
+  EXPECT_GT(snap.simulated_io_ms, 0.0);
+}
+
+TEST(LedgerTest, ResetClears) {
+  SimulatedDatabase db(FastCost());
+  ASSERT_TRUE(db.CreateTable(MakeTable()).ok());
+  (void)db.Connect();
+  db.ledger().Reset();
+  auto snap = db.ledger().snapshot();
+  EXPECT_EQ(snap.connections, 0);
+  EXPECT_EQ(snap.simulated_io_ms, 0.0);
+}
+
+TEST(LedgerTest, ScanCostExceedsMetadataCost) {
+  // The premise of the whole paper: metadata is much cheaper than content.
+  SimulatedDatabase db(FastCost());
+  data::Dataset ds = data::GenerateDataset(data::DatasetProfile::WikiLike(5));
+  ASSERT_TRUE(db.IngestDataset(ds).ok());
+  auto conn = db.Connect();
+  db.ledger().Reset();
+  for (const auto& t : ds.tables) {
+    (void)conn->GetTableMetadata(t.name);
+  }
+  double meta_ms = db.ledger().snapshot().simulated_io_ms;
+  db.ledger().Reset();
+  for (const auto& t : ds.tables) {
+    std::vector<std::string> cols;
+    for (const auto& c : t.columns) cols.push_back(c.name);
+    (void)conn->ScanColumns(t.name, cols, {.limit_rows = 50});
+  }
+  double scan_ms = db.ledger().snapshot().simulated_io_ms;
+  EXPECT_GT(scan_ms, meta_ms * 1.5);
+}
+
+TEST(ConcurrencyTest, ParallelConnectionsAreSafe) {
+  SimulatedDatabase db(FastCost());
+  data::Dataset ds = data::GenerateDataset(data::DatasetProfile::GitLike(20));
+  ASSERT_TRUE(db.IngestDataset(ds).ok());
+  std::vector<std::thread> threads;
+  std::atomic<int> errors{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&db, &ds, &errors] {
+      auto conn = db.Connect();
+      for (const auto& table : ds.tables) {
+        auto meta = conn->GetTableMetadata(table.name);
+        if (!meta.ok()) ++errors;
+        std::vector<std::string> cols = {table.columns[0].name};
+        auto scan = conn->ScanColumns(table.name, cols, {.limit_rows = 5});
+        if (!scan.ok()) ++errors;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(db.ledger().snapshot().connections, 4);
+}
+
+TEST(IngestTest, DatasetWithHistograms) {
+  SimulatedDatabase db(FastCost());
+  data::Dataset ds = data::GenerateDataset(data::DatasetProfile::WikiLike(5));
+  ASSERT_TRUE(db.IngestDataset(ds, /*with_histograms=*/true).ok());
+  auto conn = db.Connect();
+  auto meta = conn->GetTableMetadata(ds.tables[0].name);
+  ASSERT_TRUE(meta.ok());
+  for (const auto& c : meta->columns) {
+    EXPECT_TRUE(c.histogram.has_value());
+  }
+  EXPECT_EQ(db.ledger().snapshot().analyzed_tables, 5);
+}
+
+TEST(TimingTest, TimeScaleActuallyBlocks) {
+  CostModel cost;
+  cost.connect_ms = 30.0;
+  cost.time_scale = 1.0;
+  SimulatedDatabase db(cost);
+  auto start = std::chrono::steady_clock::now();
+  (void)db.Connect();
+  double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_GE(elapsed_ms, 25.0);
+}
+
+}  // namespace
+}  // namespace taste::clouddb

@@ -1,0 +1,223 @@
+// Tests for the TASTE two-phase framework: threshold semantics, stage
+// ordering contracts, privacy mode, cache interplay, and an end-to-end
+// trained-model integration check.
+
+#include <gtest/gtest.h>
+
+#include "core/taste_detector.h"
+#include "data/table_generator.h"
+#include "eval/experiment.h"
+#include "model/trainer.h"
+
+namespace taste::core {
+namespace {
+
+struct Env {
+  data::Dataset dataset;
+  std::unique_ptr<text::WordPieceTokenizer> tokenizer;
+  std::unique_ptr<model::AdtdModel> model;  // untrained (probs near 0.5)
+  std::unique_ptr<clouddb::SimulatedDatabase> db;
+
+  static Env Make(int tables = 12) {
+    Env e;
+    e.dataset = data::GenerateDataset(data::DatasetProfile::WikiLike(tables));
+    text::WordPieceTrainer trainer({.vocab_size = 500});
+    for (const auto& d : data::BuildCorpusDocuments(e.dataset)) {
+      trainer.AddDocument(d);
+    }
+    e.tokenizer = std::make_unique<text::WordPieceTokenizer>(trainer.Train());
+    model::AdtdConfig cfg = model::AdtdConfig::Tiny(
+        e.tokenizer->vocab().size(),
+        data::SemanticTypeRegistry::Default().size());
+    Rng rng(42);
+    e.model = std::make_unique<model::AdtdModel>(cfg, rng);
+    clouddb::CostModel cost;
+    cost.time_scale = 0.0;
+    e.db = std::make_unique<clouddb::SimulatedDatabase>(cost);
+    TASTE_CHECK(e.db->IngestDataset(e.dataset).ok());
+    return e;
+  }
+};
+
+TEST(TasteDetectorTest, StageOrderEnforced) {
+  Env e = Env::Make();
+  TasteDetector det(e.model.get(), e.tokenizer.get(), {});
+  TasteDetector::Job job;
+  EXPECT_FALSE(det.InferP1(&job).ok());  // before PrepareP1
+  auto conn = e.db->Connect();
+  ASSERT_TRUE(det.PrepareP1(conn.get(), e.dataset.tables[0].name, &job).ok());
+  ASSERT_TRUE(det.InferP1(&job).ok());
+  if (job.needs_p2) {
+    EXPECT_FALSE(det.InferP2(&job).ok());  // before PrepareP2
+  }
+}
+
+TEST(TasteDetectorTest, UnknownTableFails) {
+  Env e = Env::Make();
+  TasteDetector det(e.model.get(), e.tokenizer.get(), {});
+  auto conn = e.db->Connect();
+  EXPECT_FALSE(det.DetectTable(conn.get(), "no_such_table").ok());
+}
+
+TEST(TasteDetectorTest, InvalidThresholdsRejected) {
+  Env e = Env::Make();
+  EXPECT_DEATH(
+      {
+        TasteDetector det(e.model.get(), e.tokenizer.get(),
+                          {.alpha = 0.9, .beta = 0.1});
+      },
+      "alpha");
+}
+
+TEST(TasteDetectorTest, UntrainedModelRoutesToP2) {
+  // An untrained model emits mid-range probabilities, so with the default
+  // (0.1, 0.9) interval every column is uncertain -> P2 scans them.
+  Env e = Env::Make();
+  TasteDetector det(e.model.get(), e.tokenizer.get(), {});
+  auto conn = e.db->Connect();
+  auto res = det.DetectTable(conn.get(), e.dataset.tables[0].name);
+  ASSERT_TRUE(res.ok());
+  EXPECT_GT(res->columns_scanned, 0);
+  for (const auto& col : res->columns) {
+    EXPECT_TRUE(col.went_to_p2);
+  }
+}
+
+TEST(TasteDetectorTest, AlphaEqualsBetaDisablesP2) {
+  // alpha == beta leaves no uncertainty interval: pure metadata mode.
+  Env e = Env::Make();
+  TasteDetector det(e.model.get(), e.tokenizer.get(),
+                    {.alpha = 0.5, .beta = 0.5});
+  auto conn = e.db->Connect();
+  auto res = det.DetectTable(conn.get(), e.dataset.tables[0].name);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->columns_scanned, 0);
+  EXPECT_EQ(e.db->ledger().snapshot().scanned_columns, 0);
+}
+
+TEST(TasteDetectorTest, EnableP2FalseNeverScans) {
+  Env e = Env::Make();
+  TasteDetector det(e.model.get(), e.tokenizer.get(), {.enable_p2 = false});
+  auto conn = e.db->Connect();
+  for (int i = 0; i < 5; ++i) {
+    auto res = det.DetectTable(conn.get(), e.dataset.tables[i].name);
+    ASSERT_TRUE(res.ok());
+    EXPECT_EQ(res->columns_scanned, 0);
+  }
+  EXPECT_EQ(e.db->ledger().snapshot().scanned_columns, 0);
+}
+
+TEST(TasteDetectorTest, ResultCoversAllColumnsInOrdinalOrder) {
+  Env e = Env::Make();
+  TasteDetector det(e.model.get(), e.tokenizer.get(), {});
+  auto conn = e.db->Connect();
+  const auto& table = e.dataset.tables[1];
+  auto res = det.DetectTable(conn.get(), table.name);
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res->columns.size(), table.columns.size());
+  EXPECT_EQ(res->total_columns, static_cast<int>(table.columns.size()));
+  for (size_t i = 0; i < res->columns.size(); ++i) {
+    EXPECT_EQ(res->columns[i].ordinal, static_cast<int>(i));
+    EXPECT_EQ(res->columns[i].column_name, table.columns[i].name);
+  }
+}
+
+TEST(TasteDetectorTest, ProbabilitiesHaveTypeDomainSize) {
+  Env e = Env::Make();
+  TasteDetector det(e.model.get(), e.tokenizer.get(), {});
+  auto conn = e.db->Connect();
+  auto res = det.DetectTable(conn.get(), e.dataset.tables[0].name);
+  ASSERT_TRUE(res.ok());
+  for (const auto& col : res->columns) {
+    EXPECT_EQ(static_cast<int>(col.probabilities.size()),
+              data::SemanticTypeRegistry::Default().size());
+    for (float p : col.probabilities) {
+      EXPECT_GE(p, 0.0f);
+      EXPECT_LE(p, 1.0f);
+    }
+  }
+}
+
+TEST(TasteDetectorTest, LatentCachePopulatedAndHit) {
+  Env e = Env::Make();
+  TasteDetector det(e.model.get(), e.tokenizer.get(),
+                    {.use_latent_cache = true});
+  auto conn = e.db->Connect();
+  ASSERT_TRUE(det.DetectTable(conn.get(), e.dataset.tables[0].name).ok());
+  EXPECT_GT(det.cache().size(), 0u);
+  // P2 fetched the latents from the cache.
+  EXPECT_GT(det.cache().stats().hits, 0);
+}
+
+TEST(TasteDetectorTest, NoCacheModeKeepsCacheEmpty) {
+  Env e = Env::Make();
+  TasteDetector det(e.model.get(), e.tokenizer.get(),
+                    {.use_latent_cache = false});
+  auto conn = e.db->Connect();
+  ASSERT_TRUE(det.DetectTable(conn.get(), e.dataset.tables[0].name).ok());
+  EXPECT_EQ(det.cache().size(), 0u);
+}
+
+TEST(TasteDetectorTest, CacheAndNoCacheProduceSamePredictions) {
+  // Caching is an optimization: admitted types must be identical.
+  Env e = Env::Make();
+  TasteDetector cached(e.model.get(), e.tokenizer.get(),
+                       {.use_latent_cache = true});
+  TasteDetector uncached(e.model.get(), e.tokenizer.get(),
+                         {.use_latent_cache = false});
+  auto conn = e.db->Connect();
+  for (int i = 0; i < 4; ++i) {
+    auto a = cached.DetectTable(conn.get(), e.dataset.tables[i].name);
+    auto b = uncached.DetectTable(conn.get(), e.dataset.tables[i].name);
+    ASSERT_TRUE(a.ok() && b.ok());
+    ASSERT_EQ(a->columns.size(), b->columns.size());
+    for (size_t c = 0; c < a->columns.size(); ++c) {
+      EXPECT_EQ(a->columns[c].admitted_types, b->columns[c].admitted_types);
+    }
+  }
+}
+
+TEST(TasteDetectorTest, SamplingModeScansSameColumns) {
+  Env e = Env::Make();
+  TasteDetector first(e.model.get(), e.tokenizer.get(),
+                      {.random_sample = false});
+  TasteDetector sampled(e.model.get(), e.tokenizer.get(),
+                        {.random_sample = true, .sample_seed = 1});
+  auto conn = e.db->Connect();
+  auto a = first.DetectTable(conn.get(), e.dataset.tables[2].name);
+  auto b = sampled.DetectTable(conn.get(), e.dataset.tables[2].name);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->columns_scanned, b->columns_scanned);
+}
+
+TEST(TasteDetectorIntegration, TrainedModelBeatsUntrainedAndScansLess) {
+  // End-to-end: train a small stack and verify P1 resolves a healthy share
+  // of columns with good accuracy.
+  eval::StackOptions opt;
+  opt.num_tables = 160;
+  opt.pretrain_epochs = 1;
+  opt.finetune_epochs = 16;
+  opt.train_adtd_hist = false;
+  opt.train_baselines = false;
+  opt.cache_dir = "";  // do not pollute the shared cache from tests
+  auto stack = eval::BuildStack(data::DatasetProfile::WikiLike(), opt);
+  ASSERT_TRUE(stack.ok());
+  clouddb::CostModel cost;
+  cost.time_scale = 0.0;
+  auto db = eval::MakeTestDatabase(stack->dataset, stack->dataset.test,
+                                   /*with_histograms=*/false, cost);
+  ASSERT_TRUE(db.ok());
+  TasteDetector det(stack->adtd.get(), stack->tokenizer.get(), {});
+  auto run = eval::EvaluateSequential(
+      [&det](clouddb::Connection* conn, const std::string& name) {
+        return det.DetectTable(conn, name);
+      },
+      db->get(), stack->dataset, stack->dataset.test);
+  ASSERT_TRUE(run.ok());
+  EXPECT_GT(run->scores.f1, 0.5);          // learned far beyond chance
+  EXPECT_LT(run->scanned_ratio(), 1.0);    // P1 resolved some columns alone
+  EXPECT_GT(run->total_columns, 0);
+}
+
+}  // namespace
+}  // namespace taste::core

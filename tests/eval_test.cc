@@ -1,0 +1,190 @@
+// Tests for the evaluation harness: multi-label micro P/R/F1 semantics,
+// text reports, and the experiment stack utilities.
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "eval/report.h"
+
+namespace taste::eval {
+namespace {
+
+constexpr int kNull = 99;  // stand-in null type id for metric tests
+
+TEST(MetricsTest, PerfectPrediction) {
+  PrfScores s = MicroPrf({{1}, {2, 3}}, {{1}, {2, 3}}, kNull);
+  EXPECT_EQ(s.tp, 3);
+  EXPECT_EQ(s.fp, 0);
+  EXPECT_EQ(s.fn, 0);
+  EXPECT_DOUBLE_EQ(s.f1, 1.0);
+}
+
+TEST(MetricsTest, FalsePositiveAndNegative) {
+  PrfScores s = MicroPrf({{1}}, {{2}}, kNull);
+  EXPECT_EQ(s.tp, 0);
+  EXPECT_EQ(s.fp, 1);
+  EXPECT_EQ(s.fn, 1);
+  EXPECT_DOUBLE_EQ(s.f1, 0.0);
+}
+
+TEST(MetricsTest, PartialOverlapMultiLabel) {
+  PrfScores s = MicroPrf({{1, 2}}, {{1, 3}}, kNull);
+  EXPECT_EQ(s.tp, 1);
+  EXPECT_EQ(s.fp, 1);
+  EXPECT_EQ(s.fn, 1);
+  EXPECT_NEAR(s.f1, 0.5, 1e-12);
+}
+
+TEST(MetricsTest, NullTypeExcludedFromAccounting) {
+  // Truth null + predicted null: a correct "nothing to report" — no credit,
+  // no penalty.
+  PrfScores s = MicroPrf({{kNull}}, {{kNull}}, kNull);
+  EXPECT_EQ(s.tp + s.fp + s.fn, 0);
+  // Predicting a concrete type on a null column is a false positive.
+  s = MicroPrf({{kNull}}, {{5}}, kNull);
+  EXPECT_EQ(s.fp, 1);
+  // Missing a concrete type by predicting null is a false negative.
+  s = MicroPrf({{5}}, {{kNull}}, kNull);
+  EXPECT_EQ(s.fn, 1);
+}
+
+TEST(MetricsTest, DuplicatePredictionsCountOnce) {
+  PrfScores s = MicroPrf({{1}}, {{1, 1, 1}}, kNull);
+  EXPECT_EQ(s.tp, 1);
+  EXPECT_EQ(s.fp, 0);
+}
+
+TEST(MetricsTest, EmptyInputsGiveZeroScores) {
+  PrfScores s = MicroPrf({}, {}, kNull);
+  EXPECT_EQ(s.f1, 0.0);
+  EXPECT_EQ(s.precision, 0.0);
+}
+
+TEST(MetricsTest, AccumulatorMatchesOneShot) {
+  MetricsAccumulator acc(kNull);
+  acc.AddColumn({1}, {1});
+  acc.AddColumn({2}, {3});
+  PrfScores a = acc.Compute();
+  PrfScores b = MicroPrf({{1}, {2}}, {{1}, {3}}, kNull);
+  EXPECT_EQ(a.tp, b.tp);
+  EXPECT_EQ(a.fp, b.fp);
+  EXPECT_EQ(a.fn, b.fn);
+}
+
+TEST(MetricsTest, AddTableAlignsByOrdinal) {
+  data::TableSpec table;
+  table.columns.resize(2);
+  table.columns[0].labels = {1};
+  table.columns[1].labels = {2};
+  core::TableDetectionResult result;
+  // Reversed order in the result: alignment must use ordinals.
+  core::ColumnPrediction p1;
+  p1.ordinal = 1;
+  p1.admitted_types = {2};
+  core::ColumnPrediction p0;
+  p0.ordinal = 0;
+  p0.admitted_types = {1};
+  result.columns = {p1, p0};
+  MetricsAccumulator acc(kNull);
+  acc.AddTable(table, result);
+  EXPECT_DOUBLE_EQ(acc.Compute().f1, 1.0);
+}
+
+TEST(ReportTest, TableRendersAllCells) {
+  TextTable t({"model", "f1"});
+  t.AddRow({"taste", "0.93"});
+  t.AddSeparator();
+  t.AddRow({"turl", "0.91"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("model"), std::string::npos);
+  EXPECT_NE(s.find("0.93"), std::string::npos);
+  EXPECT_NE(s.find("turl"), std::string::npos);
+  // Header + 2 data rows + 4 rules (top, after header, separator, bottom).
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 7);
+}
+
+TEST(ReportTest, SectionHeaderContainsTitle) {
+  EXPECT_NE(SectionHeader("Fig 4").find("Fig 4"), std::string::npos);
+}
+
+TEST(ExperimentTest, MakeTestDatabaseStagesOnlySelected) {
+  data::Dataset ds = data::GenerateDataset(data::DatasetProfile::WikiLike(10));
+  clouddb::CostModel cost;
+  cost.time_scale = 0.0;
+  auto db = MakeTestDatabase(ds, {0, 2, 4}, false, cost);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ((*db)->num_tables(), 3);
+  auto conn = (*db)->Connect();
+  EXPECT_TRUE(conn->GetTableMetadata(ds.tables[0].name).ok());
+  EXPECT_FALSE(conn->GetTableMetadata(ds.tables[1].name).ok());
+}
+
+TEST(ExperimentTest, MakeTestDatabaseHistogramFlag) {
+  data::Dataset ds = data::GenerateDataset(data::DatasetProfile::WikiLike(4));
+  clouddb::CostModel cost;
+  cost.time_scale = 0.0;
+  auto db = MakeTestDatabase(ds, {0}, true, cost);
+  ASSERT_TRUE(db.ok());
+  auto conn = (*db)->Connect();
+  auto meta = conn->GetTableMetadata(ds.tables[0].name);
+  ASSERT_TRUE(meta.ok());
+  EXPECT_TRUE(meta->columns[0].histogram.has_value());
+}
+
+TEST(ExperimentTest, StackCachingRoundTrip) {
+  // Build a minuscule stack twice with a cache dir: the second build must
+  // load rather than retrain and produce identical weights.
+  auto cache = std::filesystem::temp_directory_path() / "taste_test_cache";
+  std::filesystem::remove_all(cache);
+  StackOptions opt;
+  opt.num_tables = 20;
+  opt.pretrain_epochs = 1;
+  opt.finetune_epochs = 1;
+  opt.train_adtd_hist = false;
+  opt.train_baselines = false;
+  opt.cache_dir = cache.string();
+  auto a = BuildStack(data::DatasetProfile::WikiLike(), opt);
+  ASSERT_TRUE(a.ok());
+  auto b = BuildStack(data::DatasetProfile::WikiLike(), opt);
+  ASSERT_TRUE(b.ok());
+  auto pa = a->adtd->NamedParameters();
+  auto pb = b->adtd->NamedParameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    ASSERT_EQ(pa[i].second.numel(), pb[i].second.numel());
+    for (int64_t j = 0; j < pa[i].second.numel(); ++j) {
+      ASSERT_EQ(pa[i].second.data()[j], pb[i].second.data()[j])
+          << pa[i].first;
+    }
+  }
+  std::filesystem::remove_all(cache);
+}
+
+TEST(ExperimentTest, SummarizeResultsComputesRatio) {
+  data::Dataset ds = data::GenerateDataset(data::DatasetProfile::WikiLike(3));
+  std::vector<core::TableDetectionResult> results(1);
+  results[0].table_name = ds.tables[0].name;
+  for (size_t c = 0; c < ds.tables[0].columns.size(); ++c) {
+    core::ColumnPrediction p;
+    p.ordinal = static_cast<int>(c);
+    p.admitted_types = ds.tables[0].columns[c].labels;
+    results[0].columns.push_back(p);
+  }
+  clouddb::IoLedger::Snapshot ledger;
+  ledger.scanned_columns = 1;
+  ledger.simulated_io_ms = 12.5;
+  EvalRunResult r = SummarizeResults(results, ds, {0}, ledger, 100.0);
+  EXPECT_DOUBLE_EQ(r.scores.f1, 1.0);
+  EXPECT_EQ(r.scanned_columns, 1);
+  EXPECT_EQ(r.total_columns,
+            static_cast<int64_t>(ds.tables[0].columns.size()));
+  EXPECT_GT(r.scanned_ratio(), 0.0);
+  EXPECT_EQ(r.simulated_io_ms, 12.5);
+  EXPECT_EQ(r.wall_ms, 100.0);
+}
+
+}  // namespace
+}  // namespace taste::eval

@@ -1,0 +1,319 @@
+// Tests for the paper's future-work features implemented here (Sec. 8):
+// domain-set evolution (TypeRemap + ExtendAdtdModel + classifier-only
+// fine-tuning) and user-feedback adaptation (FeedbackStore).
+
+#include <gtest/gtest.h>
+
+#include "core/feedback.h"
+#include "data/table_generator.h"
+#include "model/extension.h"
+#include "model/trainer.h"
+#include "tensor/ops.h"
+
+namespace taste {
+namespace {
+
+const data::SemanticTypeRegistry& Reg() {
+  return data::SemanticTypeRegistry::Default();
+}
+
+// ---- TypeRemap ---------------------------------------------------------------
+
+TEST(TypeRemapTest, RoundTripAndNullAlwaysMapped) {
+  auto retained = data::SelectRetainedTypes(Reg(), 10, 1);
+  data::TypeRemap remap = data::TypeRemap::ForRetained(retained, Reg());
+  EXPECT_EQ(remap.num_local_types(), 11);  // retained + type:null
+  EXPECT_TRUE(remap.Covers(Reg().null_type_id()));
+  for (int g : retained) {
+    ASSERT_TRUE(remap.Covers(g));
+    EXPECT_EQ(remap.ToGlobal(remap.ToLocal(g)), g);
+  }
+}
+
+TEST(TypeRemapTest, UnmappedGlobalsReturnMinusOne) {
+  auto retained = data::SelectRetainedTypes(Reg(), 5, 2);
+  data::TypeRemap remap = data::TypeRemap::ForRetained(retained, Reg());
+  int unmapped = 0;
+  for (int g = 0; g < Reg().size(); ++g) {
+    if (remap.ToLocal(g) < 0) ++unmapped;
+  }
+  EXPECT_EQ(unmapped, Reg().size() - 6);
+}
+
+TEST(TypeRemapTest, ExtendPreservesExistingIds) {
+  auto retained = data::SelectRetainedTypes(Reg(), 8, 3);
+  data::TypeRemap remap = data::TypeRemap::ForRetained(retained, Reg());
+  std::vector<std::pair<int, int>> before;
+  for (int g : retained) before.emplace_back(g, remap.ToLocal(g));
+  // Find two unmapped globals and extend.
+  std::vector<int> fresh;
+  for (int g = 0; g < Reg().size() && fresh.size() < 2; ++g) {
+    if (!remap.Covers(g)) fresh.push_back(g);
+  }
+  ASSERT_EQ(fresh.size(), 2u);
+  int old_count = remap.num_local_types();
+  remap.Extend(fresh);
+  EXPECT_EQ(remap.num_local_types(), old_count + 2);
+  for (auto [g, local] : before) EXPECT_EQ(remap.ToLocal(g), local);
+  EXPECT_EQ(remap.ToLocal(fresh[0]), old_count);
+  EXPECT_EQ(remap.ToLocal(fresh[1]), old_count + 1);
+}
+
+TEST(TypeRemapTest, RemapLabelsSendsUncoveredToNull) {
+  data::Dataset ds = data::GenerateDataset(data::DatasetProfile::WikiLike(10));
+  auto retained = data::SelectRetainedTypes(Reg(), 6, 4);
+  data::TypeRemap remap = data::TypeRemap::ForRetained(retained, Reg());
+  data::Dataset local = data::RemapLabels(ds, remap, Reg());
+  int local_null = remap.ToLocal(Reg().null_type_id());
+  for (const auto& t : local.tables) {
+    for (const auto& c : t.columns) {
+      ASSERT_FALSE(c.labels.empty());
+      for (int l : c.labels) {
+        EXPECT_GE(l, 0);
+        EXPECT_LT(l, remap.num_local_types());
+      }
+      if (c.labels.size() == 1 && c.labels[0] == local_null) continue;
+      // Non-null labels must correspond to retained globals.
+      for (int l : c.labels) {
+        EXPECT_NE(l, local_null);
+        EXPECT_TRUE(remap.Covers(remap.ToGlobal(l)));
+      }
+    }
+  }
+}
+
+// ---- model extension -----------------------------------------------------------
+
+struct Env {
+  data::Dataset dataset;
+  std::unique_ptr<text::WordPieceTokenizer> tokenizer;
+
+  static Env Make(int tables = 30) {
+    Env e;
+    e.dataset = data::GenerateDataset(data::DatasetProfile::WikiLike(tables));
+    text::WordPieceTrainer trainer({.vocab_size = 500});
+    for (const auto& d : data::BuildCorpusDocuments(e.dataset)) {
+      trainer.AddDocument(d);
+    }
+    e.tokenizer = std::make_unique<text::WordPieceTokenizer>(trainer.Train());
+    return e;
+  }
+};
+
+TEST(ExtendModelTest, GrowsTypeSpaceAndPreservesOldLogits) {
+  Env e = Env::Make(8);
+  model::AdtdConfig cfg =
+      model::AdtdConfig::Tiny(e.tokenizer->vocab().size(), 12);
+  Rng rng(5);
+  model::AdtdModel old_model(cfg, rng);
+  Rng rng2(6);
+  auto grown = model::ExtendAdtdModel(old_model, 15, rng2);
+  ASSERT_TRUE(grown.ok());
+  EXPECT_EQ((*grown)->config().num_types, 15);
+
+  // Same input through both models: the first 12 logits must be identical.
+  clouddb::CostModel cost;
+  cost.time_scale = 0.0;
+  clouddb::SimulatedDatabase db(cost);
+  ASSERT_TRUE(db.CreateTable(e.dataset.tables[0]).ok());
+  auto meta = db.Connect()->GetTableMetadata(e.dataset.tables[0].name);
+  ASSERT_TRUE(meta.ok());
+  model::InputEncoder encoder(e.tokenizer.get(), cfg.input);
+  model::EncodedMetadata em = encoder.EncodeMetadata(*meta);
+  tensor::NoGradGuard ng;
+  auto out_old = old_model.ForwardMetadata(em);
+  auto out_new = (*grown)->ForwardMetadata(em);
+  for (int c = 0; c < em.num_columns; ++c) {
+    for (int t = 0; t < 12; ++t) {
+      EXPECT_FLOAT_EQ(out_old.logits.data()[c * 12 + t],
+                      out_new.logits.data()[c * 15 + t])
+          << "col " << c << " type " << t;
+    }
+  }
+}
+
+TEST(ExtendModelTest, RejectsShrinking) {
+  Env e = Env::Make(6);
+  model::AdtdConfig cfg =
+      model::AdtdConfig::Tiny(e.tokenizer->vocab().size(), 12);
+  Rng rng(7);
+  model::AdtdModel m(cfg, rng);
+  Rng rng2(8);
+  EXPECT_FALSE(model::ExtendAdtdModel(m, 12, rng2).ok());
+  EXPECT_FALSE(model::ExtendAdtdModel(m, 5, rng2).ok());
+}
+
+TEST(ExtendModelTest, ClassifierOnlyFineTuneLearnsNewTypesAndFreezesEncoder) {
+  // Train on a reduced domain, extend to the full domain, fine-tune only
+  // the classifiers on newly labeled data: the encoder must not move.
+  Env e = Env::Make(24);
+  auto retained = data::SelectRetainedTypes(Reg(), 20, 9);
+  data::TypeRemap remap = data::TypeRemap::ForRetained(retained, Reg());
+  data::Dataset local = data::RemapLabels(e.dataset, remap, Reg());
+
+  model::AdtdConfig cfg = model::AdtdConfig::Tiny(
+      e.tokenizer->vocab().size(), remap.num_local_types());
+  Rng rng(10);
+  model::AdtdModel base(cfg, rng);
+  model::FineTuner base_tuner(&base, e.tokenizer.get());
+  std::vector<int> all_tables;
+  for (int i = 0; i < static_cast<int>(local.tables.size()); ++i) {
+    all_tables.push_back(i);
+  }
+  model::FineTuneOptions ft;
+  ft.epochs = 2;
+  ASSERT_TRUE(base_tuner.Train(local, all_tables, ft).ok());
+
+  // Domain grows: every remaining type arrives.
+  std::vector<int> fresh;
+  for (int g = 0; g < Reg().size(); ++g) {
+    if (!remap.Covers(g)) fresh.push_back(g);
+  }
+  remap.Extend(fresh);
+  Rng rng2(11);
+  auto grown = model::ExtendAdtdModel(base, remap.num_local_types(), rng2);
+  ASSERT_TRUE(grown.ok());
+
+  // Snapshot an encoder parameter before adaptation.
+  std::vector<float> encoder_before;
+  for (const auto& [name, p] : (*grown)->NamedParameters()) {
+    if (name.rfind("encoder.layer0.attn.q.weight", 0) == 0) {
+      encoder_before.assign(p.data(), p.data() + p.numel());
+    }
+  }
+  ASSERT_FALSE(encoder_before.empty());
+
+  data::Dataset full_local = data::RemapLabels(e.dataset, remap, Reg());
+  model::FineTuner tuner(grown->get(), e.tokenizer.get());
+  model::FineTuneOptions adapt;
+  adapt.epochs = 2;
+  adapt.classifier_only = true;
+  auto loss = tuner.Train(full_local, all_tables, adapt);
+  ASSERT_TRUE(loss.ok());
+
+  for (const auto& [name, p] : (*grown)->NamedParameters()) {
+    if (name.rfind("encoder.layer0.attn.q.weight", 0) == 0) {
+      for (int64_t i = 0; i < p.numel(); ++i) {
+        ASSERT_EQ(p.data()[i], encoder_before[static_cast<size_t>(i)])
+            << "encoder moved during classifier-only fine-tune";
+      }
+    }
+  }
+}
+
+// ---- feedback --------------------------------------------------------------------
+
+TEST(FeedbackStoreTest, AddAndSize) {
+  core::FeedbackStore store;
+  EXPECT_EQ(store.size(), 0u);
+  store.Add({"orders", "num", 3, true});
+  store.Add({"orders", "num", 4, false});
+  EXPECT_EQ(store.size(), 2u);
+  // Re-adding the same fact does not duplicate.
+  store.Add({"orders", "num", 3, true});
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(FeedbackStoreTest, LaterFeedbackSupersedes) {
+  core::FeedbackStore store;
+  store.Add({"t", "c", 7, true});
+  store.Add({"t", "c", 7, false});  // tenant changed their mind
+  core::TableDetectionResult result;
+  result.table_name = "t";
+  core::ColumnPrediction pred;
+  pred.column_name = "c";
+  pred.admitted_types = {7};
+  result.columns.push_back(pred);
+  EXPECT_EQ(store.ApplyOverrides(&result), 1);
+  EXPECT_TRUE(result.columns[0].admitted_types.empty());
+}
+
+TEST(FeedbackStoreTest, OverridesAddAndRemove) {
+  core::FeedbackStore store;
+  store.Add({"t", "c", 1, true});   // confirm type 1
+  store.Add({"t", "c", 2, false});  // reject type 2
+  core::TableDetectionResult result;
+  result.table_name = "t";
+  core::ColumnPrediction pred;
+  pred.column_name = "c";
+  pred.admitted_types = {2, 3};
+  result.columns.push_back(pred);
+  store.ApplyOverrides(&result);
+  EXPECT_EQ(result.columns[0].admitted_types, (std::vector<int>{1, 3}));
+}
+
+TEST(FeedbackStoreTest, UntouchedColumnsUnchanged) {
+  core::FeedbackStore store;
+  store.Add({"t", "other", 1, true});
+  core::TableDetectionResult result;
+  result.table_name = "t";
+  core::ColumnPrediction pred;
+  pred.column_name = "c";
+  pred.admitted_types = {5};
+  result.columns.push_back(pred);
+  EXPECT_EQ(store.ApplyOverrides(&result), 0);
+  EXPECT_EQ(result.columns[0].admitted_types, (std::vector<int>{5}));
+}
+
+TEST(FeedbackStoreTest, WrongTableIgnored) {
+  core::FeedbackStore store;
+  store.Add({"other_table", "c", 1, true});
+  core::TableDetectionResult result;
+  result.table_name = "t";
+  core::ColumnPrediction pred;
+  pred.column_name = "c";
+  result.columns.push_back(pred);
+  EXPECT_EQ(store.ApplyOverrides(&result), 0);
+}
+
+TEST(FeedbackDatasetTest, IncludesOnlyTablesWithFeedbackAndPatchesLabels) {
+  data::Dataset ds = data::GenerateDataset(data::DatasetProfile::WikiLike(8));
+  const auto& table = ds.tables[2];
+  const auto& column = table.columns[0];
+  int original = column.labels[0];
+  int other = (original + 1) % (Reg().size() - 1);
+  core::FeedbackStore store;
+  store.Add({table.name, column.name, original, false});  // reject truth
+  store.Add({table.name, column.name, other, true});      // confirm another
+  data::Dataset fb = core::BuildFeedbackDataset(ds, store, Reg());
+  ASSERT_EQ(fb.tables.size(), 1u);
+  EXPECT_EQ(fb.tables[0].name, table.name);
+  EXPECT_EQ(fb.train.size(), 1u);
+  const auto& labels = fb.tables[0].columns[0].labels;
+  EXPECT_EQ(std::count(labels.begin(), labels.end(), original), 0);
+  EXPECT_EQ(std::count(labels.begin(), labels.end(), other), 1);
+}
+
+TEST(FeedbackDatasetTest, AllTypesRejectedBecomesNull) {
+  data::Dataset ds = data::GenerateDataset(data::DatasetProfile::WikiLike(5));
+  const auto& table = ds.tables[0];
+  const auto& column = table.columns[0];
+  core::FeedbackStore store;
+  for (int l : column.labels) store.Add({table.name, column.name, l, false});
+  data::Dataset fb = core::BuildFeedbackDataset(ds, store, Reg());
+  ASSERT_EQ(fb.tables.size(), 1u);
+  EXPECT_EQ(fb.tables[0].columns[0].labels,
+            (std::vector<int>{Reg().null_type_id()}));
+}
+
+TEST(FeedbackIntegrationTest, ClassifierOnlyFineTuneFromFeedback) {
+  // Feedback dataset + classifier-only fine-tune run end to end.
+  Env e = Env::Make(16);
+  model::AdtdConfig cfg =
+      model::AdtdConfig::Tiny(e.tokenizer->vocab().size(), Reg().size());
+  Rng rng(21);
+  model::AdtdModel m(cfg, rng);
+  core::FeedbackStore store;
+  const auto& table = e.dataset.tables[0];
+  store.Add({table.name, table.columns[0].name, 0, true});
+  data::Dataset fb = core::BuildFeedbackDataset(e.dataset, store, Reg());
+  ASSERT_FALSE(fb.tables.empty());
+  model::FineTuner tuner(&m, e.tokenizer.get());
+  model::FineTuneOptions opt;
+  opt.epochs = 1;
+  opt.classifier_only = true;
+  EXPECT_TRUE(tuner.Train(fb, fb.train, opt).ok());
+}
+
+}  // namespace
+}  // namespace taste

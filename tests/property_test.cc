@@ -1,0 +1,351 @@
+// Property-based tests: parameterized sweeps asserting invariants of the
+// numeric substrate, tokenizer, histograms, metrics, and data generation
+// across many shapes and seeds (TEST_P / INSTANTIATE_TEST_SUITE_P).
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "clouddb/histogram.h"
+#include "data/table_generator.h"
+#include "data/wordlists.h"
+#include "eval/metrics.h"
+#include "tensor/ops.h"
+#include "text/wordpiece.h"
+
+namespace taste {
+namespace {
+
+// ---- tensor properties over random shapes -------------------------------------
+
+struct ShapeCase {
+  int64_t rows;
+  int64_t cols;
+  uint64_t seed;
+};
+
+class TensorPropertyTest : public ::testing::TestWithParam<ShapeCase> {};
+
+TEST_P(TensorPropertyTest, SoftmaxRowsSumToOne) {
+  auto p = GetParam();
+  Rng rng(p.seed);
+  tensor::Tensor x = tensor::Tensor::Randn({p.rows, p.cols}, rng, 3.0f);
+  tensor::Tensor s = tensor::Softmax(x);
+  for (int64_t r = 0; r < p.rows; ++r) {
+    double sum = 0;
+    for (int64_t c = 0; c < p.cols; ++c) sum += s.data()[r * p.cols + c];
+    EXPECT_NEAR(sum, 1.0, 1e-4);
+  }
+}
+
+TEST_P(TensorPropertyTest, SoftmaxIsShiftInvariant) {
+  auto p = GetParam();
+  Rng rng(p.seed);
+  tensor::Tensor x = tensor::Tensor::Randn({p.rows, p.cols}, rng);
+  tensor::Tensor y = tensor::AddScalar(x, 7.5f);
+  tensor::Tensor sx = tensor::Softmax(x);
+  tensor::Tensor sy = tensor::Softmax(y);
+  for (int64_t i = 0; i < sx.numel(); ++i) {
+    EXPECT_NEAR(sx.data()[i], sy.data()[i], 1e-5f);
+  }
+}
+
+TEST_P(TensorPropertyTest, TransposeIsInvolution) {
+  auto p = GetParam();
+  Rng rng(p.seed);
+  tensor::Tensor x = tensor::Tensor::Randn({p.rows, p.cols}, rng);
+  tensor::Tensor tt = tensor::TransposeLast2(tensor::TransposeLast2(x));
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    EXPECT_EQ(x.data()[i], tt.data()[i]);
+  }
+}
+
+TEST_P(TensorPropertyTest, MatMulAssociativity) {
+  auto p = GetParam();
+  Rng rng(p.seed);
+  tensor::Tensor a = tensor::Tensor::Randn({p.rows, p.cols}, rng, 0.5f);
+  tensor::Tensor b = tensor::Tensor::Randn({p.cols, p.rows}, rng, 0.5f);
+  tensor::Tensor c = tensor::Tensor::Randn({p.rows, p.cols}, rng, 0.5f);
+  tensor::Tensor left = tensor::MatMul(tensor::MatMul(a, b), c);
+  tensor::Tensor right = tensor::MatMul(a, tensor::MatMul(b, c));
+  for (int64_t i = 0; i < left.numel(); ++i) {
+    EXPECT_NEAR(left.data()[i], right.data()[i],
+                1e-3f * (1.0f + std::abs(left.data()[i])));
+  }
+}
+
+TEST_P(TensorPropertyTest, LayerNormShiftAndScaleInvariant) {
+  // With unit gamma and zero beta, LN(a*x + b) == LN(x) for a > 0.
+  auto p = GetParam();
+  Rng rng(p.seed);
+  tensor::Tensor x = tensor::Tensor::Randn({p.rows, p.cols}, rng);
+  tensor::Tensor y = tensor::AddScalar(tensor::Scale(x, 3.0f), -2.0f);
+  tensor::Tensor gamma = tensor::Tensor::Full({p.cols}, 1.0f);
+  tensor::Tensor beta = tensor::Tensor::Zeros({p.cols});
+  tensor::Tensor lx = tensor::LayerNorm(x, gamma, beta);
+  tensor::Tensor ly = tensor::LayerNorm(y, gamma, beta);
+  for (int64_t i = 0; i < lx.numel(); ++i) {
+    EXPECT_NEAR(lx.data()[i], ly.data()[i], 2e-3f);
+  }
+}
+
+TEST_P(TensorPropertyTest, SigmoidBounds) {
+  auto p = GetParam();
+  Rng rng(p.seed);
+  tensor::Tensor x = tensor::Tensor::Randn({p.rows, p.cols}, rng, 10.0f);
+  tensor::Tensor s = tensor::Sigmoid(x);
+  // Float sigmoid saturates to exactly 0/1 for |x| beyond ~17; bounds are
+  // inclusive.
+  for (int64_t i = 0; i < s.numel(); ++i) {
+    EXPECT_GE(s.data()[i], 0.0f);
+    EXPECT_LE(s.data()[i], 1.0f);
+  }
+}
+
+TEST_P(TensorPropertyTest, ReshapeRoundTrip) {
+  auto p = GetParam();
+  Rng rng(p.seed);
+  tensor::Tensor x = tensor::Tensor::Randn({p.rows, p.cols}, rng);
+  tensor::Tensor r =
+      tensor::Reshape(tensor::Reshape(x, {p.cols * p.rows}), {p.rows, p.cols});
+  for (int64_t i = 0; i < x.numel(); ++i) EXPECT_EQ(x.data()[i], r.data()[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TensorPropertyTest,
+    ::testing::Values(ShapeCase{1, 1, 1}, ShapeCase{2, 7, 2},
+                      ShapeCase{5, 5, 3}, ShapeCase{8, 3, 4},
+                      ShapeCase{16, 16, 5}, ShapeCase{3, 32, 6}));
+
+// ---- gradient-vs-numeric property over ops and seeds ---------------------------
+
+class GradSweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GradSweepTest, TransformerMicroGraphGradMatchesNumeric) {
+  // A miniature attention-shaped graph checked against central differences
+  // for several random seeds.
+  Rng rng(GetParam());
+  tensor::Tensor q = tensor::Tensor::Randn({3, 4}, rng, 0.5f, true);
+  tensor::Tensor k = tensor::Tensor::Randn({5, 4}, rng, 0.5f, true);
+  tensor::Tensor v = tensor::Tensor::Randn({5, 4}, rng, 0.5f, true);
+  auto forward = [&](const tensor::Tensor& qq, const tensor::Tensor& kk,
+                     const tensor::Tensor& vv) {
+    tensor::Tensor scores =
+        tensor::Scale(tensor::MatMul(qq, tensor::TransposeLast2(kk)), 0.5f);
+    tensor::Tensor probs = tensor::Softmax(scores);
+    tensor::Tensor ctx = tensor::MatMul(probs, vv);
+    return tensor::MeanAll(tensor::Square(ctx));
+  };
+  tensor::Tensor loss = forward(q, k, v);
+  loss.Backward();
+  const float eps = 1e-3f;
+  for (tensor::Tensor* t : {&q, &k, &v}) {
+    std::vector<float> analytic = t->grad();
+    for (int64_t i = 0; i < t->numel(); ++i) {
+      float orig = t->data()[i];
+      t->data()[i] = orig + eps;
+      float up = forward(q, k, v).item();
+      t->data()[i] = orig - eps;
+      float down = forward(q, k, v).item();
+      t->data()[i] = orig;
+      EXPECT_NEAR(analytic[i], (up - down) / (2 * eps), 2e-2f);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GradSweepTest,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+// ---- tokenizer properties -------------------------------------------------------
+
+class TokenizerPropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  static const text::WordPieceTokenizer& Tok() {
+    static const text::WordPieceTokenizer* tok = [] {
+      data::Dataset ds =
+          data::GenerateDataset(data::DatasetProfile::WikiLike(15));
+      text::WordPieceTrainer trainer({.vocab_size = 500});
+      for (const auto& d : data::BuildCorpusDocuments(ds)) {
+        trainer.AddDocument(d);
+      }
+      return new text::WordPieceTokenizer(trainer.Train());
+    }();
+    return *tok;
+  }
+};
+
+TEST_P(TokenizerPropertyTest, EncodeFixedAlwaysExactLength) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    int len = static_cast<int>(rng.NextInt(1, 24));
+    std::string s;
+    int words = static_cast<int>(rng.NextInt(0, 6));
+    for (int w = 0; w < words; ++w) {
+      s += data::GenericWords()[rng.NextBelow(20)] + " ";
+    }
+    auto ids = Tok().EncodeFixed(s, len);
+    EXPECT_EQ(static_cast<int>(ids.size()), len);
+  }
+}
+
+TEST_P(TokenizerPropertyTest, EncodeNeverProducesOutOfRangeIds) {
+  Rng rng(GetParam());
+  const auto& reg = data::SemanticTypeRegistry::Default();
+  for (int trial = 0; trial < 30; ++trial) {
+    int type = static_cast<int>(rng.NextBelow(reg.size()));
+    std::string v = reg.GenerateValue(type, rng);
+    for (int id : Tok().Encode(v)) {
+      EXPECT_GE(id, 0);
+      EXPECT_LT(id, Tok().vocab().size());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TokenizerPropertyTest,
+                         ::testing::Values(1, 2, 3));
+
+// ---- histogram properties ---------------------------------------------------------
+
+class HistogramPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HistogramPropertyTest, FrequenciesFormDistribution) {
+  Rng rng(GetParam());
+  std::vector<std::string> values;
+  for (int i = 0; i < 200; ++i) {
+    values.push_back(std::to_string(rng.NextInt(-1000, 1000)));
+  }
+  clouddb::Histogram h = clouddb::BuildHistogram(values, 16);
+  ASSERT_EQ(h.kind, clouddb::Histogram::Kind::kEquiWidth);
+  double sum = 0;
+  for (double f : h.frequencies) {
+    EXPECT_GE(f, 0.0);
+    sum += f;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  for (size_t b = 1; b < h.bounds.size(); ++b) {
+    EXPECT_GT(h.bounds[b], h.bounds[b - 1]);
+  }
+}
+
+TEST_P(HistogramPropertyTest, TopValuesSortedAndBounded) {
+  Rng rng(GetParam());
+  std::vector<std::string> values;
+  for (int i = 0; i < 150; ++i) {
+    values.push_back(rng.Choice(data::Colors()));
+  }
+  clouddb::Histogram h = clouddb::BuildHistogram(values, 8);
+  ASSERT_EQ(h.kind, clouddb::Histogram::Kind::kTopValues);
+  for (size_t i = 0; i < h.top_values.size(); ++i) {
+    EXPECT_GT(h.top_values[i].second, 0.0);
+    EXPECT_LE(h.top_values[i].second, 1.0);
+    if (i > 0) {
+      EXPECT_GE(h.top_values[i - 1].second, h.top_values[i].second);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramPropertyTest,
+                         ::testing::Values(7, 8, 9, 10));
+
+// ---- metric properties -------------------------------------------------------------
+
+class MetricsPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MetricsPropertyTest, ScoresBoundedAndSwapSymmetric) {
+  Rng rng(GetParam());
+  std::vector<std::vector<int>> truth, pred;
+  for (int c = 0; c < 50; ++c) {
+    std::vector<int> t, p;
+    for (int s = 0; s < 5; ++s) {
+      if (rng.NextBool(0.3)) t.push_back(s);
+      if (rng.NextBool(0.3)) p.push_back(s);
+    }
+    truth.push_back(t);
+    pred.push_back(p);
+  }
+  eval::PrfScores forward = eval::MicroPrf(truth, pred, /*null=*/99);
+  eval::PrfScores swapped = eval::MicroPrf(pred, truth, /*null=*/99);
+  EXPECT_GE(forward.f1, 0.0);
+  EXPECT_LE(forward.f1, 1.0);
+  // Swapping truth and prediction swaps precision and recall, keeps F1.
+  EXPECT_DOUBLE_EQ(forward.precision, swapped.recall);
+  EXPECT_DOUBLE_EQ(forward.recall, swapped.precision);
+  EXPECT_NEAR(forward.f1, swapped.f1, 1e-12);
+}
+
+TEST_P(MetricsPropertyTest, SelfPredictionIsPerfectOrEmpty) {
+  Rng rng(GetParam());
+  std::vector<std::vector<int>> labels;
+  bool any = false;
+  for (int c = 0; c < 20; ++c) {
+    std::vector<int> l;
+    for (int s = 0; s < 4; ++s) {
+      if (rng.NextBool(0.4)) {
+        l.push_back(s);
+        any = true;
+      }
+    }
+    labels.push_back(l);
+  }
+  eval::PrfScores s = eval::MicroPrf(labels, labels, 99);
+  if (any) {
+    EXPECT_DOUBLE_EQ(s.f1, 1.0);
+  } else {
+    EXPECT_DOUBLE_EQ(s.f1, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricsPropertyTest,
+                         ::testing::Values(100, 200, 300, 400));
+
+// ---- dataset generation properties ---------------------------------------------------
+
+class DatasetPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DatasetPropertyTest, StructuralInvariants) {
+  data::DatasetProfile profile = data::DatasetProfile::GitLike(25);
+  profile.seed = GetParam();
+  data::Dataset ds = data::GenerateDataset(profile);
+  const auto& reg = data::SemanticTypeRegistry::Default();
+  EXPECT_EQ(ds.tables.size(), 25u);
+  for (const auto& t : ds.tables) {
+    EXPECT_FALSE(t.name.empty());
+    EXPECT_GE(static_cast<int>(t.columns.size()), profile.min_columns);
+    EXPECT_LE(static_cast<int>(t.columns.size()), profile.max_columns);
+    for (const auto& c : t.columns) {
+      EXPECT_FALSE(c.name.empty());
+      EXPECT_FALSE(c.sql_type.empty());
+      EXPECT_EQ(static_cast<int>(c.values.size()), t.num_rows);
+      EXPECT_FALSE(c.labels.empty());
+      for (int l : c.labels) {
+        EXPECT_GE(l, 0);
+        EXPECT_LT(l, reg.size());
+      }
+    }
+  }
+  EXPECT_EQ(ds.train.size() + ds.valid.size() + ds.test.size(),
+            ds.tables.size());
+}
+
+TEST_P(DatasetPropertyTest, NullColumnsOnlyCarryNullLabel) {
+  data::DatasetProfile profile = data::DatasetProfile::GitLike(25);
+  profile.seed = GetParam();
+  data::Dataset ds = data::GenerateDataset(profile);
+  const auto& reg = data::SemanticTypeRegistry::Default();
+  for (const auto& t : ds.tables) {
+    for (const auto& c : t.columns) {
+      bool has_null = false;
+      for (int l : c.labels) has_null = has_null || l == reg.null_type_id();
+      if (has_null) {
+        EXPECT_EQ(c.labels.size(), 1u)
+            << "type:null must be exclusive, column " << c.name;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DatasetPropertyTest,
+                         ::testing::Values(1001, 1002, 1003, 1004, 1005));
+
+}  // namespace
+}  // namespace taste

@@ -1,0 +1,127 @@
+// Tests for the JSON export of detection results.
+
+#include <gtest/gtest.h>
+
+#include "core/result_json.h"
+
+namespace taste::core {
+namespace {
+
+const data::SemanticTypeRegistry& Reg() {
+  return data::SemanticTypeRegistry::Default();
+}
+
+TableDetectionResult MakeResult() {
+  TableDetectionResult r;
+  r.table_name = "customers";
+  r.total_columns = 2;
+  r.columns_scanned = 1;
+  ColumnPrediction a;
+  a.column_name = "email";
+  a.ordinal = 0;
+  a.admitted_types = {*Reg().IdByName("email")};
+  a.probabilities.assign(static_cast<size_t>(Reg().size()), 0.01f);
+  a.probabilities[static_cast<size_t>(*Reg().IdByName("email"))] = 0.97f;
+  a.went_to_p2 = false;
+  ColumnPrediction b;
+  b.column_name = "num";
+  b.ordinal = 1;
+  b.admitted_types = {*Reg().IdByName("phone_number")};
+  b.probabilities.assign(static_cast<size_t>(Reg().size()), 0.01f);
+  b.probabilities[static_cast<size_t>(*Reg().IdByName("phone_number"))] =
+      0.8f;
+  b.probabilities[static_cast<size_t>(*Reg().IdByName("credit_card"))] =
+      0.45f;
+  b.went_to_p2 = true;
+  r.columns = {a, b};
+  return r;
+}
+
+TEST(JsonEscapeTest, EscapesSpecials) {
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(JsonEscape("tab\there"), "tab\\there");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+}
+
+TEST(ResultJsonTest, ContainsCoreFields) {
+  std::string json = ResultToJson(MakeResult(), Reg());
+  EXPECT_NE(json.find("\"table\": \"customers\""), std::string::npos);
+  EXPECT_NE(json.find("\"columns_scanned\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"total_columns\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"email\""), std::string::npos);
+  EXPECT_NE(json.find("\"phone_number\""), std::string::npos);
+  EXPECT_NE(json.find("\"phase\": \"P1\""), std::string::npos);
+  EXPECT_NE(json.find("\"phase\": \"P2\""), std::string::npos);
+}
+
+TEST(ResultJsonTest, CandidatesListNonAdmittedHighProbTypes) {
+  std::string json = ResultToJson(MakeResult(), Reg());
+  // credit_card at p=0.45 is above the 0.2 default threshold and not
+  // admitted -> listed as a candidate.
+  EXPECT_NE(json.find("\"candidates\""), std::string::npos);
+  EXPECT_NE(json.find("credit_card"), std::string::npos);
+}
+
+TEST(ResultJsonTest, ProbabilitiesGatedByOption) {
+  JsonOptions with;
+  with.include_probabilities = true;
+  std::string on = ResultToJson(MakeResult(), Reg(), with);
+  std::string off = ResultToJson(MakeResult(), Reg());
+  EXPECT_NE(on.find("\"probabilities\""), std::string::npos);
+  EXPECT_EQ(off.find("\"probabilities\""), std::string::npos);
+}
+
+TEST(ResultJsonTest, CompactModeHasNoNewlines) {
+  JsonOptions compact;
+  compact.pretty = false;
+  std::string json = ResultToJson(MakeResult(), Reg(), compact);
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+}
+
+TEST(ResultJsonTest, BatchArray) {
+  std::vector<TableDetectionResult> results = {MakeResult(), MakeResult()};
+  std::string json = ResultsToJson(results, Reg());
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  // Two tables rendered.
+  size_t first = json.find("\"table\"");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_NE(json.find("\"table\"", first + 1), std::string::npos);
+}
+
+TEST(ResultJsonTest, BalancedBracesAndQuotes) {
+  for (bool pretty : {true, false}) {
+    JsonOptions o;
+    o.pretty = pretty;
+    o.include_probabilities = true;
+    std::string json = ResultToJson(MakeResult(), Reg(), o);
+    int depth = 0, brackets = 0;
+    int quotes = 0;
+    bool in_string = false;
+    for (size_t i = 0; i < json.size(); ++i) {
+      char c = json[i];
+      if (c == '"' && (i == 0 || json[i - 1] != '\\')) {
+        in_string = !in_string;
+        ++quotes;
+      }
+      if (in_string) continue;
+      if (c == '{') ++depth;
+      if (c == '}') --depth;
+      if (c == '[') ++brackets;
+      if (c == ']') --brackets;
+    }
+    EXPECT_EQ(depth, 0);
+    EXPECT_EQ(brackets, 0);
+    EXPECT_EQ(quotes % 2, 0);
+  }
+}
+
+TEST(ResultJsonTest, EmptyBatch) {
+  EXPECT_EQ(ResultsToJson({}, Reg(), {.pretty = false}), "[]");
+}
+
+}  // namespace
+}  // namespace taste::core

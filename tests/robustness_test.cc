@@ -1,0 +1,207 @@
+// Robustness and edge-case tests across module boundaries: serving-time
+// overrides, degenerate inputs, corrupted checkpoints, and concurrent use
+// of shared components.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "core/feedback.h"
+#include "core/taste_detector.h"
+#include "data/table_generator.h"
+#include "nn/serialize.h"
+#include "text/wordpiece.h"
+
+namespace taste {
+namespace {
+
+struct Env {
+  data::Dataset dataset;
+  std::unique_ptr<text::WordPieceTokenizer> tokenizer;
+  std::unique_ptr<model::AdtdModel> model;
+  std::unique_ptr<clouddb::SimulatedDatabase> db;
+
+  static Env Make(int tables = 10) {
+    Env e;
+    e.dataset = data::GenerateDataset(data::DatasetProfile::WikiLike(tables));
+    text::WordPieceTrainer trainer({.vocab_size = 400});
+    for (const auto& d : data::BuildCorpusDocuments(e.dataset)) {
+      trainer.AddDocument(d);
+    }
+    e.tokenizer = std::make_unique<text::WordPieceTokenizer>(trainer.Train());
+    model::AdtdConfig cfg = model::AdtdConfig::Tiny(
+        e.tokenizer->vocab().size(),
+        data::SemanticTypeRegistry::Default().size());
+    Rng rng(77);
+    e.model = std::make_unique<model::AdtdModel>(cfg, rng);
+    clouddb::CostModel cost;
+    cost.time_scale = 0.0;
+    e.db = std::make_unique<clouddb::SimulatedDatabase>(cost);
+    TASTE_CHECK(e.db->IngestDataset(e.dataset).ok());
+    return e;
+  }
+};
+
+TEST(OverrideTest, CellsPerColumnOverrideChangesScanUsage) {
+  Env e = Env::Make();
+  core::TasteOptions small;
+  small.override_cells_per_column = 1;
+  core::TasteOptions large;
+  large.override_cells_per_column = 20;
+  core::TasteDetector det_small(e.model.get(), e.tokenizer.get(), small);
+  core::TasteDetector det_large(e.model.get(), e.tokenizer.get(), large);
+  auto conn = e.db->Connect();
+  auto a = det_small.DetectTable(conn.get(), e.dataset.tables[0].name);
+  auto b = det_large.DetectTable(conn.get(), e.dataset.tables[0].name);
+  ASSERT_TRUE(a.ok() && b.ok());
+  // Both must produce full, well-formed results for every column.
+  EXPECT_EQ(a->columns.size(), b->columns.size());
+  // Predictions (P2) may differ since the content evidence differs.
+  // What must NOT differ is which columns were scanned (P1 decides that).
+  EXPECT_EQ(a->columns_scanned, b->columns_scanned);
+}
+
+TEST(OverrideTest, SplitThresholdOverrideSplitsServing) {
+  Env e = Env::Make();
+  core::TasteOptions tiny_l;
+  tiny_l.override_split_threshold = 1;  // every column its own chunk
+  core::TasteDetector det(e.model.get(), e.tokenizer.get(), tiny_l);
+  auto conn = e.db->Connect();
+  const auto& table = e.dataset.tables[1];
+  auto res = det.DetectTable(conn.get(), table.name);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->columns.size(), table.columns.size());
+  for (size_t i = 0; i < res->columns.size(); ++i) {
+    EXPECT_EQ(res->columns[i].ordinal, static_cast<int>(i));
+  }
+}
+
+TEST(EdgeCaseTest, SplitWideTableWithLOne) {
+  clouddb::TableMetadata meta;
+  meta.columns.resize(5);
+  for (int i = 0; i < 5; ++i) meta.columns[i].ordinal = i;
+  auto chunks = model::SplitWideTable(meta, 1);
+  EXPECT_EQ(chunks.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(chunks[i].columns.size(), 1u);
+    EXPECT_EQ(chunks[i].columns[0].ordinal, static_cast<int>(i));
+  }
+}
+
+TEST(EdgeCaseTest, EmptyTableRejectedByDetector) {
+  Env e = Env::Make(3);
+  data::TableSpec empty;
+  empty.name = "empty_table";
+  empty.num_rows = 0;
+  ASSERT_TRUE(e.db->CreateTable(empty).ok());
+  core::TasteDetector det(e.model.get(), e.tokenizer.get(), {});
+  auto conn = e.db->Connect();
+  auto res = det.DetectTable(conn.get(), "empty_table");
+  EXPECT_FALSE(res.ok());
+}
+
+TEST(EdgeCaseTest, EncodeFixedZeroLength) {
+  Env e = Env::Make(3);
+  auto ids = e.tokenizer->EncodeFixed("anything", 0);
+  EXPECT_TRUE(ids.empty());
+}
+
+TEST(EdgeCaseTest, SingleRowTableWorksEndToEnd) {
+  Env e = Env::Make(3);
+  data::TableSpec t;
+  t.name = "one_row";
+  t.num_rows = 1;
+  data::ColumnSpec c;
+  c.name = "email";
+  c.sql_type = "varchar(255)";
+  c.values = {"a@b.com"};
+  c.labels = {0};
+  t.columns.push_back(c);
+  ASSERT_TRUE(e.db->CreateTable(t).ok());
+  core::TasteDetector det(e.model.get(), e.tokenizer.get(), {});
+  auto conn = e.db->Connect();
+  auto res = det.DetectTable(conn.get(), "one_row");
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->columns.size(), 1u);
+}
+
+TEST(CheckpointRobustnessTest, TruncatedFileRejectedCleanly) {
+  Env e = Env::Make(3);
+  auto path = std::filesystem::temp_directory_path() / "taste_trunc.ckpt";
+  ASSERT_TRUE(nn::SaveCheckpoint(*e.model, path.string()).ok());
+  // Truncate to 60% of its size: must fail with IOError, not crash.
+  auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size * 6 / 10);
+  model::AdtdConfig cfg = e.model->config();
+  Rng rng(1);
+  model::AdtdModel fresh(cfg, rng);
+  Status st = nn::LoadCheckpoint(&fresh, path.string());
+  EXPECT_FALSE(st.ok());
+  std::filesystem::remove(path);
+}
+
+TEST(CheckpointRobustnessTest, EmptyFileRejected) {
+  auto path = std::filesystem::temp_directory_path() / "taste_empty.ckpt";
+  {
+    std::ofstream out(path);
+  }
+  Rng rng(2);
+  nn::Linear lin(2, 2, rng);
+  EXPECT_FALSE(nn::LoadCheckpoint(&lin, path.string()).ok());
+  std::filesystem::remove(path);
+}
+
+TEST(ConcurrencyTest, FeedbackStoreParallelWrites) {
+  core::FeedbackStore store;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&store, t] {
+      for (int i = 0; i < 50; ++i) {
+        store.Add({"table" + std::to_string(i % 5),
+                   "col" + std::to_string(t), i % 7, (i % 2) == 0});
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_GT(store.size(), 0u);
+}
+
+TEST(ConcurrencyTest, SharedDetectorAcrossThreads) {
+  // One detector instance, two threads, separate connections: the model is
+  // read-only at inference and the latent cache is synchronized.
+  Env e = Env::Make(8);
+  core::TasteDetector det(e.model.get(), e.tokenizer.get(), {});
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t] {
+      auto conn = e.db->Connect();
+      for (size_t i = static_cast<size_t>(t); i < e.dataset.tables.size();
+           i += 2) {
+        auto res = det.DetectTable(conn.get(), e.dataset.tables[i].name);
+        if (!res.ok()) ++errors;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(errors.load(), 0);
+}
+
+TEST(DeterminismTest, DetectionIsBitStableAcrossRuns) {
+  Env e = Env::Make(5);
+  core::TasteDetector det(e.model.get(), e.tokenizer.get(), {});
+  auto conn = e.db->Connect();
+  auto a = det.DetectTable(conn.get(), e.dataset.tables[0].name);
+  auto b = det.DetectTable(conn.get(), e.dataset.tables[0].name);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t c = 0; c < a->columns.size(); ++c) {
+    EXPECT_EQ(a->columns[c].admitted_types, b->columns[c].admitted_types);
+    EXPECT_EQ(a->columns[c].probabilities, b->columns[c].probabilities);
+  }
+}
+
+}  // namespace
+}  // namespace taste

@@ -1,0 +1,189 @@
+// Tests for the WordPiece tokenizer stack: pre-tokenization, vocabulary,
+// trainer merges, encoder semantics, and round-trips.
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "text/vocab.h"
+#include "text/wordpiece.h"
+
+namespace taste::text {
+namespace {
+
+TEST(PreTokenizeTest, SplitsSnakeCaseColumnNames) {
+  auto t = PreTokenize("customer_email_address");
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0], "customer");
+  EXPECT_EQ(t[1], "email");
+  EXPECT_EQ(t[2], "address");
+}
+
+TEST(PreTokenizeTest, LowercasesAndSplitsKebabAndDots) {
+  auto t = PreTokenize("User-ID.Main");
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0], "user");
+  EXPECT_EQ(t[1], "id");
+  EXPECT_EQ(t[2], "main");
+}
+
+TEST(PreTokenizeTest, PunctuationIsolated) {
+  auto t = PreTokenize("a@b,c");
+  ASSERT_EQ(t.size(), 5u);
+  EXPECT_EQ(t[1], "@");
+  EXPECT_EQ(t[3], ",");
+}
+
+TEST(PreTokenizeTest, DigitsStayGrouped) {
+  auto t = PreTokenize("call 555 0199");
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[1], "555");
+}
+
+TEST(PreTokenizeTest, EmptyAndWhitespaceOnly) {
+  EXPECT_TRUE(PreTokenize("").empty());
+  EXPECT_TRUE(PreTokenize("  \t\n").empty());
+}
+
+TEST(VocabTest, SpecialTokensFixedIds) {
+  Vocab v;
+  EXPECT_EQ(v.Id("[PAD]"), Vocab::kPadId);
+  EXPECT_EQ(v.Id("[UNK]"), Vocab::kUnkId);
+  EXPECT_EQ(v.Id("[CLS]"), Vocab::kClsId);
+  EXPECT_EQ(v.Id("[SEP]"), Vocab::kSepId);
+  EXPECT_EQ(v.Id("[MASK]"), Vocab::kMaskId);
+  EXPECT_EQ(v.size(), Vocab::kNumSpecialTokens);
+}
+
+TEST(VocabTest, AddTokenIdempotent) {
+  Vocab v;
+  int a = v.AddToken("email");
+  int b = v.AddToken("email");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(v.Token(a), "email");
+  EXPECT_TRUE(v.Contains("email"));
+}
+
+TEST(VocabTest, UnknownMapsToUnk) {
+  Vocab v;
+  EXPECT_EQ(v.Id("never-seen"), Vocab::kUnkId);
+}
+
+TEST(VocabTest, SaveLoadRoundTrip) {
+  Vocab v;
+  v.AddToken("alpha");
+  v.AddToken("##beta");
+  auto path = std::filesystem::temp_directory_path() / "taste_vocab_test.txt";
+  ASSERT_TRUE(v.Save(path.string()).ok());
+  auto loaded = Vocab::Load(path.string());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), v.size());
+  EXPECT_EQ(loaded->Id("alpha"), v.Id("alpha"));
+  EXPECT_EQ(loaded->Id("##beta"), v.Id("##beta"));
+  std::filesystem::remove(path);
+}
+
+TEST(VocabTest, LoadRejectsMissingSpecials) {
+  auto path = std::filesystem::temp_directory_path() / "taste_vocab_bad.txt";
+  {
+    std::ofstream out(path);
+    out << "foo\nbar\n";
+  }
+  EXPECT_FALSE(Vocab::Load(path.string()).ok());
+  std::filesystem::remove(path);
+}
+
+TEST(TrainerTest, LearnsFrequentWordsAsSinglePieces) {
+  WordPieceTrainer trainer({.vocab_size = 200, .min_pair_frequency = 2});
+  for (int i = 0; i < 50; ++i) {
+    trainer.AddDocument("customer email address");
+    trainer.AddDocument("customer phone number");
+  }
+  Vocab v = trainer.Train();
+  EXPECT_TRUE(v.Contains("customer"));
+  EXPECT_TRUE(v.Contains("email"));
+  EXPECT_TRUE(v.Contains("phone"));
+}
+
+TEST(TrainerTest, RespectsVocabSizeBudget) {
+  WordPieceTrainer trainer({.vocab_size = 40, .min_pair_frequency = 1});
+  trainer.AddDocument("aaa bbb ccc ddd eee fff ggg hhh iii jjj");
+  trainer.AddDocument("abcdefgh ijklmnop qrstuvwx");
+  Vocab v = trainer.Train();
+  EXPECT_LE(v.size(), 40);
+}
+
+TEST(TrainerTest, CharactersAlwaysCovered) {
+  WordPieceTrainer trainer({.vocab_size = 100});
+  trainer.AddDocument("xyz");
+  Vocab v = trainer.Train();
+  EXPECT_TRUE(v.Contains("x"));
+  EXPECT_TRUE(v.Contains("##y"));
+  EXPECT_TRUE(v.Contains("##z"));
+}
+
+WordPieceTokenizer MakeTokenizer() {
+  WordPieceTrainer trainer({.vocab_size = 400, .min_pair_frequency = 2});
+  for (int i = 0; i < 30; ++i) {
+    trainer.AddDocument("customer email address city country name");
+    trainer.AddDocument("phone number credit card user id date");
+    trainer.AddDocument("the table stores customer records with email");
+  }
+  return WordPieceTokenizer(trainer.Train());
+}
+
+TEST(TokenizerTest, EncodeKnownWordIsSingleToken) {
+  auto tok = MakeTokenizer();
+  auto ids = tok.Encode("email");
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(tok.vocab().Token(ids[0]), "email");
+}
+
+TEST(TokenizerTest, EncodeSplitsUnseenCompound) {
+  auto tok = MakeTokenizer();
+  // "customeremail" unseen as a whole; must decompose into >= 2 pieces,
+  // not [UNK], because every continuation character occurs mid-word in the
+  // training corpus.
+  auto ids = tok.Encode("customeremail");
+  EXPECT_GE(ids.size(), 2u);
+  for (int id : ids) EXPECT_NE(id, Vocab::kUnkId);
+}
+
+TEST(TokenizerTest, UnknownCharacterBecomesUnk) {
+  auto tok = MakeTokenizer();
+  auto ids = tok.Encode("\x7f");
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(ids[0], Vocab::kUnkId);
+}
+
+TEST(TokenizerTest, EncodeFixedPadsAndTruncates) {
+  auto tok = MakeTokenizer();
+  auto padded = tok.EncodeFixed("email", 4);
+  ASSERT_EQ(padded.size(), 4u);
+  EXPECT_EQ(padded[1], Vocab::kPadId);
+  EXPECT_EQ(padded[3], Vocab::kPadId);
+  auto truncated =
+      tok.EncodeFixed("customer email address city country name", 3);
+  EXPECT_EQ(truncated.size(), 3u);
+}
+
+TEST(TokenizerTest, DecodeJoinsContinuations) {
+  auto tok = MakeTokenizer();
+  auto ids = tok.Encode("customer email");
+  EXPECT_EQ(tok.Decode(ids), "customer email");
+}
+
+TEST(TokenizerTest, SnakeCaseColumnNameRoundTrip) {
+  auto tok = MakeTokenizer();
+  auto ids = tok.Encode("customer_email");
+  EXPECT_EQ(tok.Decode(ids), "customer email");
+}
+
+TEST(TokenizerTest, DeterministicEncoding) {
+  auto tok = MakeTokenizer();
+  EXPECT_EQ(tok.Encode("credit card number"), tok.Encode("credit card number"));
+}
+
+}  // namespace
+}  // namespace taste::text

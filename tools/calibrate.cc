@@ -1,0 +1,77 @@
+// Calibration CLI: trains an ADTD model with the given hyperparameters and
+// reports per-configuration loss, F1, and scan ratio. Used to pick the
+// defaults baked into eval::StackOptions and AdtdConfig.
+//
+// Usage: calibrate [tables] [epochs] [lr] [pos_weight] [profile] [clip]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/taste_detector.h"
+#include "data/table_generator.h"
+#include "eval/experiment.h"
+#include "model/trainer.h"
+
+using namespace taste;
+
+int main(int argc, char** argv) {
+  int tables = argc > 1 ? std::atoi(argv[1]) : 120;
+  int epochs = argc > 2 ? std::atoi(argv[2]) : 6;
+  float lr = argc > 3 ? static_cast<float>(std::atof(argv[3])) : 1.5e-3f;
+  float pos_weight = argc > 4 ? static_cast<float>(std::atof(argv[4])) : 8.0f;
+  bool git = argc > 5 && std::strcmp(argv[5], "git") == 0;
+  float clip = argc > 6 ? static_cast<float>(std::atof(argv[6])) : 1.0f;
+
+  data::DatasetProfile profile = git ? data::DatasetProfile::GitLike(tables)
+                                     : data::DatasetProfile::WikiLike(tables);
+  data::Dataset dataset = data::GenerateDataset(profile);
+  text::WordPieceTrainer trainer({.vocab_size = 700});
+  for (const auto& d : data::BuildCorpusDocuments(dataset)) {
+    trainer.AddDocument(d);
+  }
+  text::WordPieceTokenizer tokenizer(trainer.Train());
+  const auto& registry = data::SemanticTypeRegistry::Default();
+
+  model::AdtdConfig cfg =
+      model::AdtdConfig::Tiny(tokenizer.vocab().size(), registry.size());
+  cfg.bce_pos_weight = pos_weight;
+  Rng rng(1234);
+  model::AdtdModel model(cfg, rng);
+
+  auto docs = data::BuildCorpusDocuments(dataset);
+  model::PretrainOptions pre;
+  pre.epochs = 1;
+  auto mlm = PretrainMlm(&model, docs, tokenizer, pre);
+  std::printf("mlm loss: %.4f\n", mlm.ValueOr(-1));
+
+  auto evaluate = [&](const char* tag) {
+    clouddb::CostModel cost;
+    cost.time_scale = 0.0;
+    auto db = eval::MakeTestDatabase(dataset, dataset.test, false, cost);
+    TASTE_CHECK(db.ok());
+    core::TasteDetector det(&model, &tokenizer, {});
+    auto run = eval::EvaluateSequential(
+        [&det](clouddb::Connection* c, const std::string& n) {
+          return det.DetectTable(c, n);
+        },
+        db->get(), dataset, dataset.test);
+    TASTE_CHECK(run.ok());
+    auto [w1, w2] = model.loss_weights();
+    std::printf(
+        "%s: P=%.4f R=%.4f F1=%.4f scanned=%.1f%% w1=%.3f w2=%.3f\n", tag,
+        run->scores.precision, run->scores.recall, run->scores.f1,
+        100.0 * run->scanned_ratio(), w1, w2);
+  };
+
+  model::FineTuner tuner(&model, &tokenizer);
+  model::FineTuneOptions ft;
+  ft.epochs = epochs;
+  ft.lr = lr;
+  ft.clip_norm = clip;
+  ft.log_every = static_cast<int>(dataset.train.size());
+  auto loss = tuner.Train(dataset, dataset.train, ft);
+  std::printf("final epoch loss %.4f\n", loss.ValueOr(-1));
+  evaluate("final");
+  return 0;
+}
