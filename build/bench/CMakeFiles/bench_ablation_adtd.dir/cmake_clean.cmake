@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_adtd.dir/bench_ablation_adtd.cc.o"
+  "CMakeFiles/bench_ablation_adtd.dir/bench_ablation_adtd.cc.o.d"
+  "bench_ablation_adtd"
+  "bench_ablation_adtd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_adtd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig6_null_ratio.cc" "bench/CMakeFiles/bench_fig6_null_ratio.dir/bench_fig6_null_ratio.cc.o" "gcc" "bench/CMakeFiles/bench_fig6_null_ratio.dir/bench_fig6_null_ratio.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/taste_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/taste_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/taste_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/taste_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/taste_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/clouddb/CMakeFiles/taste_clouddb.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/taste_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/taste_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/taste_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/taste_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/taste_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalog_tagging.dir/catalog_tagging.cpp.o"
+  "CMakeFiles/catalog_tagging.dir/catalog_tagging.cpp.o.d"
+  "catalog_tagging"
+  "catalog_tagging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalog_tagging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evolving_types.dir/evolving_types.cpp.o"
+  "CMakeFiles/evolving_types.dir/evolving_types.cpp.o.d"
+  "evolving_types"
+  "evolving_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evolving_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pii_scan.dir/pii_scan.cpp.o"
+  "CMakeFiles/pii_scan.dir/pii_scan.cpp.o.d"
+  "pii_scan"
+  "pii_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pii_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privacy_mode.dir/privacy_mode.cpp.o"
+  "CMakeFiles/privacy_mode.dir/privacy_mode.cpp.o.d"
+  "privacy_mode"
+  "privacy_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privacy_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

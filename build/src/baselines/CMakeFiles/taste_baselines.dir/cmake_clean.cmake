@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taste_baselines.dir/rule_based.cc.o"
+  "CMakeFiles/taste_baselines.dir/rule_based.cc.o.d"
+  "CMakeFiles/taste_baselines.dir/single_tower.cc.o"
+  "CMakeFiles/taste_baselines.dir/single_tower.cc.o.d"
+  "libtaste_baselines.a"
+  "libtaste_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taste_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taste_clouddb.dir/database.cc.o"
+  "CMakeFiles/taste_clouddb.dir/database.cc.o.d"
+  "CMakeFiles/taste_clouddb.dir/histogram.cc.o"
+  "CMakeFiles/taste_clouddb.dir/histogram.cc.o.d"
+  "libtaste_clouddb.a"
+  "libtaste_clouddb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taste_clouddb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

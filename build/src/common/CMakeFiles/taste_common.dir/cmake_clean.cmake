@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taste_common.dir/logging.cc.o"
+  "CMakeFiles/taste_common.dir/logging.cc.o.d"
+  "CMakeFiles/taste_common.dir/status.cc.o"
+  "CMakeFiles/taste_common.dir/status.cc.o.d"
+  "CMakeFiles/taste_common.dir/string_util.cc.o"
+  "CMakeFiles/taste_common.dir/string_util.cc.o.d"
+  "CMakeFiles/taste_common.dir/thread_pool.cc.o"
+  "CMakeFiles/taste_common.dir/thread_pool.cc.o.d"
+  "libtaste_common.a"
+  "libtaste_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taste_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taste_core.dir/feedback.cc.o"
+  "CMakeFiles/taste_core.dir/feedback.cc.o.d"
+  "CMakeFiles/taste_core.dir/result_json.cc.o"
+  "CMakeFiles/taste_core.dir/result_json.cc.o.d"
+  "CMakeFiles/taste_core.dir/taste_detector.cc.o"
+  "CMakeFiles/taste_core.dir/taste_detector.cc.o.d"
+  "libtaste_core.a"
+  "libtaste_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taste_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset.cc" "src/data/CMakeFiles/taste_data.dir/dataset.cc.o" "gcc" "src/data/CMakeFiles/taste_data.dir/dataset.cc.o.d"
+  "/root/repo/src/data/semantic_types.cc" "src/data/CMakeFiles/taste_data.dir/semantic_types.cc.o" "gcc" "src/data/CMakeFiles/taste_data.dir/semantic_types.cc.o.d"
+  "/root/repo/src/data/table_generator.cc" "src/data/CMakeFiles/taste_data.dir/table_generator.cc.o" "gcc" "src/data/CMakeFiles/taste_data.dir/table_generator.cc.o.d"
+  "/root/repo/src/data/wordlists.cc" "src/data/CMakeFiles/taste_data.dir/wordlists.cc.o" "gcc" "src/data/CMakeFiles/taste_data.dir/wordlists.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/taste_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taste_data.dir/dataset.cc.o"
+  "CMakeFiles/taste_data.dir/dataset.cc.o.d"
+  "CMakeFiles/taste_data.dir/semantic_types.cc.o"
+  "CMakeFiles/taste_data.dir/semantic_types.cc.o.d"
+  "CMakeFiles/taste_data.dir/table_generator.cc.o"
+  "CMakeFiles/taste_data.dir/table_generator.cc.o.d"
+  "CMakeFiles/taste_data.dir/wordlists.cc.o"
+  "CMakeFiles/taste_data.dir/wordlists.cc.o.d"
+  "libtaste_data.a"
+  "libtaste_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taste_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtaste_data.a"
+)

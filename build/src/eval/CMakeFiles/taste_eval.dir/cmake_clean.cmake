@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taste_eval.dir/experiment.cc.o"
+  "CMakeFiles/taste_eval.dir/experiment.cc.o.d"
+  "CMakeFiles/taste_eval.dir/metrics.cc.o"
+  "CMakeFiles/taste_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/taste_eval.dir/report.cc.o"
+  "CMakeFiles/taste_eval.dir/report.cc.o.d"
+  "libtaste_eval.a"
+  "libtaste_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taste_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/adtd.cc" "src/model/CMakeFiles/taste_model.dir/adtd.cc.o" "gcc" "src/model/CMakeFiles/taste_model.dir/adtd.cc.o.d"
+  "/root/repo/src/model/extension.cc" "src/model/CMakeFiles/taste_model.dir/extension.cc.o" "gcc" "src/model/CMakeFiles/taste_model.dir/extension.cc.o.d"
+  "/root/repo/src/model/features.cc" "src/model/CMakeFiles/taste_model.dir/features.cc.o" "gcc" "src/model/CMakeFiles/taste_model.dir/features.cc.o.d"
+  "/root/repo/src/model/input_encoding.cc" "src/model/CMakeFiles/taste_model.dir/input_encoding.cc.o" "gcc" "src/model/CMakeFiles/taste_model.dir/input_encoding.cc.o.d"
+  "/root/repo/src/model/latent_cache.cc" "src/model/CMakeFiles/taste_model.dir/latent_cache.cc.o" "gcc" "src/model/CMakeFiles/taste_model.dir/latent_cache.cc.o.d"
+  "/root/repo/src/model/trainer.cc" "src/model/CMakeFiles/taste_model.dir/trainer.cc.o" "gcc" "src/model/CMakeFiles/taste_model.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/taste_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/taste_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/taste_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/clouddb/CMakeFiles/taste_clouddb.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/taste_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/taste_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

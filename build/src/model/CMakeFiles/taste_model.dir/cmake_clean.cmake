@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taste_model.dir/adtd.cc.o"
+  "CMakeFiles/taste_model.dir/adtd.cc.o.d"
+  "CMakeFiles/taste_model.dir/extension.cc.o"
+  "CMakeFiles/taste_model.dir/extension.cc.o.d"
+  "CMakeFiles/taste_model.dir/features.cc.o"
+  "CMakeFiles/taste_model.dir/features.cc.o.d"
+  "CMakeFiles/taste_model.dir/input_encoding.cc.o"
+  "CMakeFiles/taste_model.dir/input_encoding.cc.o.d"
+  "CMakeFiles/taste_model.dir/latent_cache.cc.o"
+  "CMakeFiles/taste_model.dir/latent_cache.cc.o.d"
+  "CMakeFiles/taste_model.dir/trainer.cc.o"
+  "CMakeFiles/taste_model.dir/trainer.cc.o.d"
+  "libtaste_model.a"
+  "libtaste_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taste_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taste_nn.dir/layers.cc.o"
+  "CMakeFiles/taste_nn.dir/layers.cc.o.d"
+  "CMakeFiles/taste_nn.dir/module.cc.o"
+  "CMakeFiles/taste_nn.dir/module.cc.o.d"
+  "CMakeFiles/taste_nn.dir/serialize.cc.o"
+  "CMakeFiles/taste_nn.dir/serialize.cc.o.d"
+  "CMakeFiles/taste_nn.dir/transformer.cc.o"
+  "CMakeFiles/taste_nn.dir/transformer.cc.o.d"
+  "libtaste_nn.a"
+  "libtaste_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taste_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

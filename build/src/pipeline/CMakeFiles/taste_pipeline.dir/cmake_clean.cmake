@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taste_pipeline.dir/scheduler.cc.o"
+  "CMakeFiles/taste_pipeline.dir/scheduler.cc.o.d"
+  "libtaste_pipeline.a"
+  "libtaste_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taste_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taste_tensor.dir/ops.cc.o"
+  "CMakeFiles/taste_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/taste_tensor.dir/optimizer.cc.o"
+  "CMakeFiles/taste_tensor.dir/optimizer.cc.o.d"
+  "CMakeFiles/taste_tensor.dir/tensor.cc.o"
+  "CMakeFiles/taste_tensor.dir/tensor.cc.o.d"
+  "libtaste_tensor.a"
+  "libtaste_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taste_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

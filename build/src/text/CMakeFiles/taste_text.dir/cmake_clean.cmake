@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taste_text.dir/vocab.cc.o"
+  "CMakeFiles/taste_text.dir/vocab.cc.o.d"
+  "CMakeFiles/taste_text.dir/wordpiece.cc.o"
+  "CMakeFiles/taste_text.dir/wordpiece.cc.o.d"
+  "libtaste_text.a"
+  "libtaste_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taste_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

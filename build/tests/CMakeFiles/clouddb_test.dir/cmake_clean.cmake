@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clouddb_test.dir/clouddb_test.cc.o"
+  "CMakeFiles/clouddb_test.dir/clouddb_test.cc.o.d"
+  "clouddb_test"
+  "clouddb_test.pdb"
+  "clouddb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clouddb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

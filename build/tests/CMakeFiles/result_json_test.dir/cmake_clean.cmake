@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/result_json_test.dir/result_json_test.cc.o"
+  "CMakeFiles/result_json_test.dir/result_json_test.cc.o.d"
+  "result_json_test"
+  "result_json_test.pdb"
+  "result_json_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/result_json_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

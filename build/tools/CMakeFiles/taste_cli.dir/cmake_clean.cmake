@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taste_cli.dir/taste_cli.cc.o"
+  "CMakeFiles/taste_cli.dir/taste_cli.cc.o.d"
+  "taste_cli"
+  "taste_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taste_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
