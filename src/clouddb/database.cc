@@ -131,6 +131,36 @@ std::unique_ptr<Connection> SimulatedDatabase::Connect() {
   return std::unique_ptr<Connection>(new Connection(this));
 }
 
+Result<std::unique_ptr<Connection>> SimulatedDatabase::TryConnect() {
+  FaultDecision fault = DecideFault(DbOp::kConnect, "");
+  ledger_.AddConnection();
+  SimulateDelay(cost_.connect_ms + fault.extra_latency_ms);
+  if (!fault.status.ok()) return fault.status;
+  return std::unique_ptr<Connection>(new Connection(this));
+}
+
+void SimulatedDatabase::SetFaultInjector(
+    std::shared_ptr<FaultInjector> injector) {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  fault_injector_ = std::move(injector);
+}
+
+FaultInjector* SimulatedDatabase::fault_injector() const {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  return fault_injector_.get();
+}
+
+FaultDecision SimulatedDatabase::DecideFault(DbOp op,
+                                             const std::string& table) {
+  std::shared_ptr<FaultInjector> injector;
+  {
+    std::lock_guard<std::mutex> lock(fault_mu_);
+    injector = fault_injector_;
+  }
+  if (injector == nullptr) return FaultDecision();
+  return injector->Decide(op, table, VirtualNowMs());
+}
+
 int64_t SimulatedDatabase::num_tables() const {
   std::lock_guard<std::mutex> lock(mu_);
   return static_cast<int64_t>(tables_.size());
@@ -159,6 +189,12 @@ std::vector<std::string> Connection::ListTables() {
 
 Result<TableMetadata> Connection::GetTableMetadata(
     const std::string& table_name) {
+  FaultDecision fault = db_->DecideFault(DbOp::kMetadata, table_name);
+  if (!fault.status.ok()) {
+    db_->ledger_.AddQuery();
+    db_->SimulateDelay(db_->cost_.query_ms + fault.extra_latency_ms);
+    return fault.status;
+  }
   const auto* stored = db_->FindTable(table_name);
   db_->ledger_.AddQuery();
   if (stored == nullptr) {
@@ -172,7 +208,7 @@ Result<TableMetadata> Connection::GetTableMetadata(
     if (c.histogram.has_value()) ++hist_cols;
   }
   db_->SimulateDelay(
-      db_->cost_.query_ms +
+      db_->cost_.query_ms + fault.extra_latency_ms +
       db_->cost_.per_metadata_col_ms *
           static_cast<double>(stored->metadata.columns.size()) +
       db_->cost_.per_histogram_col_ms * static_cast<double>(hist_cols));
@@ -184,6 +220,12 @@ Result<std::vector<std::vector<std::string>>> Connection::ScanColumns(
     const ScanOptions& options) {
   if (options.limit_rows <= 0) {
     return Status::Invalid("ScanOptions.limit_rows must be positive");
+  }
+  FaultDecision fault = db_->DecideFault(DbOp::kScan, table_name);
+  if (!fault.status.ok()) {
+    db_->ledger_.AddQuery();
+    db_->SimulateDelay(db_->cost_.query_ms + fault.extra_latency_ms);
+    return fault.status;
   }
   const auto* stored = db_->FindTable(table_name);
   db_->ledger_.AddQuery();
@@ -210,6 +252,12 @@ Result<std::vector<std::vector<std::string>>> Connection::ScanColumns(
   }
 
   int64_t rows = std::min<int64_t>(options.limit_rows, stored->spec.num_rows);
+  if (fault.keep_fraction < 1.0 && rows > 0) {
+    // Partial scan: the server stopped early but delivered what it had.
+    rows = std::max<int64_t>(
+        1, static_cast<int64_t>(static_cast<double>(rows) *
+                                fault.keep_fraction));
+  }
   // Row selection: first m, or a seeded random sample (ORDER BY RAND()).
   std::vector<int64_t> row_idx(static_cast<size_t>(rows));
   if (options.random_sample) {
@@ -241,7 +289,7 @@ Result<std::vector<std::vector<std::string>>> Connection::ScanColumns(
   double ms = db_->cost_.query_ms +
               db_->cost_.per_cell_ms * static_cast<double>(cells);
   if (options.random_sample) ms *= db_->cost_.random_sample_factor;
-  db_->SimulateDelay(ms);
+  db_->SimulateDelay(ms + fault.extra_latency_ms);
   return out;
 }
 

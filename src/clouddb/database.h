@@ -25,6 +25,7 @@
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "clouddb/fault_injector.h"
 #include "clouddb/histogram.h"
 #include "data/dataset.h"
 
@@ -133,8 +134,26 @@ class SimulatedDatabase {
   Status IngestDataset(const data::Dataset& dataset,
                        bool with_histograms = false);
 
-  /// Opens a connection (pays connect latency).
+  /// Opens a connection (pays connect latency). Never fails — connect
+  /// faults are only surfaced through TryConnect(); infrastructure that
+  /// cannot tolerate a missing connection (legacy callers, last-resort
+  /// fallbacks) keeps using this.
   std::unique_ptr<Connection> Connect();
+
+  /// Fallible connect: consults the fault injector (transient connect
+  /// failures, latency spikes) before handing out a connection. With no
+  /// injector installed this is identical to Connect().
+  Result<std::unique_ptr<Connection>> TryConnect();
+
+  /// Installs (or clears, with nullptr) the fault injector consulted by
+  /// every subsequent operation. The injector is shared with all open
+  /// connections; install it before serving traffic.
+  void SetFaultInjector(std::shared_ptr<FaultInjector> injector);
+  FaultInjector* fault_injector() const;
+
+  /// The database's virtual clock: accumulated simulated I/O milliseconds.
+  /// Scripted fault windows are expressed on this axis.
+  double VirtualNowMs() const { return ledger_.snapshot().simulated_io_ms; }
 
   IoLedger& ledger() { return ledger_; }
   const CostModel& cost_model() const { return cost_; }
@@ -151,11 +170,16 @@ class SimulatedDatabase {
   /// Accounts `ms` of I/O time and blocks for time_scale * ms.
   void SimulateDelay(double ms);
   const StoredTable* FindTable(const std::string& name) const;
+  /// Consults the injector for `op` on `table`; kNone decision when no
+  /// injector is installed.
+  FaultDecision DecideFault(DbOp op, const std::string& table);
 
   CostModel cost_;
   IoLedger ledger_;
   mutable std::mutex mu_;
   std::map<std::string, StoredTable> tables_;
+  mutable std::mutex fault_mu_;
+  std::shared_ptr<FaultInjector> fault_injector_;
 };
 
 /// A client connection. Not thread-safe; open one per worker thread (the

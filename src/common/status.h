@@ -30,6 +30,8 @@ enum class StatusCode {
   kInternal,
   kCancelled,
   kResourceExhausted,
+  kDeadlineExceeded,  // a deadline/timeout elapsed; typically transient
+  kUnavailable,       // resource is (possibly permanently) unavailable
 };
 
 /// Returns a stable human-readable name for a StatusCode.
@@ -72,6 +74,12 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

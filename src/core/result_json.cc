@@ -56,6 +56,18 @@ std::string ResultToJson(const TableDetectionResult& result,
   out += StrFormat("\"columns_scanned\": %d,", result.columns_scanned);
   Indent(&out, options, 1);
   out += StrFormat("\"total_columns\": %d,", result.total_columns);
+  // Resilience block: only present when the serving path actually degraded
+  // or retried, so fault-free output is unchanged.
+  if (result.degraded_columns > 0 || result.failed_columns > 0 ||
+      result.retries > 0 || result.breaker_short_circuits > 0) {
+    Indent(&out, options, 1);
+    out += StrFormat(
+        "\"resilience\": {\"degraded_columns\": %d, \"failed_columns\": %d, "
+        "\"retries\": %d, \"deadline_misses\": %d, "
+        "\"breaker_short_circuits\": %d},",
+        result.degraded_columns, result.failed_columns, result.retries,
+        result.deadline_misses, result.breaker_short_circuits);
+  }
   Indent(&out, options, 1);
   out += "\"columns\": [";
   for (size_t i = 0; i < result.columns.size(); ++i) {
@@ -70,6 +82,11 @@ std::string ResultToJson(const TableDetectionResult& result,
     Indent(&out, options, 3);
     out += std::string("\"phase\": \"") + (col.went_to_p2 ? "P2" : "P1") +
            "\",";
+    if (col.provenance != ResultProvenance::kFull) {
+      Indent(&out, options, 3);
+      out += std::string("\"provenance\": \"") + ProvenanceName(col.provenance) +
+             "\",";
+    }
     Indent(&out, options, 3);
     out += "\"admitted_types\": [";
     for (size_t t = 0; t < col.admitted_types.size(); ++t) {

@@ -24,6 +24,11 @@ model::InputConfig ApplyOverrides(model::InputConfig config,
   return config;
 }
 
+/// Deterministic jitter salt for the retry loops of one table.
+uint64_t TableSalt(const std::string& table, uint64_t extra) {
+  return std::hash<std::string>{}(table) ^ (extra * 0x9E3779B97F4A7C15ULL);
+}
+
 }  // namespace
 
 TasteDetector::TasteDetector(const AdtdModel* model,
@@ -39,6 +44,13 @@ TasteDetector::TasteDetector(const AdtdModel* model,
   TASTE_CHECK_MSG(options_.alpha >= 0 && options_.alpha <= options_.beta &&
                       options_.beta <= 1.0,
                   "need 0 <= alpha <= beta <= 1");
+  if (options_.resilience.enabled && options_.resilience.use_breaker) {
+    breakers_ = std::make_unique<BreakerRegistry>(options_.resilience.breaker);
+  }
+}
+
+CircuitBreaker* TasteDetector::BreakerFor(const std::string& table) const {
+  return breakers_ != nullptr ? breakers_->Get(table) : nullptr;
 }
 
 std::string TasteDetector::ChunkCacheKey(const std::string& table,
@@ -51,8 +63,29 @@ Status TasteDetector::PrepareP1(clouddb::Connection* conn,
                                 Job* job) const {
   TASTE_CHECK(conn != nullptr && job != nullptr);
   job->table_name = table_name;
-  TASTE_ASSIGN_OR_RETURN(clouddb::TableMetadata meta,
-                         conn->GetTableMetadata(table_name));
+  const ResilienceOptions& rz = options_.resilience;
+  clouddb::TableMetadata meta;
+  if (!rz.enabled) {
+    TASTE_ASSIGN_OR_RETURN(meta, conn->GetTableMetadata(table_name));
+  } else {
+    CircuitBreaker* breaker = BreakerFor(table_name);
+    if (breaker != nullptr && !breaker->Allow()) {
+      ++job->result.breaker_short_circuits;
+      return Status::Unavailable("circuit open for table: " + table_name);
+    }
+    RetryObservation obs;
+    auto fetched = RetryCall(
+        rz.retry, TableSalt(table_name, /*extra=*/1), /*sleep_ms=*/{},
+        [&] { return conn->GetTableMetadata(table_name); }, &obs);
+    job->result.retries += obs.retries;
+    job->result.deadline_misses += obs.deadline_miss ? 1 : 0;
+    if (!fetched.ok()) {
+      if (breaker != nullptr) breaker->RecordFailure();
+      return fetched.status();
+    }
+    if (breaker != nullptr) breaker->RecordSuccess();
+    meta = std::move(*fetched);
+  }
   if (meta.columns.empty()) {
     return Status::Invalid("table has no columns: " + table_name);
   }
@@ -117,11 +150,41 @@ Status TasteDetector::InferP1(Job* job) const {
   return Status::OK();
 }
 
+void TasteDetector::DegradeChunk(size_t chunk_index, int result_offset,
+                                 ResultProvenance provenance,
+                                 Job* job) const {
+  const double threshold = options_.resilience.degraded_admit_threshold;
+  for (int c : job->uncertain_columns[chunk_index]) {
+    ColumnPrediction& pred =
+        job->result.columns[static_cast<size_t>(result_offset + c)];
+    pred.provenance = provenance;
+    if (provenance == ResultProvenance::kFailed) {
+      pred.admitted_types.clear();
+      ++job->result.failed_columns;
+      continue;
+    }
+    if (threshold > 0.0) {
+      // Re-admit from the P1 probabilities under the degraded-mode rule
+      // (threshold 0.5 = the paper's Table 4 privacy-mode admission).
+      pred.admitted_types.clear();
+      for (size_t s = 0; s < pred.probabilities.size(); ++s) {
+        if (pred.probabilities[s] >= threshold) {
+          pred.admitted_types.push_back(static_cast<int>(s));
+        }
+      }
+    }
+    ++job->result.degraded_columns;
+  }
+}
+
 Status TasteDetector::PrepareP2(clouddb::Connection* conn, Job* job) const {
   TASTE_CHECK(conn != nullptr && job != nullptr);
   if (!job->needs_p2) return Status::OK();
   TASTE_CHECK(job->uncertain_columns.size() == job->chunks.size());
   job->contents.resize(job->chunks.size());
+  const ResilienceOptions& rz = options_.resilience;
+  CircuitBreaker* breaker =
+      rz.enabled ? BreakerFor(job->table_name) : nullptr;
   // Scanned columns are encoded in batches sized so that each content
   // sequence fits the encoder (wide tables + large n would otherwise
   // overflow max_seq_len).
@@ -130,34 +193,73 @@ Status TasteDetector::PrepareP2(clouddb::Connection* conn, Job* job) const {
                                   input_config_.cell_tokens;
   const int64_t max_cols_per_batch =
       std::max<int64_t>(1, model_->config().encoder.max_seq_len / segment);
+  int result_offset = 0;
+  Status first_error;  // sticky, only used when degradation is disabled
   for (size_t i = 0; i < job->chunks.size(); ++i) {
     const std::vector<int>& uncertain = job->uncertain_columns[i];
+    const int offset = result_offset;
+    result_offset += job->chunks[i].num_columns;
     if (uncertain.empty()) continue;
     std::vector<std::string> names;
     names.reserve(uncertain.size());
     for (int c : uncertain) {
       names.push_back(job->chunks[i].column_names[static_cast<size_t>(c)]);
     }
-    TASTE_ASSIGN_OR_RETURN(
-        auto values,
-        conn->ScanColumns(job->table_name, names,
-                          {.limit_rows = options_.scan_rows,
-                           .random_sample = options_.random_sample,
-                           .sample_seed = options_.sample_seed}));
+    const clouddb::ScanOptions scan_options = {
+        .limit_rows = options_.scan_rows,
+        .random_sample = options_.random_sample,
+        .sample_seed = options_.sample_seed};
+    auto scan = [&] {
+      return conn->ScanColumns(job->table_name, names, scan_options);
+    };
+    Result<std::vector<std::vector<std::string>>> values = [&]()
+        -> Result<std::vector<std::vector<std::string>>> {
+      if (!rz.enabled) return scan();
+      if (breaker != nullptr && !breaker->Allow()) {
+        ++job->result.breaker_short_circuits;
+        return Status::Unavailable("circuit open for table: " +
+                                   job->table_name);
+      }
+      RetryObservation obs;
+      auto r = RetryCall(rz.retry, TableSalt(job->table_name, 2 + i),
+                         /*sleep_ms=*/{}, scan, &obs);
+      job->result.retries += obs.retries;
+      job->result.deadline_misses += obs.deadline_miss ? 1 : 0;
+      if (breaker != nullptr) {
+        if (r.ok()) {
+          breaker->RecordSuccess();
+        } else {
+          breaker->RecordFailure();
+        }
+      }
+      return r;
+    }();
+    if (!values.ok()) {
+      if (!rz.enabled) return values.status();
+      // Permanent (or retry-exhausted) scan failure: fall back to the P1
+      // metadata-only prediction, or mark the columns failed.
+      if (rz.degrade_on_scan_failure) {
+        DegradeChunk(i, offset, ResultProvenance::kDegradedMetadataOnly, job);
+        continue;
+      }
+      DegradeChunk(i, offset, ResultProvenance::kFailed, job);
+      if (first_error.ok()) first_error = values.status();
+      continue;
+    }
     for (size_t begin = 0; begin < uncertain.size();
          begin += static_cast<size_t>(max_cols_per_batch)) {
       size_t end = std::min(uncertain.size(),
                             begin + static_cast<size_t>(max_cols_per_batch));
       std::map<int, std::vector<std::string>> by_column;
       for (size_t k = begin; k < end; ++k) {
-        by_column[uncertain[k]] = std::move(values[k]);
+        by_column[uncertain[k]] = std::move((*values)[k]);
       }
       job->contents[i].push_back(
           encoder_.EncodeContent(job->chunks[i], by_column));
     }
     job->result.columns_scanned += static_cast<int>(uncertain.size());
   }
-  return Status::OK();
+  return first_error;
 }
 
 Status TasteDetector::InferP2(Job* job) const {

@@ -24,12 +24,37 @@
 #include <vector>
 
 #include "clouddb/database.h"
+#include "common/retry.h"
 #include "core/detection_result.h"
 #include "model/adtd.h"
 #include "model/latent_cache.h"
 #include "text/wordpiece.h"
 
 namespace taste::core {
+
+/// Fault-tolerance behaviour of the serving path (DESIGN.md §5).
+/// Disabled by default: with `enabled == false` the detector is
+/// byte-identical to the historical happy-path implementation.
+struct ResilienceOptions {
+  bool enabled = false;
+  /// Retry policy for transient metadata-fetch and content-scan errors.
+  RetryPolicy retry;
+  /// Per-table circuit breaker so a dead table stops burning retry budget.
+  bool use_breaker = true;
+  CircuitBreaker::Options breaker;
+  /// On a permanent (or retry-exhausted) P2 scan failure, fall back to the
+  /// P1 metadata-only prediction for the affected columns instead of
+  /// failing the table (the paper's Table 4 shows metadata-only P1 holds
+  /// F1 ≈ 0.90). When false, those columns are marked kFailed and the
+  /// scan error is propagated.
+  bool degrade_on_scan_failure = true;
+  /// When > 0, degraded columns re-admit types from the P1 probabilities
+  /// at this threshold (e.g. 0.5 reproduces the Table 4 privacy-mode
+  /// admission rule alpha = beta = 0.5). 0 keeps the A1 admissions the
+  /// normal P1 pass already made (bit-identical to an enable_p2 = false
+  /// run with the same alpha/beta).
+  double degraded_admit_threshold = 0.0;
+};
 
 /// Serving-time options of the TASTE framework.
 struct TasteOptions {
@@ -47,6 +72,9 @@ struct TasteOptions {
   /// Sec. 6.8 varies l and n at detection time); 0 keeps the model default.
   int override_cells_per_column = 0;     // n
   int override_split_threshold = 0;      // l
+  /// Fault tolerance: retries, circuit breaking, and metadata-only
+  /// degradation. Off by default (exact legacy behaviour).
+  ResilienceOptions resilience;
 };
 
 /// Orchestrates the two phases over a trained ADTD model. Thread-safe for
@@ -100,11 +128,21 @@ class TasteDetector {
   const TasteOptions& options() const { return options_; }
   model::LatentCache& cache() const { return *cache_; }
 
+  /// Per-table circuit breakers (present iff resilience is enabled with
+  /// use_breaker). Exposed so executors can report breaker trips.
+  const BreakerRegistry* breakers() const { return breakers_.get(); }
+
  private:
   std::string ChunkCacheKey(const std::string& table, size_t chunk) const;
   /// Applies the alpha/beta rules to one chunk's P1 probabilities.
   void ClassifyP1Chunk(const model::EncodedMetadata& chunk,
                        const std::vector<float>& probs, Job* job) const;
+  /// Marks one chunk's uncertain columns as degraded-to-P1 (or failed) in
+  /// the job result. `result_offset` is the chunk's first column index.
+  void DegradeChunk(size_t chunk_index, int result_offset,
+                    ResultProvenance provenance, Job* job) const;
+  /// The breaker guarding `table`, or nullptr when breaking is off.
+  CircuitBreaker* BreakerFor(const std::string& table) const;
 
   const model::AdtdModel* model_;
   const text::WordPieceTokenizer* tokenizer_;
@@ -112,6 +150,7 @@ class TasteDetector {
   model::InputConfig input_config_;  // model config + serving overrides
   model::InputEncoder encoder_;
   std::unique_ptr<model::LatentCache> cache_;
+  std::unique_ptr<BreakerRegistry> breakers_;  // null unless enabled
 };
 
 }  // namespace taste::core

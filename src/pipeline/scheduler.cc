@@ -19,31 +19,74 @@ PipelineExecutor::PipelineExecutor(const TasteDetector* detector,
   TASTE_CHECK(options_.prep_threads >= 1 && options_.infer_threads >= 1);
 }
 
-Result<std::vector<TableDetectionResult>> PipelineExecutor::Run(
+BatchResult PipelineExecutor::RunBatch(
     const std::vector<std::string>& table_names) {
   stats_ = PipelineRunStats();
+  resilience_ = ResilienceStats();
+  const int64_t trips_before =
+      detector_->breakers() != nullptr ? detector_->breakers()->TotalTrips()
+                                       : 0;
   Stopwatch sw;
-  auto result = options_.pipelined ? RunPipelined(table_names)
-                                   : RunSequential(table_names);
+  BatchResult batch;
+  batch.tables.resize(table_names.size());
+  if (options_.pipelined) {
+    RunPipelined(table_names, &batch);
+  } else {
+    RunSequential(table_names, &batch);
+  }
   stats_.wall_ms = sw.ElapsedMillis();
   stats_.tables_processed = static_cast<int>(table_names.size());
-  return result;
+  FinalizeStats(batch, trips_before);
+  return batch;
 }
 
-Result<std::vector<TableDetectionResult>> PipelineExecutor::RunSequential(
+Result<std::vector<TableDetectionResult>> PipelineExecutor::Run(
     const std::vector<std::string>& table_names) {
-  // One connection, tables and stages strictly one after another — the
-  // execution mode of prior work the paper compares against (Sec. 5).
-  auto conn = db_->Connect();
+  BatchResult batch = RunBatch(table_names);
   std::vector<TableDetectionResult> results;
-  results.reserve(table_names.size());
-  for (const auto& name : table_names) {
-    TASTE_ASSIGN_OR_RETURN(TableDetectionResult r,
-                           detector_->DetectTable(conn.get(), name));
-    if (r.columns_scanned > 0) ++stats_.tables_entered_p2;
-    results.push_back(std::move(r));
+  results.reserve(batch.tables.size());
+  for (auto& t : batch.tables) {
+    if (!t.status.ok()) return t.status;
+    results.push_back(std::move(t.result));
   }
   return results;
+}
+
+void PipelineExecutor::FinalizeStats(const BatchResult& batch,
+                                     int64_t trips_before) {
+  for (const auto& t : batch.tables) {
+    const TableDetectionResult& r = t.result;
+    resilience_.retries += r.retries;
+    resilience_.breaker_short_circuits += r.breaker_short_circuits;
+    resilience_.degraded_columns += r.degraded_columns;
+    resilience_.failed_columns += r.failed_columns;
+    resilience_.deadline_misses += r.deadline_misses;
+    if (!t.status.ok()) {
+      ++resilience_.failed_tables;
+    } else if (r.columns_scanned > 0) {
+      ++stats_.tables_entered_p2;
+    }
+  }
+  if (detector_->breakers() != nullptr) {
+    resilience_.breaker_trips =
+        detector_->breakers()->TotalTrips() - trips_before;
+  }
+}
+
+void PipelineExecutor::RunSequential(
+    const std::vector<std::string>& table_names, BatchResult* out) {
+  // One connection, tables and stages strictly one after another — the
+  // execution mode of prior work the paper compares against (Sec. 5). A
+  // failing table is recorded and skipped; the rest of the batch runs.
+  auto conn = db_->Connect();
+  for (size_t i = 0; i < table_names.size(); ++i) {
+    auto res = detector_->DetectTable(conn.get(), table_names[i]);
+    if (res.ok()) {
+      out->tables[i].result = std::move(*res);
+    } else {
+      out->tables[i].status = res.status();
+    }
+  }
 }
 
 namespace {
@@ -60,14 +103,25 @@ struct TableState {
   TasteDetector::Job job;
   Stage next = Stage::kP1Prep;
   bool in_flight = false;
-  Status error;  // sticky first error
+  int stage_attempts = 0;  // failed tries of the CURRENT stage
+  Status error;            // sticky first (permanent) error
 };
 
-/// A small free-list of connections shared by the prep workers.
+/// A small free-list of connections shared by the prep workers. Connect
+/// faults are retried; if the database stays unreachable the pool falls
+/// back to the infallible legacy connect so a batch can always run.
 class ConnectionPool {
  public:
-  ConnectionPool(clouddb::SimulatedDatabase* db, int n) {
-    for (int i = 0; i < n; ++i) free_.push_back(db->Connect());
+  ConnectionPool(clouddb::SimulatedDatabase* db, int n,
+                 const RetryPolicy& connect_retry, int64_t* retries_out) {
+    for (int i = 0; i < n; ++i) {
+      RetryObservation obs;
+      auto conn = RetryCall(
+          connect_retry, /*salt=*/static_cast<uint64_t>(i) + 1,
+          /*sleep_ms=*/{}, [db] { return db->TryConnect(); }, &obs);
+      *retries_out += obs.retries;
+      free_.push_back(conn.ok() ? std::move(*conn) : db->Connect());
+    }
   }
   std::unique_ptr<clouddb::Connection> Acquire() {
     std::lock_guard<std::mutex> lock(mu_);
@@ -88,8 +142,8 @@ class ConnectionPool {
 
 }  // namespace
 
-Result<std::vector<TableDetectionResult>> PipelineExecutor::RunPipelined(
-    const std::vector<std::string>& table_names) {
+void PipelineExecutor::RunPipelined(
+    const std::vector<std::string>& table_names, BatchResult* out) {
   static const bool kDebug = std::getenv("TASTE_PIPELINE_DEBUG") != nullptr;
   // NOTE: mu/cv/states are declared BEFORE the thread pools so that pool
   // destruction (which joins workers, including any still inside their
@@ -105,7 +159,9 @@ Result<std::vector<TableDetectionResult>> PipelineExecutor::RunPipelined(
   ThreadPool tp2(static_cast<size_t>(options_.infer_threads));
   // Connections are created once and reused across the batch (the paper
   // recommends batching tables per database to amortize connection cost).
-  ConnectionPool connections(db_, options_.prep_threads);
+  ConnectionPool connections(db_, options_.prep_threads,
+                             options_.connect_retry,
+                             &resilience_.connect_retries);
 
   // The scheduler blocks on `cv` when both pools are full or no stage is
   // eligible. Stage completion notifies under `mu` (in run_stage below),
@@ -122,6 +178,10 @@ Result<std::vector<TableDetectionResult>> PipelineExecutor::RunPipelined(
   tp2.SetTaskCompleteCallback(wake_scheduler);
 
   // Runs one stage of one table outside the lock, then advances its state.
+  // A transiently failed stage is re-queued (up to max_stage_retries) by
+  // leaving `next` pointing at the same stage — the scheduler dispatches
+  // the re-run on the stage's own pool. Permanent failures park the table
+  // with a sticky error; the rest of the batch is unaffected.
   auto run_stage = [&](size_t idx, Stage stage) {
     TableState& st = states[idx];
     Status status;
@@ -154,9 +214,19 @@ Result<std::vector<TableDetectionResult>> PipelineExecutor::RunPipelined(
     }
     st.in_flight = false;
     if (!status.ok()) {
-      st.error = status;
-      st.next = Stage::kDone;
+      if (IsTransient(status) && st.stage_attempts < options_.max_stage_retries) {
+        // Retry the same stage on the same pool. P1-prep retries restart
+        // from a clean job so chunks are not encoded twice.
+        ++st.stage_attempts;
+        ++resilience_.stage_retries;
+        if (stage == Stage::kP1Prep) st.job = TasteDetector::Job();
+        st.next = stage;
+      } else {
+        st.error = status;
+        st.next = Stage::kDone;
+      }
     } else {
+      st.stage_attempts = 0;
       switch (stage) {
         case Stage::kP1Prep:
           st.next = Stage::kP1Infer;
@@ -205,14 +275,10 @@ Result<std::vector<TableDetectionResult>> PipelineExecutor::RunPipelined(
   tp1.WaitIdle();
   tp2.WaitIdle();
 
-  std::vector<TableDetectionResult> results;
-  results.reserve(states.size());
-  for (auto& st : states) {
-    if (!st.error.ok()) return st.error;
-    if (st.job.result.columns_scanned > 0) ++stats_.tables_entered_p2;
-    results.push_back(std::move(st.job.result));
+  for (size_t i = 0; i < states.size(); ++i) {
+    out->tables[i].status = states[i].error;
+    out->tables[i].result = std::move(states[i].job.result);
   }
-  return results;
 }
 
 }  // namespace taste::pipeline

@@ -13,6 +13,13 @@
 // pool has a free slot, exactly as in the paper's pseudocode. Multiple
 // tables are therefore in flight simultaneously, overlapping I/O waits
 // with inference.
+//
+// Failure isolation: one table's failure never sinks the batch. A failed
+// stage is retried on its own pool while its error is transient (on top of
+// the detector's call-level retries); a permanently failed table is parked
+// with a sticky per-table Status while every other table runs to
+// completion. RunBatch() surfaces the partial results; the legacy Run()
+// keeps the historical all-or-nothing contract on top of it.
 
 #ifndef TASTE_PIPELINE_SCHEDULER_H_
 #define TASTE_PIPELINE_SCHEDULER_H_
@@ -22,6 +29,7 @@
 #include <vector>
 
 #include "clouddb/database.h"
+#include "common/retry.h"
 #include "common/thread_pool.h"
 #include "core/taste_detector.h"
 
@@ -31,13 +39,57 @@ struct PipelineOptions {
   int prep_threads = 2;   // |TP1|
   int infer_threads = 2;  // |TP2|
   bool pipelined = true;  // false = paper's "sequential mode" baseline
+  /// Pipeline-level re-runs of a failed stage while its error is transient
+  /// (the re-run is dispatched back to the stage's own pool). These sit on
+  /// top of whatever call-level retries the detector's ResilienceOptions
+  /// configure; 0 disables.
+  int max_stage_retries = 1;
+  /// Retry policy for acquiring the prep pool's database connections
+  /// (transient connect failures). A connection that still cannot be
+  /// opened after these attempts falls back to the infallible legacy
+  /// connect path so the batch can always run.
+  RetryPolicy connect_retry;
 };
 
-/// Timing/throughput of one Run().
+/// Timing/throughput of one Run()/RunBatch().
 struct PipelineRunStats {
   double wall_ms = 0.0;
   int tables_processed = 0;
   int tables_entered_p2 = 0;
+};
+
+/// Fault-handling activity of one Run()/RunBatch(). All zeros on a
+/// fault-free run.
+struct ResilienceStats {
+  int64_t retries = 0;           // detector call-level retries
+  int64_t stage_retries = 0;     // pipeline-level stage re-runs
+  int64_t connect_retries = 0;   // connection-pool connect retries
+  int64_t breaker_trips = 0;     // circuit breakers tripped open
+  int64_t breaker_short_circuits = 0;  // calls rejected by open breakers
+  int64_t degraded_columns = 0;  // columns served metadata-only
+  int64_t failed_columns = 0;    // columns with no usable prediction
+  int64_t failed_tables = 0;     // tables with a non-OK final status
+  int64_t deadline_misses = 0;   // retry loops that exhausted their budget
+};
+
+/// One table's outcome in a batch: the (possibly partial or degraded)
+/// detection result plus the table's final status. On a non-OK status the
+/// result holds whatever was produced before the failure (e.g. P1-only
+/// columns marked kFailed); it is empty when P1 metadata never arrived.
+struct TableRunResult {
+  core::TableDetectionResult result;
+  Status status;
+};
+
+/// Outcome of a whole batch, in input order.
+struct BatchResult {
+  std::vector<TableRunResult> tables;
+  bool all_ok() const {
+    for (const auto& t : tables) {
+      if (!t.status.ok()) return false;
+    }
+    return true;
+  }
 };
 
 /// Runs a batch of tables (from one database, reusing its connections)
@@ -47,23 +99,33 @@ class PipelineExecutor {
   PipelineExecutor(const core::TasteDetector* detector,
                    clouddb::SimulatedDatabase* db, PipelineOptions options);
 
-  /// Processes the batch; results are returned in input order.
+  /// Processes the batch with per-table failure isolation; every healthy
+  /// table completes even when others fail. Results in input order.
+  BatchResult RunBatch(const std::vector<std::string>& table_names);
+
+  /// Legacy all-or-nothing API on top of RunBatch(): returns the results
+  /// when every table succeeded, otherwise the first failing table's
+  /// error. Fault-free behaviour is identical to the historical Run().
   Result<std::vector<core::TableDetectionResult>> Run(
       const std::vector<std::string>& table_names);
 
-  /// Stats of the most recent Run().
+  /// Stats of the most recent Run()/RunBatch().
   const PipelineRunStats& stats() const { return stats_; }
+  const ResilienceStats& resilience_stats() const { return resilience_; }
 
  private:
-  Result<std::vector<core::TableDetectionResult>> RunSequential(
-      const std::vector<std::string>& table_names);
-  Result<std::vector<core::TableDetectionResult>> RunPipelined(
-      const std::vector<std::string>& table_names);
+  void RunSequential(const std::vector<std::string>& table_names,
+                     BatchResult* out);
+  void RunPipelined(const std::vector<std::string>& table_names,
+                    BatchResult* out);
+  /// Folds per-table counters (and breaker trips) into resilience_.
+  void FinalizeStats(const BatchResult& batch, int64_t trips_before);
 
   const core::TasteDetector* detector_;
   clouddb::SimulatedDatabase* db_;
   PipelineOptions options_;
   PipelineRunStats stats_;
+  ResilienceStats resilience_;
 };
 
 }  // namespace taste::pipeline
