@@ -126,11 +126,12 @@ void TasteDetector::ClassifyP1Chunk(const EncodedMetadata& chunk,
   if (!job->uncertain_columns.back().empty()) job->needs_p2 = true;
 }
 
-Status TasteDetector::InferP1(Job* job) const {
+Status TasteDetector::InferP1(Job* job, tensor::ExecContext* ctx) const {
   TASTE_CHECK(job != nullptr);
   if (job->chunks.empty()) {
     return Status::Invalid("InferP1 before PrepareP1");
   }
+  tensor::ScopedExecContext scope(ctx);
   tensor::NoGradGuard no_grad;
   job->result.table_name = job->table_name;
   for (size_t i = 0; i < job->chunks.size(); ++i) {
@@ -262,12 +263,13 @@ Status TasteDetector::PrepareP2(clouddb::Connection* conn, Job* job) const {
   return first_error;
 }
 
-Status TasteDetector::InferP2(Job* job) const {
+Status TasteDetector::InferP2(Job* job, tensor::ExecContext* ctx) const {
   TASTE_CHECK(job != nullptr);
   if (!job->needs_p2) return Status::OK();
   if (job->contents.size() != job->chunks.size()) {
     return Status::Invalid("InferP2 before PrepareP2");
   }
+  tensor::ScopedExecContext scope(ctx);
   tensor::NoGradGuard no_grad;
   const int num_types = model_->config().num_types;
   int result_offset = 0;
@@ -317,13 +319,14 @@ Status TasteDetector::InferP2(Job* job) const {
 }
 
 Result<TableDetectionResult> TasteDetector::DetectTable(
-    clouddb::Connection* conn, const std::string& table_name) const {
+    clouddb::Connection* conn, const std::string& table_name,
+    tensor::ExecContext* ctx) const {
   Job job;
   TASTE_RETURN_IF_ERROR(PrepareP1(conn, table_name, &job));
-  TASTE_RETURN_IF_ERROR(InferP1(&job));
+  TASTE_RETURN_IF_ERROR(InferP1(&job, ctx));
   if (job.needs_p2) {
     TASTE_RETURN_IF_ERROR(PrepareP2(conn, &job));
-    TASTE_RETURN_IF_ERROR(InferP2(&job));
+    TASTE_RETURN_IF_ERROR(InferP2(&job, ctx));
   }
   return job.result;
 }

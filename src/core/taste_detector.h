@@ -28,6 +28,7 @@
 #include "core/detection_result.h"
 #include "model/adtd.h"
 #include "model/latent_cache.h"
+#include "tensor/exec_context.h"
 #include "text/wordpiece.h"
 
 namespace taste::core {
@@ -107,23 +108,30 @@ class TasteDetector {
 
   // -- Stage API (used by the pipeline scheduler) ---------------------------
 
+  // The inference stages accept an optional tensor::ExecContext. The
+  // context is bound for the duration of the stage so the model forward
+  // gets buffer pooling / intra-op parallelism / timing; nullptr preserves
+  // the historical behaviour exactly. Each context must be used by one
+  // thread at a time — the pipeline executor owns one per infer worker.
+
   /// S1 of P1: fetch metadata, split wide tables, encode.
   Status PrepareP1(clouddb::Connection* conn, const std::string& table_name,
                    Job* job) const;
   /// S2 of P1: metadata-tower inference + threshold classification.
   /// Populates `result` fully when no column is uncertain.
-  Status InferP1(Job* job) const;
+  Status InferP1(Job* job, tensor::ExecContext* ctx = nullptr) const;
   /// S1 of P2: scan content of uncertain columns only.
   Status PrepareP2(clouddb::Connection* conn, Job* job) const;
   /// S2 of P2: content-tower inference over cached metadata latents and
   /// final A^c merge.
-  Status InferP2(Job* job) const;
+  Status InferP2(Job* job, tensor::ExecContext* ctx = nullptr) const;
 
   // -- Convenience -----------------------------------------------------------
 
   /// Runs all four stages sequentially for one table.
-  Result<TableDetectionResult> DetectTable(clouddb::Connection* conn,
-                                           const std::string& table_name) const;
+  Result<TableDetectionResult> DetectTable(
+      clouddb::Connection* conn, const std::string& table_name,
+      tensor::ExecContext* ctx = nullptr) const;
 
   const TasteOptions& options() const { return options_; }
   model::LatentCache& cache() const { return *cache_; }

@@ -71,7 +71,8 @@ Tensor AdtdModel::Embed(const std::vector<int>& ids) const {
 }
 
 AdtdModel::MetadataEncoding AdtdModel::ForwardMetadata(
-    const EncodedMetadata& input) const {
+    const EncodedMetadata& input, tensor::ExecContext* ctx) const {
+  tensor::ScopedExecContext scope(ctx);
   TASTE_CHECK(input.num_columns > 0);
   MetadataEncoding out;
   out.layer_latents.reserve(static_cast<size_t>(encoder_.num_layers()) + 1);
@@ -89,7 +90,8 @@ AdtdModel::MetadataEncoding AdtdModel::ForwardMetadata(
 
 Tensor AdtdModel::ForwardContent(
     const EncodedContent& content, const EncodedMetadata& meta,
-    const MetadataEncoding& meta_encoding) const {
+    const MetadataEncoding& meta_encoding, tensor::ExecContext* ctx) const {
+  tensor::ScopedExecContext scope(ctx);
   TASTE_CHECK_MSG(!content.scanned.empty(),
                   "ForwardContent requires at least one scanned column");
   TASTE_CHECK(static_cast<int64_t>(meta_encoding.layer_latents.size()) ==

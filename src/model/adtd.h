@@ -67,14 +67,18 @@ class AdtdModel : public nn::Module {
     tensor::Tensor logits;                      // (ncols, num_types)
   };
 
-  /// Runs the metadata tower (P1's model).
-  MetadataEncoding ForwardMetadata(const EncodedMetadata& input) const;
+  /// Runs the metadata tower (P1's model). `ctx`, if given, is bound for
+  /// the duration of the forward (buffer pooling / intra-op parallelism /
+  /// timing); nullptr inherits the calling thread's current context.
+  MetadataEncoding ForwardMetadata(const EncodedMetadata& input,
+                                   tensor::ExecContext* ctx = nullptr) const;
 
   /// Runs the content tower on top of (possibly cached) metadata latents.
   /// Returns logits (|scanned|, num_types) aligned with content.scanned.
   tensor::Tensor ForwardContent(const EncodedContent& content,
                                 const EncodedMetadata& meta,
-                                const MetadataEncoding& meta_encoding) const;
+                                const MetadataEncoding& meta_encoding,
+                                tensor::ExecContext* ctx = nullptr) const;
 
   /// Automatic weighted multi-task loss over the two towers' BCE losses.
   tensor::Tensor MultiTaskLoss(const tensor::Tensor& meta_logits,

@@ -50,4 +50,18 @@ LatentCache::Stats LatentCache::stats() const {
   return stats_;
 }
 
+int64_t LatentCache::ApproxBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t bytes = 0;
+  auto add = [&bytes](const tensor::Tensor& t) {
+    if (t.defined()) bytes += t.numel() * static_cast<int64_t>(sizeof(float));
+  };
+  for (const auto& [key, value] : lru_) {
+    for (const auto& latent : value.encoding.layer_latents) add(latent);
+    add(value.encoding.anchor_states);
+    add(value.encoding.logits);
+  }
+  return bytes;
+}
+
 }  // namespace taste::model

@@ -4,6 +4,12 @@
 //
 // Keyed by table-chunk identity; bounded LRU; thread-safe (P1 and P2
 // inference stages may run on different pool threads).
+//
+// Ownership note: cached tensors may have been allocated under an
+// ExecContext with buffer pooling. Each such tensor co-owns the context's
+// BufferPool (see tensor/exec_context.h), so parking latents here keeps
+// that pool alive — and returns the buffers to it on eviction — even after
+// the producing context is gone. No special handling is needed here.
 
 #ifndef TASTE_MODEL_LATENT_CACHE_H_
 #define TASTE_MODEL_LATENT_CACHE_H_
@@ -47,6 +53,11 @@ class LatentCache {
 
   size_t size() const;
   Stats stats() const;
+
+  /// Approximate bytes of tensor payload currently cached (data buffers of
+  /// all layer latents, anchor states, and logits; excludes map/list
+  /// overhead). For capacity planning and the substrate bench report.
+  int64_t ApproxBytes() const;
 
  private:
   size_t capacity_;

@@ -11,7 +11,8 @@ Linear::Linear(int64_t in_features, int64_t out_features, Rng& rng)
       "bias", Tensor::Zeros({out_features}, /*requires_grad=*/true));
 }
 
-Tensor Linear::Forward(const Tensor& x) const {
+Tensor Linear::Forward(const Tensor& x, ExecContext* ctx) const {
+  tensor::ScopedExecContext scope(ctx);
   return tensor::AddBias(tensor::MatMul(x, weight_), bias_);
 }
 
@@ -22,7 +23,8 @@ Embedding::Embedding(int64_t vocab_size, int64_t dim, Rng& rng)
       Tensor::Randn({vocab_size, dim}, rng, 0.02f, /*requires_grad=*/true));
 }
 
-Tensor Embedding::Forward(const std::vector<int>& ids) const {
+Tensor Embedding::Forward(const std::vector<int>& ids, ExecContext* ctx) const {
+  tensor::ScopedExecContext scope(ctx);
   return tensor::EmbeddingLookup(weight_, ids);
 }
 
@@ -33,7 +35,8 @@ LayerNorm::LayerNorm(int64_t dim) {
                             Tensor::Zeros({dim}, /*requires_grad=*/true));
 }
 
-Tensor LayerNorm::Forward(const Tensor& x) const {
+Tensor LayerNorm::Forward(const Tensor& x, ExecContext* ctx) const {
+  tensor::ScopedExecContext scope(ctx);
   return tensor::LayerNorm(x, gamma_, beta_);
 }
 
@@ -44,7 +47,8 @@ MlpClassifier::MlpClassifier(int64_t in_features, int64_t hidden,
   RegisterModule("out", &out_);
 }
 
-Tensor MlpClassifier::Forward(const Tensor& x) const {
+Tensor MlpClassifier::Forward(const Tensor& x, ExecContext* ctx) const {
+  tensor::ScopedExecContext scope(ctx);
   return out_.Forward(tensor::Relu(hidden_.Forward(x)));
 }
 

@@ -8,12 +8,19 @@
 
 #include "common/rng.h"
 #include "nn/module.h"
+#include "tensor/exec_context.h"
 #include "tensor/ops.h"
 #include "tensor/tensor.h"
 
 namespace taste::nn {
 
+using tensor::ExecContext;
 using tensor::Tensor;
+
+// All Forward() methods below take an optional ExecContext. Passing one
+// binds it for the duration of the call (buffer pooling, intra-op
+// parallelism, per-op timing); nullptr inherits whatever context the
+// calling thread already has bound — so only entry points need to pass it.
 
 /// Affine layer y = x W + b, weight shaped (in, out).
 class Linear : public Module {
@@ -22,7 +29,7 @@ class Linear : public Module {
   Linear(int64_t in_features, int64_t out_features, Rng& rng);
 
   /// x is (n, in) -> (n, out).
-  Tensor Forward(const Tensor& x) const;
+  Tensor Forward(const Tensor& x, ExecContext* ctx = nullptr) const;
 
   int64_t in_features() const { return in_features_; }
   int64_t out_features() const { return out_features_; }
@@ -40,7 +47,7 @@ class Embedding : public Module {
   Embedding(int64_t vocab_size, int64_t dim, Rng& rng);
 
   /// ids (length n, each in [0, vocab)) -> (n, dim).
-  Tensor Forward(const std::vector<int>& ids) const;
+  Tensor Forward(const std::vector<int>& ids, ExecContext* ctx = nullptr) const;
 
   int64_t vocab_size() const { return vocab_size_; }
   int64_t dim() const { return dim_; }
@@ -58,7 +65,7 @@ class LayerNorm : public Module {
  public:
   explicit LayerNorm(int64_t dim);
 
-  Tensor Forward(const Tensor& x) const;
+  Tensor Forward(const Tensor& x, ExecContext* ctx = nullptr) const;
 
  private:
   Tensor gamma_;
@@ -76,7 +83,7 @@ class MlpClassifier : public Module {
                 Rng& rng);
 
   /// x (n, in) -> logits (n, num_labels).
-  Tensor Forward(const Tensor& x) const;
+  Tensor Forward(const Tensor& x, ExecContext* ctx = nullptr) const;
 
   int64_t num_labels() const { return out_.out_features(); }
 

@@ -26,8 +26,9 @@ MultiHeadAttention::MultiHeadAttention(int64_t hidden, int64_t num_heads,
 }
 
 Tensor MultiHeadAttention::Forward(const Tensor& q_input,
-                                   const Tensor& kv_input,
-                                   const Tensor* mask) const {
+                                   const Tensor& kv_input, const Tensor* mask,
+                                   ExecContext* exec_ctx) const {
+  tensor::ScopedExecContext scope(exec_ctx);
   const int64_t sq = q_input.dim(0);
   const int64_t skv = kv_input.dim(0);
   // Project and split heads: (s, H) -> (s, A, hd) -> (A, s, hd).
@@ -58,7 +59,8 @@ FeedForward::FeedForward(int64_t hidden, int64_t intermediate, Rng& rng)
   RegisterModule("down", &down_);
 }
 
-Tensor FeedForward::Forward(const Tensor& x) const {
+Tensor FeedForward::Forward(const Tensor& x, ExecContext* ctx) const {
+  tensor::ScopedExecContext scope(ctx);
   return down_.Forward(tensor::Gelu(up_.Forward(x)));
 }
 
@@ -77,12 +79,14 @@ TransformerBlock::TransformerBlock(int64_t hidden, int64_t num_heads,
   RegisterModule("norm2", &norm2_);
 }
 
-Tensor TransformerBlock::Forward(const Tensor& x, const Tensor* mask) const {
-  return Forward(x, x, mask);
+Tensor TransformerBlock::Forward(const Tensor& x, const Tensor* mask,
+                                 ExecContext* ctx) const {
+  return Forward(x, x, mask, ctx);
 }
 
 Tensor TransformerBlock::Forward(const Tensor& q_input, const Tensor& kv_input,
-                                 const Tensor* mask) const {
+                                 const Tensor* mask, ExecContext* ctx) const {
+  tensor::ScopedExecContext scope(ctx);
   Tensor attn = attention_.Forward(q_input, kv_input, mask);
   attn = tensor::Dropout(attn, dropout_, dropout_rng_, training());
   Tensor x = norm1_.Forward(tensor::Add(q_input, attn));
@@ -104,7 +108,9 @@ TransformerEncoder::TransformerEncoder(const EncoderConfig& config, Rng& rng)
   }
 }
 
-Tensor TransformerEncoder::Forward(const Tensor& x, const Tensor* mask) const {
+Tensor TransformerEncoder::Forward(const Tensor& x, const Tensor* mask,
+                                   ExecContext* ctx) const {
+  tensor::ScopedExecContext scope(ctx);
   Tensor h = x;
   for (const auto& block : blocks_) h = block->Forward(h, mask);
   return h;

@@ -28,7 +28,8 @@ class MultiHeadAttention : public Module {
   /// with 0 for attendable and a large negative value for masked positions.
   /// Returns (sq, H).
   Tensor Forward(const Tensor& q_input, const Tensor& kv_input,
-                 const Tensor* mask = nullptr) const;
+                 const Tensor* mask = nullptr,
+                 ExecContext* ctx = nullptr) const;
 
   int64_t num_heads() const { return num_heads_; }
 
@@ -46,7 +47,7 @@ class MultiHeadAttention : public Module {
 class FeedForward : public Module {
  public:
   FeedForward(int64_t hidden, int64_t intermediate, Rng& rng);
-  Tensor Forward(const Tensor& x) const;
+  Tensor Forward(const Tensor& x, ExecContext* ctx = nullptr) const;
 
  private:
   Linear up_;
@@ -62,12 +63,13 @@ class TransformerBlock : public Module {
                    float dropout, Rng& rng);
 
   /// Self-attention form: kv = q.
-  Tensor Forward(const Tensor& x, const Tensor* mask = nullptr) const;
+  Tensor Forward(const Tensor& x, const Tensor* mask = nullptr,
+                 ExecContext* ctx = nullptr) const;
 
   /// General (cross-attention-capable) form. q_input (sq, H) is also the
   /// residual stream; kv_input (skv, H) feeds keys/values.
   Tensor Forward(const Tensor& q_input, const Tensor& kv_input,
-                 const Tensor* mask) const;
+                 const Tensor* mask, ExecContext* ctx = nullptr) const;
 
  private:
   MultiHeadAttention attention_;
@@ -107,7 +109,8 @@ class TransformerEncoder : public Module {
   TransformerEncoder(const EncoderConfig& config, Rng& rng);
 
   /// Plain self-attention encoding of x (s, H) through all layers.
-  Tensor Forward(const Tensor& x, const Tensor* mask = nullptr) const;
+  Tensor Forward(const Tensor& x, const Tensor* mask = nullptr,
+                 ExecContext* ctx = nullptr) const;
 
   int64_t num_layers() const { return static_cast<int64_t>(blocks_.size()); }
   const TransformerBlock& block(int64_t i) const { return *blocks_[i]; }

@@ -1,10 +1,14 @@
 #include "pipeline/scheduler.h"
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstdlib>
 #include <mutex>
+#include <thread>
+#include <unordered_map>
 
 #include "common/stopwatch.h"
+#include "tensor/exec_context.h"
 
 namespace taste::pipeline {
 
@@ -17,6 +21,17 @@ PipelineExecutor::PipelineExecutor(const TasteDetector* detector,
     : detector_(detector), db_(db), options_(options) {
   TASTE_CHECK(detector_ != nullptr && db_ != nullptr);
   TASTE_CHECK(options_.prep_threads >= 1 && options_.infer_threads >= 1);
+}
+
+int EffectiveIntraOpThreads(const PipelineOptions& options) {
+  if (options.intra_op_threads <= 1) return 0;
+  const int hw =
+      static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  // Each of the infer_threads TP2 workers would own a pool this size;
+  // never let the product oversubscribe the machine.
+  const int budget = std::max(1, hw / std::max(1, options.infer_threads));
+  const int clamped = std::min(options.intra_op_threads, budget);
+  return clamped > 1 ? clamped : 0;
 }
 
 BatchResult PipelineExecutor::RunBatch(
@@ -78,9 +93,15 @@ void PipelineExecutor::RunSequential(
   // One connection, tables and stages strictly one after another — the
   // execution mode of prior work the paper compares against (Sec. 5). A
   // failing table is recorded and skipped; the rest of the batch runs.
+  // One serving context for the whole batch: activation buffers are reused
+  // across tables, and no_grad structurally forbids tape construction.
+  tensor::ExecContext::Options ctx_options;
+  ctx_options.no_grad = true;
+  ctx_options.intra_op_threads = EffectiveIntraOpThreads(options_);
+  tensor::ExecContext ctx(ctx_options);
   auto conn = db_->Connect();
   for (size_t i = 0; i < table_names.size(); ++i) {
-    auto res = detector_->DetectTable(conn.get(), table_names[i]);
+    auto res = detector_->DetectTable(conn.get(), table_names[i], &ctx);
     if (res.ok()) {
       out->tables[i].result = std::move(*res);
     } else {
@@ -155,6 +176,29 @@ void PipelineExecutor::RunPipelined(
     states[i].name = table_names[i];
   }
 
+  // Each TP2 infer worker owns a private ExecContext (buffer pool, no-grad
+  // enforcement, optionally an intra-op GEMM pool of its own). Owning the
+  // intra-op pool per worker keeps intra-op parallelism composable with
+  // inter-table parallelism: a worker never forks GEMM bands onto the pool
+  // it runs on (the deadlock rule of tensor/exec_context.h), and
+  // EffectiveIntraOpThreads caps the total thread product. Declared before
+  // the pools so contexts outlive every worker task.
+  const int intra_threads = EffectiveIntraOpThreads(options_);
+  std::mutex ctx_mu;
+  std::unordered_map<std::thread::id, std::unique_ptr<tensor::ExecContext>>
+      infer_contexts;
+  auto infer_context = [&ctx_mu, &infer_contexts, intra_threads] {
+    std::lock_guard<std::mutex> lock(ctx_mu);
+    auto& slot = infer_contexts[std::this_thread::get_id()];
+    if (slot == nullptr) {
+      tensor::ExecContext::Options ctx_options;
+      ctx_options.no_grad = true;
+      ctx_options.intra_op_threads = intra_threads;
+      slot = std::make_unique<tensor::ExecContext>(ctx_options);
+    }
+    return slot.get();
+  };
+
   ThreadPool tp1(static_cast<size_t>(options_.prep_threads));
   ThreadPool tp2(static_cast<size_t>(options_.infer_threads));
   // Connections are created once and reused across the batch (the paper
@@ -193,7 +237,7 @@ void PipelineExecutor::RunPipelined(
         break;
       }
       case Stage::kP1Infer:
-        status = detector_->InferP1(&st.job);
+        status = detector_->InferP1(&st.job, infer_context());
         break;
       case Stage::kP2Prep: {
         auto conn = connections.Acquire();
@@ -202,7 +246,7 @@ void PipelineExecutor::RunPipelined(
         break;
       }
       case Stage::kP2Infer:
-        status = detector_->InferP2(&st.job);
+        status = detector_->InferP2(&st.job, infer_context());
         break;
       case Stage::kDone:
         break;

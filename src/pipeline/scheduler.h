@@ -39,6 +39,13 @@ struct PipelineOptions {
   int prep_threads = 2;   // |TP1|
   int infer_threads = 2;  // |TP2|
   bool pipelined = true;  // false = paper's "sequential mode" baseline
+  /// Intra-op GEMM workers EACH TP2 infer worker may own (via its private
+  /// ExecContext), composing intra-op with inter-table parallelism. The
+  /// executor clamps the value so infer_threads * intra_op_threads never
+  /// exceeds the hardware concurrency (see EffectiveIntraOpThreads);
+  /// <= 1 means serial kernels — the default, byte-identical to the
+  /// historical behaviour.
+  int intra_op_threads = 0;
   /// Pipeline-level re-runs of a failed stage while its error is transient
   /// (the re-run is dispatched back to the stage's own pool). These sit on
   /// top of whatever call-level retries the detector's ResilienceOptions
@@ -91,6 +98,13 @@ struct BatchResult {
     return true;
   }
 };
+
+/// The intra-op pool size each TP2 infer worker actually gets: the
+/// requested PipelineOptions::intra_op_threads clamped so that
+/// infer_threads * intra_op_threads <= hardware concurrency (no
+/// oversubscription; DESIGN.md §6). Returns 0 when the request (or the
+/// clamp) leaves no room for a pool — serial kernels.
+int EffectiveIntraOpThreads(const PipelineOptions& options);
 
 /// Runs a batch of tables (from one database, reusing its connections)
 /// through a TasteDetector, pipelined or sequentially.

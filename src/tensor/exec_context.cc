@@ -1,0 +1,90 @@
+#include "tensor/exec_context.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/thread_pool.h"
+
+namespace taste::tensor {
+
+namespace {
+thread_local ExecContext* g_current_context = nullptr;
+}  // namespace
+
+BufferPool::BufferPool(int64_t max_bytes) : max_bytes_(max_bytes) {}
+
+std::vector<float> BufferPool::Acquire(size_t n) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.acquires;
+    auto it = free_.find(n);
+    if (it != free_.end() && !it->second.empty()) {
+      std::vector<float> buf = std::move(it->second.back());
+      it->second.pop_back();
+      ++stats_.reuses;
+      stats_.bytes_pooled -= static_cast<int64_t>(n * sizeof(float));
+      std::memset(buf.data(), 0, n * sizeof(float));
+      return buf;
+    }
+  }
+  return std::vector<float>(n, 0.0f);
+}
+
+void BufferPool::Release(std::vector<float> buf) {
+  const int64_t bytes = static_cast<int64_t>(buf.size() * sizeof(float));
+  if (buf.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stats_.bytes_pooled + bytes > max_bytes_) return;  // drop
+  stats_.bytes_pooled += bytes;
+  ++stats_.releases;
+  free_[buf.size()].push_back(std::move(buf));
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+ExecContext::ExecContext() : ExecContext(Options{}) {}
+
+ExecContext::ExecContext(const Options& options) : options_(options) {
+  if (options_.use_buffer_pool) pool_ = std::make_shared<BufferPool>();
+  if (options_.intra_op_pool == nullptr && options_.intra_op_threads > 1) {
+    owned_intra_pool_ = std::make_unique<ThreadPool>(
+        static_cast<size_t>(options_.intra_op_threads));
+  }
+}
+
+ExecContext::~ExecContext() = default;
+
+ThreadPool* ExecContext::intra_pool() const {
+  if (options_.intra_op_pool != nullptr) return options_.intra_op_pool;
+  return owned_intra_pool_.get();
+}
+
+ExecStats ExecContext::stats() const {
+  ExecStats s = stats_;
+  if (pool_ != nullptr) s.pool = pool_->stats();
+  return s;
+}
+
+void ExecContext::ResetStats() { stats_ = ExecStats{}; }
+
+void ExecContext::RecordOp(OpTiming ExecStats::* t, double ms) {
+  OpTiming& bucket = stats_.*t;
+  ++bucket.calls;
+  bucket.ms += ms;
+}
+
+ExecContext* ExecContext::Current() { return g_current_context; }
+
+ScopedExecContext::ScopedExecContext(ExecContext* ctx)
+    : prev_(g_current_context), bound_(ctx != nullptr) {
+  if (bound_) g_current_context = ctx;
+}
+
+ScopedExecContext::~ScopedExecContext() {
+  if (bound_) g_current_context = prev_;
+}
+
+}  // namespace taste::tensor

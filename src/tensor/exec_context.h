@@ -1,0 +1,164 @@
+// Per-inference-thread execution context for the tensor substrate.
+//
+// An ExecContext bundles the three serving-time resources the kernel layer
+// can exploit:
+//
+//  * a BufferPool that recycles forward-activation buffers (a Transformer
+//    forward allocates the same handful of shapes over and over; the pool
+//    turns those mallocs + page faults into free-list pops),
+//  * an optional intra-op ThreadPool handed to the GEMM kernels for
+//    row-partitioned parallelism,
+//  * per-op timing counters (gated on Options::profile so the hooks cost
+//    nothing when off).
+//
+// Ownership rules (DESIGN.md §6):
+//  * An ExecContext is bound to ONE thread at a time via ScopedExecContext;
+//    it is not safe to bind the same context on two threads concurrently
+//    (the stats counters and scratch state are unsynchronized by design).
+//  * Tensors allocated under a context share ownership of its BufferPool:
+//    a tensor may outlive the context (e.g. latents parked in the
+//    LatentCache) and still return its buffer to the pool — which stays
+//    alive until the last such tensor dies — from whatever thread drops
+//    the last reference. The pool itself is thread-safe.
+//  * The intra-op pool must never be the pool the current task runs on,
+//    or the fork/join inside GemmAcc can deadlock. PipelineExecutor gives
+//    every TP2 infer worker its own context (and own intra-op pool) for
+//    exactly this reason.
+//
+// A null / unbound context preserves the historical behaviour exactly:
+// heap allocation per tensor, serial kernels, no timing.
+
+#ifndef TASTE_TENSOR_EXEC_CONTEXT_H_
+#define TASTE_TENSOR_EXEC_CONTEXT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace taste {
+class ThreadPool;
+}
+
+namespace taste::tensor {
+
+/// Thread-safe free-list of float buffers keyed by exact element count.
+/// Model forwards request identical shapes every call, so exact-size
+/// bucketing reuses essentially every buffer after the first table.
+class BufferPool {
+ public:
+  struct Stats {
+    int64_t acquires = 0;   // total Acquire() calls
+    int64_t reuses = 0;     // acquires served from the free list
+    int64_t releases = 0;   // buffers returned (not dropped)
+    int64_t bytes_pooled = 0;  // bytes currently parked in the free list
+  };
+
+  /// `max_bytes` caps the bytes parked in the free list; releases beyond
+  /// the cap simply free the buffer.
+  explicit BufferPool(int64_t max_bytes = 256ll << 20);
+
+  /// A zero-filled buffer of exactly `n` elements (reused when possible).
+  std::vector<float> Acquire(size_t n);
+
+  /// Returns a buffer to the free list (or drops it past the byte cap).
+  void Release(std::vector<float> buf);
+
+  Stats stats() const;
+
+ private:
+  const int64_t max_bytes_;
+  mutable std::mutex mu_;
+  std::unordered_map<size_t, std::vector<std::vector<float>>> free_;
+  Stats stats_;
+};
+
+/// Per-op timing accumulated by the ops layer when profiling is on.
+struct OpTiming {
+  int64_t calls = 0;
+  double ms = 0.0;
+};
+
+struct ExecStats {
+  OpTiming gemm;
+  OpTiming softmax;
+  OpTiming layernorm;
+  OpTiming gelu;
+  BufferPool::Stats pool;
+};
+
+class ExecContext {
+ public:
+  struct Options {
+    /// Recycle forward-activation buffers through a BufferPool.
+    bool use_buffer_pool = true;
+    /// Record per-op timings (kernel wall time) into stats().
+    bool profile = false;
+    /// Enforce no-grad: while this context is bound, ops never record
+    /// autograd edges even outside a NoGradGuard. Serving contexts set
+    /// this so a forgotten guard cannot silently re-grow the tape.
+    bool no_grad = false;
+    /// Number of intra-op worker threads to own (<= 1 = serial kernels).
+    /// Ignored when `intra_op_pool` is supplied.
+    int intra_op_threads = 0;
+    /// Externally owned intra-op pool (not owned; must outlive the
+    /// context). Must be a dedicated pool, see the deadlock rule above.
+    ThreadPool* intra_op_pool = nullptr;
+  };
+
+  ExecContext();
+  explicit ExecContext(const Options& options);
+  ~ExecContext();
+
+  ExecContext(const ExecContext&) = delete;
+  ExecContext& operator=(const ExecContext&) = delete;
+
+  const Options& options() const { return options_; }
+  bool no_grad() const { return options_.no_grad; }
+  bool profiling() const { return options_.profile; }
+
+  /// The intra-op pool for kernels, or nullptr for serial execution.
+  ThreadPool* intra_pool() const;
+
+  /// The activation pool, or nullptr when pooling is disabled.
+  const std::shared_ptr<BufferPool>& buffer_pool() const { return pool_; }
+
+  /// Timing + pool counters since construction / the last ResetStats().
+  ExecStats stats() const;
+  void ResetStats();
+
+  /// Adds `ms` to the timing bucket `t` (called by the ops layer).
+  void RecordOp(OpTiming ExecStats::* t, double ms);
+
+  /// The context bound to the calling thread, or nullptr.
+  static ExecContext* Current();
+
+ private:
+  friend class ScopedExecContext;
+
+  Options options_;
+  std::shared_ptr<BufferPool> pool_;             // null when pooling is off
+  std::unique_ptr<ThreadPool> owned_intra_pool_;  // null unless owned
+  ExecStats stats_;
+};
+
+/// RAII binder making `ctx` the calling thread's current context. Binding
+/// nullptr is a no-op (the previous binding, if any, stays active), so
+/// layered Forward(…, ctx) signatures can forward a ctx default of nullptr
+/// without clobbering an outer binding.
+class ScopedExecContext {
+ public:
+  explicit ScopedExecContext(ExecContext* ctx);
+  ~ScopedExecContext();
+  ScopedExecContext(const ScopedExecContext&) = delete;
+  ScopedExecContext& operator=(const ScopedExecContext&) = delete;
+
+ private:
+  ExecContext* prev_;
+  bool bound_;
+};
+
+}  // namespace taste::tensor
+
+#endif  // TASTE_TENSOR_EXEC_CONTEXT_H_

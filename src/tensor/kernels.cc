@@ -1,0 +1,382 @@
+#include "tensor/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <future>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace taste::tensor::kernels {
+
+namespace {
+
+// Blocking parameters. MR x NR is the register tile of the micro kernel
+// (4 x 16 floats = 8 AVX2 accumulator registers, leaving room for the A
+// broadcasts and B loads); KC x NC bounds the packed B panel (512 KiB) so
+// it stays cache-resident while the row sweep reuses it; MC bounds the
+// packed A panel.
+constexpr int64_t kMr = 4;
+constexpr int64_t kNr = 16;
+constexpr int64_t kKc = 256;
+constexpr int64_t kMc = 64;
+constexpr int64_t kNc = 512;
+
+/// Below this many flops (2*m*n*k) the fork/join overhead of the pool
+/// outweighs the work; run serially.
+constexpr int64_t kMinParallelFlops = 1 << 21;
+
+inline float OpA(const float* a, int64_t i, int64_t p, int64_t m, int64_t k,
+                 bool trans_a) {
+  return trans_a ? a[p * m + i] : a[i * k + p];
+}
+
+inline float OpB(const float* b, int64_t p, int64_t j, int64_t n, int64_t k,
+                 bool trans_b) {
+  return trans_b ? b[j * k + p] : b[p * n + j];
+}
+
+/// Packs op(A)[i0:i0+mb, p0:p0+kb] into dst (mb x kb row-major).
+void PackA(float* __restrict dst, const float* a, int64_t i0, int64_t mb,
+           int64_t p0, int64_t kb, int64_t m, int64_t k, bool trans_a) {
+  if (!trans_a) {
+    for (int64_t r = 0; r < mb; ++r) {
+      const float* src = a + (i0 + r) * k + p0;
+      float* d = dst + r * kb;
+      for (int64_t q = 0; q < kb; ++q) d[q] = src[q];
+    }
+  } else {
+    // A stored (k, m): column i0+r of the storage becomes packed row r.
+    for (int64_t q = 0; q < kb; ++q) {
+      const float* src = a + (p0 + q) * m + i0;
+      for (int64_t r = 0; r < mb; ++r) dst[r * kb + q] = src[r];
+    }
+  }
+}
+
+/// Packs op(B)[p0:p0+kb, j0:j0+nb] into dst (kb x nb row-major).
+void PackB(float* __restrict dst, const float* b, int64_t p0, int64_t kb,
+           int64_t j0, int64_t nb, int64_t n, int64_t k, bool trans_b) {
+  if (!trans_b) {
+    for (int64_t q = 0; q < kb; ++q) {
+      const float* src = b + (p0 + q) * n + j0;
+      float* d = dst + q * nb;
+      for (int64_t t = 0; t < nb; ++t) d[t] = src[t];
+    }
+  } else {
+    // B stored (n, k): row j0+t of the storage becomes packed column t.
+    for (int64_t t = 0; t < nb; ++t) {
+      const float* src = b + (j0 + t) * k + p0;
+      for (int64_t q = 0; q < kb; ++q) dst[q * nb + t] = src[q];
+    }
+  }
+}
+
+/// C-tile update from packed panels: C[.. , ..] += pa * pb where pa is
+/// (mb x kb) and pb is (kb x nb). The accumulators are seeded from C and
+/// updated in increasing-p order, so each element's floating-point
+/// summation order is exactly the naive kernel's.
+void MicroTile(const float* __restrict pa, const float* __restrict pb,
+               float* __restrict c, int64_t ldc, int64_t mb, int64_t nb,
+               int64_t kb) {
+  int64_t i = 0;
+  for (; i + kMr <= mb; i += kMr) {
+    int64_t j = 0;
+    for (; j + kNr <= nb; j += kNr) {
+      float acc[kMr][kNr];
+      for (int64_t r = 0; r < kMr; ++r) {
+        const float* crow = c + (i + r) * ldc + j;
+        for (int64_t t = 0; t < kNr; ++t) acc[r][t] = crow[t];
+      }
+      const float* a0 = pa + (i + 0) * kb;
+      const float* a1 = pa + (i + 1) * kb;
+      const float* a2 = pa + (i + 2) * kb;
+      const float* a3 = pa + (i + 3) * kb;
+      for (int64_t p = 0; p < kb; ++p) {
+        const float* __restrict brow = pb + p * nb + j;
+        const float av0 = a0[p], av1 = a1[p], av2 = a2[p], av3 = a3[p];
+        for (int64_t t = 0; t < kNr; ++t) {
+          acc[0][t] += av0 * brow[t];
+          acc[1][t] += av1 * brow[t];
+          acc[2][t] += av2 * brow[t];
+          acc[3][t] += av3 * brow[t];
+        }
+      }
+      for (int64_t r = 0; r < kMr; ++r) {
+        float* crow = c + (i + r) * ldc + j;
+        for (int64_t t = 0; t < kNr; ++t) crow[t] = acc[r][t];
+      }
+    }
+    // Column remainder of the 4-row band.
+    for (; j < nb; ++j) {
+      for (int64_t r = 0; r < kMr; ++r) {
+        const float* arow = pa + (i + r) * kb;
+        float s = c[(i + r) * ldc + j];
+        for (int64_t p = 0; p < kb; ++p) s += arow[p] * pb[p * nb + j];
+        c[(i + r) * ldc + j] = s;
+      }
+    }
+  }
+  // Row remainder.
+  for (; i < mb; ++i) {
+    const float* arow = pa + i * kb;
+    for (int64_t j = 0; j < nb; ++j) {
+      float s = c[i * ldc + j];
+      for (int64_t p = 0; p < kb; ++p) s += arow[p] * pb[p * nb + j];
+      c[i * ldc + j] = s;
+    }
+  }
+}
+
+struct PackScratch {
+  std::vector<float> a;
+  std::vector<float> b;
+};
+
+PackScratch& Scratch() {
+  thread_local PackScratch s;
+  return s;
+}
+
+/// Serial blocked GEMM over the C row range [r0, r1).
+void GemmBlockedRows(const float* a, const float* b, float* c, int64_t m,
+                     int64_t n, int64_t k, bool trans_a, bool trans_b,
+                     int64_t r0, int64_t r1) {
+  PackScratch& s = Scratch();
+  s.a.resize(static_cast<size_t>(kMc * kKc));
+  s.b.resize(static_cast<size_t>(kKc * kNc));
+  for (int64_t j0 = 0; j0 < n; j0 += kNc) {
+    const int64_t nb = std::min(kNc, n - j0);
+    for (int64_t p0 = 0; p0 < k; p0 += kKc) {
+      const int64_t kb = std::min(kKc, k - p0);
+      PackB(s.b.data(), b, p0, kb, j0, nb, n, k, trans_b);
+      for (int64_t i0 = r0; i0 < r1; i0 += kMc) {
+        const int64_t mb = std::min(kMc, r1 - i0);
+        PackA(s.a.data(), a, i0, mb, p0, kb, m, k, trans_a);
+        MicroTile(s.a.data(), s.b.data(), c + i0 * n + j0, n, mb, nb, kb);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void GemmAccRef(const float* a, const float* b, float* c, int64_t m,
+                int64_t n, int64_t k, bool trans_a, bool trans_b) {
+  if (!trans_a && !trans_b) {
+    for (int64_t i = 0; i < m; ++i) {
+      float* crow = c + i * n;
+      const float* arow = a + i * k;
+      for (int64_t p = 0; p < k; ++p) {
+        float av = arow[p];
+        const float* brow = b + p * n;
+        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  } else if (!trans_a && trans_b) {
+    for (int64_t i = 0; i < m; ++i) {
+      const float* arow = a + i * k;
+      float* crow = c + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        const float* brow = b + j * k;
+        float acc = 0.0f;
+        for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+        crow[j] += acc;
+      }
+    }
+  } else if (trans_a && !trans_b) {
+    for (int64_t p = 0; p < k; ++p) {
+      const float* arow = a + p * m;
+      const float* brow = b + p * n;
+      for (int64_t i = 0; i < m; ++i) {
+        float av = arow[i];
+        float* crow = c + i * n;
+        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  } else {  // trans_a && trans_b
+    for (int64_t i = 0; i < m; ++i) {
+      float* crow = c + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        const float* brow = b + j * k;
+        float acc = 0.0f;
+        for (int64_t p = 0; p < k; ++p) acc += a[p * m + i] * brow[p];
+        crow[j] += acc;
+      }
+    }
+  }
+}
+
+void GemmAcc(const float* a, const float* b, float* c, int64_t m, int64_t n,
+             int64_t k, bool trans_a, bool trans_b, ThreadPool* pool) {
+  if (m == 0 || n == 0 || k == 0) return;
+  const int64_t flops = 2 * m * n * k;
+  if (pool == nullptr || pool->size() <= 1 || flops < kMinParallelFlops ||
+      m < 2 * kMr) {
+    GemmBlockedRows(a, b, c, m, n, k, trans_a, trans_b, 0, m);
+    return;
+  }
+  // Row-partitioned fork/join: each worker runs the serial blocked kernel
+  // on a contiguous band of C rows with its own packing scratch. Bands are
+  // multiples of kMr so the fast micro-tile path applies everywhere but the
+  // final band.
+  const int64_t num_tasks =
+      std::min<int64_t>(static_cast<int64_t>(pool->size()),
+                        (m + kMr - 1) / kMr);
+  const int64_t rows_per_task =
+      ((m + num_tasks - 1) / num_tasks + kMr - 1) / kMr * kMr;
+  std::vector<std::future<void>> futures;
+  futures.reserve(static_cast<size_t>(num_tasks));
+  for (int64_t r0 = 0; r0 < m; r0 += rows_per_task) {
+    const int64_t r1 = std::min(m, r0 + rows_per_task);
+    futures.push_back(pool->Submit([a, b, c, m, n, k, trans_a, trans_b, r0,
+                                    r1] {
+      GemmBlockedRows(a, b, c, m, n, k, trans_a, trans_b, r0, r1);
+    }));
+  }
+  for (auto& f : futures) f.get();
+}
+
+void SoftmaxRows(const float* x, float* y, int64_t rows, int64_t h) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = x + r * h;
+    float* out = y + r * h;
+    float mx = row[0];
+    for (int64_t j = 1; j < h; ++j) mx = std::max(mx, row[j]);
+    float sum = 0;
+    for (int64_t j = 0; j < h; ++j) {
+      float e = std::exp(row[j] - mx);
+      out[j] = e;
+      sum += e;
+    }
+    float inv = 1.0f / sum;
+    for (int64_t j = 0; j < h; ++j) out[j] *= inv;
+  }
+}
+
+void SoftmaxGradRows(const float* y, const float* dy, float* dx,
+                     int64_t rows, int64_t h) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* yr = y + r * h;
+    const float* dyr = dy + r * h;
+    float* dxr = dx + r * h;
+    float dot = 0;
+    for (int64_t j = 0; j < h; ++j) dot += dyr[j] * yr[j];
+    for (int64_t j = 0; j < h; ++j) dxr[j] += yr[j] * (dyr[j] - dot);
+  }
+}
+
+void LayerNormRows(const float* x, const float* gamma, const float* beta,
+                   float eps, int64_t rows, int64_t h, float* y, float* xhat,
+                   float* inv_std) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = x + r * h;
+    float mean = 0;
+    for (int64_t j = 0; j < h; ++j) mean += row[j];
+    mean /= static_cast<float>(h);
+    float var = 0;
+    for (int64_t j = 0; j < h; ++j) {
+      float d = row[j] - mean;
+      var += d * d;
+    }
+    var /= static_cast<float>(h);
+    float inv = 1.0f / std::sqrt(var + eps);
+    inv_std[r] = inv;
+    for (int64_t j = 0; j < h; ++j) {
+      float xh = (row[j] - mean) * inv;
+      xhat[r * h + j] = xh;
+      y[r * h + j] = gamma[j] * xh + beta[j];
+    }
+  }
+}
+
+void LayerNormGradRows(const float* gamma, const float* xhat,
+                       const float* inv_std, const float* dy, int64_t rows,
+                       int64_t h, float* dgamma, float* dbeta, float* dx) {
+  if (dgamma != nullptr) {
+    for (int64_t r = 0; r < rows; ++r) {
+      for (int64_t j = 0; j < h; ++j) {
+        dgamma[j] += dy[r * h + j] * xhat[r * h + j];
+      }
+    }
+  }
+  if (dbeta != nullptr) {
+    for (int64_t r = 0; r < rows; ++r) {
+      for (int64_t j = 0; j < h; ++j) dbeta[j] += dy[r * h + j];
+    }
+  }
+  if (dx != nullptr) {
+    for (int64_t r = 0; r < rows; ++r) {
+      float mean_dxhat = 0, mean_dxhat_xhat = 0;
+      for (int64_t j = 0; j < h; ++j) {
+        float dxh = dy[r * h + j] * gamma[j];
+        mean_dxhat += dxh;
+        mean_dxhat_xhat += dxh * xhat[r * h + j];
+      }
+      mean_dxhat /= static_cast<float>(h);
+      mean_dxhat_xhat /= static_cast<float>(h);
+      float inv = inv_std[r];
+      for (int64_t j = 0; j < h; ++j) {
+        float dxh = dy[r * h + j] * gamma[j];
+        dx[r * h + j] +=
+            inv * (dxh - mean_dxhat - xhat[r * h + j] * mean_dxhat_xhat);
+      }
+    }
+  }
+}
+
+namespace {
+
+constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+constexpr float kGeluA = 0.044715f;
+
+}  // namespace
+
+void GeluRows(const float* x, float* y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    float v = x[i];
+    float u = kGeluC * (v + kGeluA * v * v * v);
+    y[i] = 0.5f * v * (1.0f + std::tanh(u));
+  }
+}
+
+void GeluGradRows(const float* x, const float* dy, float* dx, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    float v = x[i];
+    float u = kGeluC * (v + kGeluA * v * v * v);
+    float t = std::tanh(u);
+    float du = kGeluC * (1.0f + 3.0f * kGeluA * v * v);
+    dx[i] += (0.5f * (1.0f + t) + 0.5f * v * (1.0f - t * t) * du) * dy[i];
+  }
+}
+
+void AddSpan(const float* a, const float* b, float* y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] = a[i] + b[i];
+}
+
+void SubSpan(const float* a, const float* b, float* y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] = a[i] - b[i];
+}
+
+void MulSpan(const float* a, const float* b, float* y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] = a[i] * b[i];
+}
+
+void ScaleSpan(const float* x, float s, float* y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] = x[i] * s;
+}
+
+void AccumulateSpan(const float* src, float* dst, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) dst[i] += src[i];
+}
+
+void AxpySpan(float alpha, const float* src, float* dst, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) dst[i] += alpha * src[i];
+}
+
+void MulAccumulateSpan(const float* a, const float* b, float* dst,
+                       int64_t n) {
+  for (int64_t i = 0; i < n; ++i) dst[i] += a[i] * b[i];
+}
+
+}  // namespace taste::tensor::kernels

@@ -1,6 +1,9 @@
 #include "tensor/ops.h"
 
 #include "common/fpu.h"
+#include "common/stopwatch.h"
+#include "tensor/exec_context.h"
+#include "tensor/kernels.h"
 
 #include <algorithm>
 #include <cmath>
@@ -17,7 +20,14 @@ std::shared_ptr<TensorImpl> NewImpl(Shape shape) {
   // flush-to-zero once per thread that performs tensor math.
   thread_local FlushDenormalsScope flush_denormals;
   auto impl = std::make_shared<TensorImpl>();
-  impl->data.assign(static_cast<size_t>(NumElements(shape)), 0.0f);
+  const size_t n = static_cast<size_t>(NumElements(shape));
+  ExecContext* ctx = ExecContext::Current();
+  if (ctx != nullptr && ctx->buffer_pool() != nullptr) {
+    impl->data = ctx->buffer_pool()->Acquire(n);
+    impl->pool = ctx->buffer_pool();
+  } else {
+    impl->data.assign(n, 0.0f);
+  }
   impl->shape = std::move(shape);
   return impl;
 }
@@ -34,58 +44,37 @@ void SetEdge(const std::shared_ptr<TensorImpl>& out,
              std::initializer_list<const Tensor*> inputs,
              std::function<void()> backward) {
   if (!GradEnabled() || !AnyRequiresGrad(inputs)) return;
+  internal::NoteGradEdgeRecorded();
   out->requires_grad = true;
   out->backward = std::move(backward);
   for (const Tensor* t : inputs) out->parents.push_back(t->impl());
 }
 
-/// C += op(A) * op(B) where op(A) is (m,k) and op(B) is (k,n).
-/// If trans_a, A is stored as (k,m); if trans_b, B is stored as (n,k).
-void GemmAcc(const float* a, const float* b, float* c, int64_t m, int64_t n,
-             int64_t k, bool trans_a, bool trans_b) {
-  if (!trans_a && !trans_b) {
-    for (int64_t i = 0; i < m; ++i) {
-      float* crow = c + i * n;
-      const float* arow = a + i * k;
-      for (int64_t p = 0; p < k; ++p) {
-        float av = arow[p];
-        const float* brow = b + p * n;
-        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
-  } else if (!trans_a && trans_b) {
-    for (int64_t i = 0; i < m; ++i) {
-      const float* arow = a + i * k;
-      float* crow = c + i * n;
-      for (int64_t j = 0; j < n; ++j) {
-        const float* brow = b + j * k;
-        float acc = 0.0f;
-        for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-        crow[j] += acc;
-      }
-    }
-  } else if (trans_a && !trans_b) {
-    for (int64_t p = 0; p < k; ++p) {
-      const float* arow = a + p * m;
-      const float* brow = b + p * n;
-      for (int64_t i = 0; i < m; ++i) {
-        float av = arow[i];
-        float* crow = c + i * n;
-        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
-  } else {  // trans_a && trans_b
-    for (int64_t i = 0; i < m; ++i) {
-      float* crow = c + i * n;
-      for (int64_t j = 0; j < n; ++j) {
-        const float* brow = b + j * k;
-        float acc = 0.0f;
-        for (int64_t p = 0; p < k; ++p) acc += a[p * m + i] * brow[p];
-        crow[j] += acc;
-      }
-    }
-  }
+/// The intra-op pool of the bound ExecContext, or nullptr (serial kernels).
+ThreadPool* CurrentIntraPool() {
+  ExecContext* ctx = ExecContext::Current();
+  return ctx != nullptr ? ctx->intra_pool() : nullptr;
 }
+
+/// RAII kernel timer; records into the bound context's stats when
+/// profiling is on, otherwise costs one thread-local load.
+class OpTimer {
+ public:
+  explicit OpTimer(OpTiming ExecStats::* bucket)
+      : ctx_(ExecContext::Current()), bucket_(bucket) {
+    if (ctx_ != nullptr && !ctx_->profiling()) ctx_ = nullptr;
+  }
+  ~OpTimer() {
+    if (ctx_ != nullptr) ctx_->RecordOp(bucket_, watch_.ElapsedMillis());
+  }
+  OpTimer(const OpTimer&) = delete;
+  OpTimer& operator=(const OpTimer&) = delete;
+
+ private:
+  ExecContext* ctx_;
+  OpTiming ExecStats::* bucket_;
+  Stopwatch watch_;
+};
 
 /// Generic unary elementwise op: y = f(x), dx += df(x, y) * dy.
 template <typename F, typename DF>
@@ -120,9 +109,7 @@ void CheckSameShape(const Tensor& a, const Tensor& b, const char* op) {
 Tensor Add(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b, "Add");
   auto out = NewImpl(a.shape());
-  const float* ad = a.data();
-  const float* bd = b.data();
-  for (int64_t i = 0; i < a.numel(); ++i) out->data[i] = ad[i] + bd[i];
+  kernels::AddSpan(a.data(), b.data(), out->data.data(), a.numel());
   auto ai = a.impl();
   auto bi = b.impl();
   internal::TensorImpl* oi = out.get();
@@ -130,11 +117,13 @@ Tensor Add(const Tensor& a, const Tensor& b) {
     const auto& og = oi->MutableGrad();
     if (ai->requires_grad) {
       auto& g = ai->MutableGrad();
-      for (size_t i = 0; i < g.size(); ++i) g[i] += og[i];
+      kernels::AccumulateSpan(og.data(), g.data(),
+                              static_cast<int64_t>(g.size()));
     }
     if (bi->requires_grad) {
       auto& g = bi->MutableGrad();
-      for (size_t i = 0; i < g.size(); ++i) g[i] += og[i];
+      kernels::AccumulateSpan(og.data(), g.data(),
+                              static_cast<int64_t>(g.size()));
     }
   });
   return Tensor(out);
@@ -143,9 +132,7 @@ Tensor Add(const Tensor& a, const Tensor& b) {
 Tensor Sub(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b, "Sub");
   auto out = NewImpl(a.shape());
-  const float* ad = a.data();
-  const float* bd = b.data();
-  for (int64_t i = 0; i < a.numel(); ++i) out->data[i] = ad[i] - bd[i];
+  kernels::SubSpan(a.data(), b.data(), out->data.data(), a.numel());
   auto ai = a.impl();
   auto bi = b.impl();
   internal::TensorImpl* oi = out.get();
@@ -153,11 +140,13 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
     const auto& og = oi->MutableGrad();
     if (ai->requires_grad) {
       auto& g = ai->MutableGrad();
-      for (size_t i = 0; i < g.size(); ++i) g[i] += og[i];
+      kernels::AccumulateSpan(og.data(), g.data(),
+                              static_cast<int64_t>(g.size()));
     }
     if (bi->requires_grad) {
       auto& g = bi->MutableGrad();
-      for (size_t i = 0; i < g.size(); ++i) g[i] -= og[i];
+      kernels::AxpySpan(-1.0f, og.data(), g.data(),
+                        static_cast<int64_t>(g.size()));
     }
   });
   return Tensor(out);
@@ -166,9 +155,7 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
 Tensor Mul(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b, "Mul");
   auto out = NewImpl(a.shape());
-  const float* ad = a.data();
-  const float* bd = b.data();
-  for (int64_t i = 0; i < a.numel(); ++i) out->data[i] = ad[i] * bd[i];
+  kernels::MulSpan(a.data(), b.data(), out->data.data(), a.numel());
   auto ai = a.impl();
   auto bi = b.impl();
   internal::TensorImpl* oi = out.get();
@@ -176,20 +163,30 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
     const auto& og = oi->MutableGrad();
     if (ai->requires_grad) {
       auto& g = ai->MutableGrad();
-      for (size_t i = 0; i < g.size(); ++i) g[i] += bi->data[i] * og[i];
+      kernels::MulAccumulateSpan(bi->data.data(), og.data(), g.data(),
+                                 static_cast<int64_t>(g.size()));
     }
     if (bi->requires_grad) {
       auto& g = bi->MutableGrad();
-      for (size_t i = 0; i < g.size(); ++i) g[i] += ai->data[i] * og[i];
+      kernels::MulAccumulateSpan(ai->data.data(), og.data(), g.data(),
+                                 static_cast<int64_t>(g.size()));
     }
   });
   return Tensor(out);
 }
 
 Tensor Scale(const Tensor& x, float s) {
-  return UnaryOp(
-      x, [s](float v) { return v * s; },
-      [s](float, float) { return s; });
+  auto out = NewImpl(x.shape());
+  kernels::ScaleSpan(x.data(), s, out->data.data(), x.numel());
+  auto xi = x.impl();
+  internal::TensorImpl* oi = out.get();
+  SetEdge(out, {&x}, [xi, oi, s] {
+    if (!xi->requires_grad) return;
+    auto& g = xi->MutableGrad();
+    kernels::AxpySpan(s, oi->MutableGrad().data(), g.data(),
+                      static_cast<int64_t>(g.size()));
+  });
+  return Tensor(out);
 }
 
 Tensor AddScalar(const Tensor& x, float c) {
@@ -222,20 +219,20 @@ Tensor Relu(const Tensor& x) {
 }
 
 Tensor Gelu(const Tensor& x) {
-  constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
-  constexpr float kA = 0.044715f;
-  return UnaryOp(
-      x,
-      [](float v) {
-        float u = kC * (v + kA * v * v * v);
-        return 0.5f * v * (1.0f + std::tanh(u));
-      },
-      [](float v, float) {
-        float u = kC * (v + kA * v * v * v);
-        float t = std::tanh(u);
-        float du = kC * (1.0f + 3.0f * kA * v * v);
-        return 0.5f * (1.0f + t) + 0.5f * v * (1.0f - t * t) * du;
-      });
+  auto out = NewImpl(x.shape());
+  {
+    OpTimer timer(&ExecStats::gelu);
+    kernels::GeluRows(x.data(), out->data.data(), x.numel());
+  }
+  auto xi = x.impl();
+  internal::TensorImpl* oi = out.get();
+  SetEdge(out, {&x}, [xi, oi] {
+    if (!xi->requires_grad) return;
+    auto& g = xi->MutableGrad();
+    kernels::GeluGradRows(xi->data.data(), oi->MutableGrad().data(), g.data(),
+                          static_cast<int64_t>(g.size()));
+  });
+  return Tensor(out);
 }
 
 Tensor Sigmoid(const Tensor& x) {
@@ -345,7 +342,11 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   TASTE_CHECK_MSG(b.dim(0) == k, "MatMul inner-dim mismatch");
   auto out = NewImpl({m, n});
-  GemmAcc(a.data(), b.data(), out->data.data(), m, n, k, false, false);
+  {
+    OpTimer timer(&ExecStats::gemm);
+    kernels::GemmAcc(a.data(), b.data(), out->data.data(), m, n, k, false,
+                     false, CurrentIntraPool());
+  }
   auto ai = a.impl();
   auto bi = b.impl();
   internal::TensorImpl* oi = out.get();
@@ -353,13 +354,13 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
     const float* og = oi->MutableGrad().data();
     if (ai->requires_grad) {
       // dA = dC * B^T : (m,n) x (n,k)
-      GemmAcc(og, bi->data.data(), ai->MutableGrad().data(), m, k, n, false,
-              true);
+      kernels::GemmAcc(og, bi->data.data(), ai->MutableGrad().data(), m, k, n,
+                       false, true, CurrentIntraPool());
     }
     if (bi->requires_grad) {
       // dB = A^T * dC : (k,m) x (m,n)
-      GemmAcc(ai->data.data(), og, bi->MutableGrad().data(), k, n, m, true,
-              false);
+      kernels::GemmAcc(ai->data.data(), og, bi->MutableGrad().data(), k, n, m,
+                       true, false, CurrentIntraPool());
     }
   });
   return Tensor(out);
@@ -371,27 +372,33 @@ Tensor BatchedMatMul(const Tensor& a, const Tensor& b) {
   TASTE_CHECK_MSG(b.dim(0) == batch && b.dim(1) == k,
                   "BatchedMatMul shape mismatch");
   auto out = NewImpl({batch, m, n});
-  for (int64_t bi_ = 0; bi_ < batch; ++bi_) {
-    GemmAcc(a.data() + bi_ * m * k, b.data() + bi_ * k * n,
-            out->data.data() + bi_ * m * n, m, n, k, false, false);
+  {
+    OpTimer timer(&ExecStats::gemm);
+    ThreadPool* pool = CurrentIntraPool();
+    for (int64_t bi_ = 0; bi_ < batch; ++bi_) {
+      kernels::GemmAcc(a.data() + bi_ * m * k, b.data() + bi_ * k * n,
+                       out->data.data() + bi_ * m * n, m, n, k, false, false,
+                       pool);
+    }
   }
   auto ai = a.impl();
   auto bi = b.impl();
   internal::TensorImpl* oi = out.get();
   SetEdge(out, {&a, &b}, [ai, bi, oi, batch, m, n, k] {
     const float* og = oi->MutableGrad().data();
+    ThreadPool* pool = CurrentIntraPool();
     if (ai->requires_grad) {
       float* ag = ai->MutableGrad().data();
       for (int64_t t = 0; t < batch; ++t) {
-        GemmAcc(og + t * m * n, bi->data.data() + t * k * n, ag + t * m * k,
-                m, k, n, false, true);
+        kernels::GemmAcc(og + t * m * n, bi->data.data() + t * k * n,
+                         ag + t * m * k, m, k, n, false, true, pool);
       }
     }
     if (bi->requires_grad) {
       float* bg = bi->MutableGrad().data();
       for (int64_t t = 0; t < batch; ++t) {
-        GemmAcc(ai->data.data() + t * m * k, og + t * m * n, bg + t * k * n,
-                k, n, m, true, false);
+        kernels::GemmAcc(ai->data.data() + t * m * k, og + t * m * n,
+                         bg + t * k * n, k, n, m, true, false, pool);
       }
     }
   });
@@ -496,27 +503,10 @@ Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
   auto out = NewImpl(x.shape());
   auto xhat = std::make_shared<std::vector<float>>(x.numel());
   auto inv_std = std::make_shared<std::vector<float>>(rows);
-  const float* xd = x.data();
-  const float* gd = gamma.data();
-  const float* bd = beta.data();
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* row = xd + r * h;
-    float mean = 0;
-    for (int64_t j = 0; j < h; ++j) mean += row[j];
-    mean /= static_cast<float>(h);
-    float var = 0;
-    for (int64_t j = 0; j < h; ++j) {
-      float d = row[j] - mean;
-      var += d * d;
-    }
-    var /= static_cast<float>(h);
-    float inv = 1.0f / std::sqrt(var + eps);
-    (*inv_std)[r] = inv;
-    for (int64_t j = 0; j < h; ++j) {
-      float xh = (row[j] - mean) * inv;
-      (*xhat)[r * h + j] = xh;
-      out->data[r * h + j] = gd[j] * xh + bd[j];
-    }
+  {
+    OpTimer timer(&ExecStats::layernorm);
+    kernels::LayerNormRows(x.data(), gamma.data(), beta.data(), eps, rows, h,
+                           out->data.data(), xhat->data(), inv_std->data());
   }
   auto xi = x.impl();
   auto gi = gamma.impl();
@@ -525,41 +515,14 @@ Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
   SetEdge(out, {&x, &gamma, &beta},
           [xi, gi, bi, oi, xhat, inv_std, rows, h] {
             const auto& og = oi->MutableGrad();
-            if (gi->requires_grad) {
-              auto& gg = gi->MutableGrad();
-              for (int64_t r = 0; r < rows; ++r) {
-                for (int64_t j = 0; j < h; ++j) {
-                  gg[j] += og[r * h + j] * (*xhat)[r * h + j];
-                }
-              }
-            }
-            if (bi->requires_grad) {
-              auto& bg = bi->MutableGrad();
-              for (int64_t r = 0; r < rows; ++r) {
-                for (int64_t j = 0; j < h; ++j) bg[j] += og[r * h + j];
-              }
-            }
-            if (xi->requires_grad) {
-              auto& xg = xi->MutableGrad();
-              const float* gd2 = gi->data.data();
-              for (int64_t r = 0; r < rows; ++r) {
-                float mean_dxhat = 0, mean_dxhat_xhat = 0;
-                for (int64_t j = 0; j < h; ++j) {
-                  float dxh = og[r * h + j] * gd2[j];
-                  mean_dxhat += dxh;
-                  mean_dxhat_xhat += dxh * (*xhat)[r * h + j];
-                }
-                mean_dxhat /= static_cast<float>(h);
-                mean_dxhat_xhat /= static_cast<float>(h);
-                float inv = (*inv_std)[r];
-                for (int64_t j = 0; j < h; ++j) {
-                  float dxh = og[r * h + j] * gd2[j];
-                  xg[r * h + j] +=
-                      inv * (dxh - mean_dxhat -
-                             (*xhat)[r * h + j] * mean_dxhat_xhat);
-                }
-              }
-            }
+            float* dgamma =
+                gi->requires_grad ? gi->MutableGrad().data() : nullptr;
+            float* dbeta =
+                bi->requires_grad ? bi->MutableGrad().data() : nullptr;
+            float* dx = xi->requires_grad ? xi->MutableGrad().data() : nullptr;
+            kernels::LayerNormGradRows(gi->data.data(), xhat->data(),
+                                       inv_std->data(), og.data(), rows, h,
+                                       dgamma, dbeta, dx);
           });
   return Tensor(out);
 }
@@ -568,35 +531,17 @@ Tensor Softmax(const Tensor& x) {
   int64_t h = x.dim(-1);
   int64_t rows = x.numel() / h;
   auto out = NewImpl(x.shape());
-  const float* xd = x.data();
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* row = xd + r * h;
-    float mx = row[0];
-    for (int64_t j = 1; j < h; ++j) mx = std::max(mx, row[j]);
-    float sum = 0;
-    for (int64_t j = 0; j < h; ++j) {
-      float e = std::exp(row[j] - mx);
-      out->data[r * h + j] = e;
-      sum += e;
-    }
-    float inv = 1.0f / sum;
-    for (int64_t j = 0; j < h; ++j) out->data[r * h + j] *= inv;
+  {
+    OpTimer timer(&ExecStats::softmax);
+    kernels::SoftmaxRows(x.data(), out->data.data(), rows, h);
   }
   auto xi = x.impl();
   internal::TensorImpl* oi = out.get();
   SetEdge(out, {&x}, [xi, oi, rows, h] {
     if (!xi->requires_grad) return;
     auto& xg = xi->MutableGrad();
-    const auto& og = oi->MutableGrad();
-    for (int64_t r = 0; r < rows; ++r) {
-      float dot = 0;
-      for (int64_t j = 0; j < h; ++j) {
-        dot += og[r * h + j] * oi->data[r * h + j];
-      }
-      for (int64_t j = 0; j < h; ++j) {
-        xg[r * h + j] += oi->data[r * h + j] * (og[r * h + j] - dot);
-      }
-    }
+    kernels::SoftmaxGradRows(oi->data.data(), oi->MutableGrad().data(),
+                             xg.data(), rows, h);
   });
   return Tensor(out);
 }
@@ -673,6 +618,7 @@ Tensor ConcatRows(const std::vector<Tensor>& xs) {
   bool any = false;
   for (const Tensor& t : xs) any = any || t.requires_grad();
   if (rec && any) {
+    internal::NoteGradEdgeRecorded();
     out->requires_grad = true;
     std::vector<std::shared_ptr<internal::TensorImpl>> parents;
     for (const Tensor& t : xs) parents.push_back(t.impl());

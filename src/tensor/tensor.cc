@@ -4,11 +4,24 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "tensor/exec_context.h"
+
 namespace taste::tensor {
 
 namespace {
 thread_local bool g_grad_enabled = true;
+thread_local int64_t g_grad_edges_recorded = 0;
 }
+
+namespace internal {
+
+TensorImpl::~TensorImpl() {
+  if (pool != nullptr) pool->Release(std::move(data));
+}
+
+void NoteGradEdgeRecorded() { ++g_grad_edges_recorded; }
+
+}  // namespace internal
 
 int64_t NumElements(const Shape& shape) {
   int64_t n = 1;
@@ -120,6 +133,11 @@ const std::vector<float>& Tensor::grad() const {
   return impl_->MutableGrad();
 }
 
+bool Tensor::HasGrad() const {
+  TASTE_CHECK(defined());
+  return !impl_->grad.empty();
+}
+
 void Tensor::ZeroGrad() {
   TASTE_CHECK(defined());
   std::fill(impl_->grad.begin(), impl_->grad.end(), 0.0f);
@@ -178,7 +196,13 @@ std::string Tensor::ToString(int64_t max_items) const {
   return os.str();
 }
 
-bool GradEnabled() { return g_grad_enabled; }
+bool GradEnabled() {
+  if (!g_grad_enabled) return false;
+  const ExecContext* ctx = ExecContext::Current();
+  return ctx == nullptr || !ctx->no_grad();
+}
+
+int64_t GradEdgesRecorded() { return g_grad_edges_recorded; }
 
 NoGradGuard::NoGradGuard() : prev_(g_grad_enabled) { g_grad_enabled = false; }
 NoGradGuard::~NoGradGuard() { g_grad_enabled = prev_; }

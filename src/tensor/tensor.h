@@ -29,6 +29,8 @@
 
 namespace taste::tensor {
 
+class BufferPool;  // exec_context.h
+
 /// Tensor dimensions, outermost first.
 using Shape = std::vector<int64_t>;
 
@@ -48,6 +50,16 @@ struct TensorImpl {
   // Autograd edge. `backward` propagates this node's grad into parents'.
   std::function<void()> backward;
   std::vector<std::shared_ptr<TensorImpl>> parents;
+  // When `data` was acquired from an ExecContext's buffer pool, the pool it
+  // must be returned to. Shared ownership keeps the pool alive until the
+  // last pooled tensor dies, so tensors may safely outlive their context
+  // (e.g. latents parked in the LatentCache).
+  std::shared_ptr<BufferPool> pool;
+
+  TensorImpl() = default;
+  ~TensorImpl();  // returns `data` to `pool`, if pooled
+  TensorImpl(const TensorImpl&) = delete;
+  TensorImpl& operator=(const TensorImpl&) = delete;
 
   std::vector<float>& MutableGrad() {
     if (grad.empty()) grad.assign(data.size(), 0.0f);
@@ -95,9 +107,17 @@ class Tensor {
   float item() const;
 
   bool requires_grad() const;
-  /// Gradient buffer (zeros if backward has not touched this tensor).
-  /// Only meaningful after Backward() on a downstream scalar.
+  /// Gradient buffer, lazily allocated: if backward has not touched this
+  /// tensor yet, the first call allocates (and returns) an all-zero buffer
+  /// of numel() elements — callers never observe an empty or short buffer.
+  /// Because of that lazy allocation this accessor mutates shared state and
+  /// is NOT safe to call concurrently on the same tensor; use HasGrad() to
+  /// probe without allocating. Only meaningful after Backward() on a
+  /// downstream scalar.
   const std::vector<float>& grad() const;
+  /// True when a gradient buffer has been materialized (by backward or a
+  /// previous grad() call). Never allocates.
+  bool HasGrad() const;
   /// Clears the gradient buffer (used between optimizer steps).
   void ZeroGrad();
 
@@ -121,8 +141,20 @@ class Tensor {
   std::shared_ptr<internal::TensorImpl> impl_;
 };
 
-/// True when operations should record autograd edges (thread-local).
+/// True when operations should record autograd edges. Thread-local: false
+/// inside a NoGradGuard scope, and also while an ExecContext with
+/// Options::no_grad is bound (serving contexts enforce tape-free inference
+/// structurally, so a missing guard cannot re-grow the tape).
 bool GradEnabled();
+
+/// Total autograd edges recorded by ops on the calling thread (monotonic).
+/// Tests diff this around an inference call to prove no tape was built.
+int64_t GradEdgesRecorded();
+
+namespace internal {
+/// Called by the ops layer whenever an autograd edge is attached.
+void NoteGradEdgeRecorded();
+}  // namespace internal
 
 /// RAII guard disabling autograd recording within a scope (inference mode).
 class NoGradGuard {

@@ -177,6 +177,25 @@ TEST(TasteDetectorTest, CacheAndNoCacheProduceSamePredictions) {
   }
 }
 
+TEST(TasteDetectorTest, ServingRecordsNoAutogradEdges) {
+  // Serving must never grow the autograd tape: neither through the
+  // detector's internal NoGradGuards, nor — belt and braces — when a
+  // structural no-grad ExecContext is bound by the pipeline.
+  Env e = Env::Make();
+  TasteDetector det(e.model.get(), e.tokenizer.get(), {});
+  auto conn = e.db->Connect();
+  const int64_t edges_before = tensor::GradEdgesRecorded();
+  ASSERT_TRUE(det.DetectTable(conn.get(), e.dataset.tables[0].name).ok());
+  EXPECT_EQ(tensor::GradEdgesRecorded(), edges_before);
+
+  tensor::ExecContext::Options opt;
+  opt.no_grad = true;
+  tensor::ExecContext ctx(opt);
+  ASSERT_TRUE(
+      det.DetectTable(conn.get(), e.dataset.tables[1].name, &ctx).ok());
+  EXPECT_EQ(tensor::GradEdgesRecorded(), edges_before);
+}
+
 TEST(TasteDetectorTest, SamplingModeScansSameColumns) {
   Env e = Env::Make();
   TasteDetector first(e.model.get(), e.tokenizer.get(),

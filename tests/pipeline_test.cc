@@ -84,6 +84,33 @@ TEST(PipelineTest, PipelinedMatchesSequentialPredictions) {
   }
 }
 
+TEST(PipelineTest, RunOutputByteIdenticalToDirectDetection) {
+  // The executor's per-worker ExecContexts (buffer pool + structural
+  // no-grad) must not perturb a single bit of the predictions relative to
+  // calling the detector directly with no context at all.
+  Env e = Env::Make(6, 0.0);
+  core::TasteDetector det(e.model.get(), e.tokenizer.get(), {});
+  PipelineExecutor exec(&det, e.db.get(), {.pipelined = true});
+  auto got = exec.Run(e.table_names);
+  ASSERT_TRUE(got.ok());
+  auto conn = e.db->Connect();
+  for (size_t i = 0; i < e.table_names.size(); ++i) {
+    auto want = det.DetectTable(conn.get(), e.table_names[i]);
+    ASSERT_TRUE(want.ok());
+    ASSERT_EQ(want->columns.size(), (*got)[i].columns.size());
+    for (size_t c = 0; c < want->columns.size(); ++c) {
+      const auto& w = want->columns[c];
+      const auto& g = (*got)[i].columns[c];
+      EXPECT_EQ(w.admitted_types, g.admitted_types);
+      ASSERT_EQ(w.probabilities.size(), g.probabilities.size());
+      for (size_t p = 0; p < w.probabilities.size(); ++p) {
+        EXPECT_EQ(w.probabilities[p], g.probabilities[p])
+            << e.table_names[i] << " col " << c << " prob " << p;
+      }
+    }
+  }
+}
+
 TEST(PipelineTest, UnknownTableSurfacesError) {
   Env e = Env::Make(4, 0.0);
   core::TasteDetector det(e.model.get(), e.tokenizer.get(), {});
