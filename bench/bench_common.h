@@ -21,6 +21,7 @@
 #include "data/table_generator.h"
 #include "eval/experiment.h"
 #include "eval/report.h"
+#include "obs/json_writer.h"
 #include "pipeline/scheduler.h"
 
 namespace taste::bench {
@@ -105,70 +106,10 @@ inline std::vector<std::string> TestTableNames(const data::Dataset& ds) {
   return names;
 }
 
-/// Minimal streaming JSON emitter for the machine-readable BENCH_*.json
-/// artifacts benches drop next to their human-readable tables. Handles
-/// objects, arrays, and scalar fields with automatic comma placement; the
-/// caller is responsible for balanced Begin/End calls.
-class JsonWriter {
- public:
-  void BeginObject() { Sep(); out_ += '{'; first_ = true; }
-  void BeginObject(const char* key) { Key(key); out_ += '{'; first_ = true; }
-  void EndObject() { out_ += '}'; first_ = false; }
-  void BeginArray(const char* key) { Key(key); out_ += '['; first_ = true; }
-  void EndArray() { out_ += ']'; first_ = false; }
-
-  void Field(const char* key, const std::string& v) {
-    Key(key);
-    out_ += '"';
-    for (char c : v) {
-      if (c == '"' || c == '\\') out_ += '\\';
-      out_ += c;
-    }
-    out_ += '"';
-  }
-  void Field(const char* key, double v) {
-    char buf[40];
-    std::snprintf(buf, sizeof(buf), "%.6g", v);
-    Key(key);
-    out_ += buf;
-  }
-  void Field(const char* key, int64_t v) {
-    Key(key);
-    out_ += std::to_string(v);
-  }
-  void Field(const char* key, int v) { Field(key, static_cast<int64_t>(v)); }
-  void Field(const char* key, bool v) {
-    Key(key);
-    out_ += v ? "true" : "false";
-  }
-
-  const std::string& str() const { return out_; }
-
-  /// Writes the accumulated document (plus trailing newline); returns
-  /// false on I/O failure.
-  bool WriteFile(const std::string& path) const {
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) return false;
-    const bool ok = std::fwrite(out_.data(), 1, out_.size(), f) == out_.size();
-    std::fputc('\n', f);
-    return std::fclose(f) == 0 && ok;
-  }
-
- private:
-  void Sep() {
-    if (!first_) out_ += ',';
-    first_ = false;
-  }
-  void Key(const char* key) {
-    Sep();
-    out_ += '"';
-    out_ += key;
-    out_ += "\":";
-  }
-
-  std::string out_;
-  bool first_ = true;
-};
+/// The streaming JSON emitter the BENCH_*.json artifacts use now lives in
+/// src/obs/ (the serving path emits metrics documents with it); this alias
+/// keeps the historical bench-side name working.
+using JsonWriter = obs::JsonWriter;
 
 }  // namespace taste::bench
 

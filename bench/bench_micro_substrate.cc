@@ -16,6 +16,7 @@
 
 #include "bench_common.h"
 #include "clouddb/database.h"
+#include "obs/export.h"
 #include "common/thread_pool.h"
 #include "core/taste_detector.h"
 #include "data/table_generator.h"
@@ -329,6 +330,10 @@ void WriteSubstrateJson() {
   json.Field("sequential_wall_ms", seq.stats().wall_ms);
   json.Field("pipelined_wall_ms", pip.stats().wall_ms);
   json.EndObject();
+  // The unified-observability view of the same two runs: stage latency
+  // histograms, cache and db counters, per-op kernel timings. This is the
+  // machine-readable surface tools/bench_check.py sanity-checks.
+  obs::AppendMetricsJson(obs::Registry::Global().snapshot(), &json);
   json.EndObject();
 
   const char* path = "BENCH_substrate.json";

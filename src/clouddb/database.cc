@@ -5,7 +5,57 @@
 #include <set>
 #include <thread>
 
+#include "obs/metrics.h"
+
 namespace taste::clouddb {
+
+namespace {
+
+/// Registry handles for the database's serving metrics, resolved once.
+/// Constructed eagerly by SimulatedDatabase so a --metrics-out document
+/// always carries the clouddb families, even on an all-quiet run.
+struct DbMetrics {
+  obs::Counter* queries;
+  obs::Counter* connects;
+  obs::Counter* connect_faults;
+  obs::Counter* metadata_faults;
+  obs::Counter* scan_faults;
+  obs::Histogram* query_ms;
+  obs::Histogram* connect_ms;
+
+  static DbMetrics& Get() {
+    static DbMetrics m = [] {
+      obs::Registry& r = obs::Registry::Global();
+      DbMetrics x;
+      x.queries = r.GetCounter("taste_db_queries_total");
+      x.connects = r.GetCounter("taste_db_connects_total");
+      x.connect_faults = r.GetCounter(
+          obs::LabeledName("taste_db_faults_total", "op", "connect"));
+      x.metadata_faults = r.GetCounter(
+          obs::LabeledName("taste_db_faults_total", "op", "metadata"));
+      x.scan_faults = r.GetCounter(
+          obs::LabeledName("taste_db_faults_total", "op", "scan"));
+      x.query_ms = r.GetHistogram("taste_db_query_ms");
+      x.connect_ms = r.GetHistogram("taste_db_connect_ms");
+      return x;
+    }();
+    return m;
+  }
+};
+
+/// Mirrors one query's simulated round-trip latency into the registry.
+void ObserveQuery(double ms) {
+  if (!obs::MetricsEnabled()) return;
+  DbMetrics::Get().queries->Inc();
+  DbMetrics::Get().query_ms->Observe(ms);
+}
+
+void ObserveFault(obs::Counter* DbMetrics::* which) {
+  if (!obs::MetricsEnabled()) return;
+  (DbMetrics::Get().*which)->Inc();
+}
+
+}  // namespace
 
 void IoLedger::AddScan(int64_t columns, int64_t cells, int64_t bytes) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -34,7 +84,9 @@ void IoLedger::Bump(int64_t Snapshot::* field, int64_t by) {
   state_.*field += by;
 }
 
-SimulatedDatabase::SimulatedDatabase(CostModel cost) : cost_(cost) {}
+SimulatedDatabase::SimulatedDatabase(CostModel cost) : cost_(cost) {
+  DbMetrics::Get();  // register the clouddb metric families eagerly
+}
 
 void SimulatedDatabase::SimulateDelay(double ms) {
   ledger_.AddIoMillis(ms);
@@ -128,6 +180,10 @@ Status SimulatedDatabase::IngestDataset(const data::Dataset& dataset,
 std::unique_ptr<Connection> SimulatedDatabase::Connect() {
   ledger_.AddConnection();
   SimulateDelay(cost_.connect_ms);
+  if (obs::MetricsEnabled()) {
+    DbMetrics::Get().connects->Inc();
+    DbMetrics::Get().connect_ms->Observe(cost_.connect_ms);
+  }
   return std::unique_ptr<Connection>(new Connection(this));
 }
 
@@ -135,6 +191,12 @@ Result<std::unique_ptr<Connection>> SimulatedDatabase::TryConnect() {
   FaultDecision fault = DecideFault(DbOp::kConnect, "");
   ledger_.AddConnection();
   SimulateDelay(cost_.connect_ms + fault.extra_latency_ms);
+  if (obs::MetricsEnabled()) {
+    DbMetrics::Get().connects->Inc();
+    DbMetrics::Get().connect_ms->Observe(cost_.connect_ms +
+                                         fault.extra_latency_ms);
+    if (!fault.status.ok()) DbMetrics::Get().connect_faults->Inc();
+  }
   if (!fault.status.ok()) return fault.status;
   return std::unique_ptr<Connection>(new Connection(this));
 }
@@ -178,6 +240,7 @@ Connection::Connection(SimulatedDatabase* db) : db_(db) {}
 std::vector<std::string> Connection::ListTables() {
   db_->ledger_.AddQuery();
   db_->SimulateDelay(db_->cost_.query_ms);
+  ObserveQuery(db_->cost_.query_ms);
   std::vector<std::string> names;
   {
     std::lock_guard<std::mutex> lock(db_->mu_);
@@ -193,12 +256,15 @@ Result<TableMetadata> Connection::GetTableMetadata(
   if (!fault.status.ok()) {
     db_->ledger_.AddQuery();
     db_->SimulateDelay(db_->cost_.query_ms + fault.extra_latency_ms);
+    ObserveQuery(db_->cost_.query_ms + fault.extra_latency_ms);
+    ObserveFault(&DbMetrics::metadata_faults);
     return fault.status;
   }
   const auto* stored = db_->FindTable(table_name);
   db_->ledger_.AddQuery();
   if (stored == nullptr) {
     db_->SimulateDelay(db_->cost_.query_ms);
+    ObserveQuery(db_->cost_.query_ms);
     return Status::NotFound("no such table: " + table_name);
   }
   db_->ledger_.AddMetadataColumns(
@@ -207,11 +273,13 @@ Result<TableMetadata> Connection::GetTableMetadata(
   for (const auto& c : stored->metadata.columns) {
     if (c.histogram.has_value()) ++hist_cols;
   }
-  db_->SimulateDelay(
+  const double ms =
       db_->cost_.query_ms + fault.extra_latency_ms +
       db_->cost_.per_metadata_col_ms *
           static_cast<double>(stored->metadata.columns.size()) +
-      db_->cost_.per_histogram_col_ms * static_cast<double>(hist_cols));
+      db_->cost_.per_histogram_col_ms * static_cast<double>(hist_cols);
+  db_->SimulateDelay(ms);
+  ObserveQuery(ms);
   return stored->metadata;
 }
 
@@ -225,12 +293,15 @@ Result<std::vector<std::vector<std::string>>> Connection::ScanColumns(
   if (!fault.status.ok()) {
     db_->ledger_.AddQuery();
     db_->SimulateDelay(db_->cost_.query_ms + fault.extra_latency_ms);
+    ObserveQuery(db_->cost_.query_ms + fault.extra_latency_ms);
+    ObserveFault(&DbMetrics::scan_faults);
     return fault.status;
   }
   const auto* stored = db_->FindTable(table_name);
   db_->ledger_.AddQuery();
   if (stored == nullptr) {
     db_->SimulateDelay(db_->cost_.query_ms);
+    ObserveQuery(db_->cost_.query_ms);
     return Status::NotFound("no such table: " + table_name);
   }
   // Resolve requested columns.
@@ -290,6 +361,7 @@ Result<std::vector<std::vector<std::string>>> Connection::ScanColumns(
               db_->cost_.per_cell_ms * static_cast<double>(cells);
   if (options.random_sample) ms *= db_->cost_.random_sample_factor;
   db_->SimulateDelay(ms + fault.extra_latency_ms);
+  ObserveQuery(ms + fault.extra_latency_ms);
   return out;
 }
 

@@ -3,6 +3,7 @@
 #include <map>
 
 #include "common/string_util.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 
 namespace taste::core {
@@ -61,6 +62,7 @@ std::string TasteDetector::ChunkCacheKey(const std::string& table,
 Status TasteDetector::PrepareP1(clouddb::Connection* conn,
                                 const std::string& table_name,
                                 Job* job) const {
+  TASTE_SPAN("detector.p1_prep");
   TASTE_CHECK(conn != nullptr && job != nullptr);
   job->table_name = table_name;
   const ResilienceOptions& rz = options_.resilience;
@@ -127,6 +129,7 @@ void TasteDetector::ClassifyP1Chunk(const EncodedMetadata& chunk,
 }
 
 Status TasteDetector::InferP1(Job* job, tensor::ExecContext* ctx) const {
+  TASTE_SPAN("detector.p1_infer");
   TASTE_CHECK(job != nullptr);
   if (job->chunks.empty()) {
     return Status::Invalid("InferP1 before PrepareP1");
@@ -179,6 +182,7 @@ void TasteDetector::DegradeChunk(size_t chunk_index, int result_offset,
 }
 
 Status TasteDetector::PrepareP2(clouddb::Connection* conn, Job* job) const {
+  TASTE_SPAN("detector.p2_prep");
   TASTE_CHECK(conn != nullptr && job != nullptr);
   if (!job->needs_p2) return Status::OK();
   TASTE_CHECK(job->uncertain_columns.size() == job->chunks.size());
@@ -264,6 +268,7 @@ Status TasteDetector::PrepareP2(clouddb::Connection* conn, Job* job) const {
 }
 
 Status TasteDetector::InferP2(Job* job, tensor::ExecContext* ctx) const {
+  TASTE_SPAN("detector.p2_infer");
   TASTE_CHECK(job != nullptr);
   if (!job->needs_p2) return Status::OK();
   if (job->contents.size() != job->chunks.size()) {

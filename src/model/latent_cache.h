@@ -41,6 +41,7 @@ class LatentCache {
   };
 
   explicit LatentCache(size_t capacity = 4096);
+  ~LatentCache();
 
   /// Inserts (or refreshes) an entry. Tensors are shared, not copied.
   void Put(const std::string& key, CachedMetadata value);
@@ -56,16 +57,26 @@ class LatentCache {
 
   /// Approximate bytes of tensor payload currently cached (data buffers of
   /// all layer latents, anchor states, and logits; excludes map/list
-  /// overhead). For capacity planning and the substrate bench report.
+  /// overhead). Tracked incrementally on Put/eviction, so this is O(1).
+  /// For capacity planning and the substrate bench report.
   int64_t ApproxBytes() const;
 
  private:
+  /// Payload bytes of one entry (same accounting as ApproxBytes).
+  static int64_t EntryBytes(const CachedMetadata& value);
+  /// Adds `delta` to the cached-bytes tally and mirrors it into the
+  /// taste_cache_bytes gauge. Caller holds mu_.
+  void AddBytes(int64_t delta);
+  /// Mirrors an entry-count change into the taste_cache_entries gauge.
+  static void AddEntries(double delta);
+
   size_t capacity_;
   mutable std::mutex mu_;
   // LRU list: front = most recent. Map values point into the list.
   std::list<std::pair<std::string, CachedMetadata>> lru_;
   std::unordered_map<std::string, decltype(lru_)::iterator> index_;
   Stats stats_;
+  int64_t approx_bytes_ = 0;
 };
 
 }  // namespace taste::model

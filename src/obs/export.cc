@@ -1,0 +1,157 @@
+#include "obs/export.h"
+
+#include <cstdio>
+
+namespace taste::obs {
+
+namespace {
+
+/// Splits "base{k=\"v\"}" into base and the inner label text `k="v"`;
+/// names without a suffix yield an empty label.
+void SplitLabeled(const std::string& name, std::string* base,
+                  std::string* label) {
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos || name.back() != '}') {
+    *base = name;
+    label->clear();
+    return;
+  }
+  *base = name.substr(0, brace);
+  *label = name.substr(brace + 1, name.size() - brace - 2);
+}
+
+std::string FmtDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+void AppendTypeLine(const std::string& base, const char* type,
+                    std::string* out, std::string* last_base) {
+  if (base == *last_base) return;  // one TYPE line per family
+  *last_base = base;
+  out->append("# TYPE ").append(base).append(" ").append(type).append("\n");
+}
+
+}  // namespace
+
+std::string ToPrometheusText(const Registry::Snapshot& snapshot) {
+  std::string out;
+  std::string base, label, last_base;
+  for (const auto& [name, value] : snapshot.counters) {
+    SplitLabeled(name, &base, &label);
+    AppendTypeLine(base, "counter", &out, &last_base);
+    out.append(base);
+    if (!label.empty()) out.append("{").append(label).append("}");
+    out.append(" ").append(std::to_string(value)).append("\n");
+  }
+  last_base.clear();
+  for (const auto& [name, value] : snapshot.gauges) {
+    SplitLabeled(name, &base, &label);
+    AppendTypeLine(base, "gauge", &out, &last_base);
+    out.append(base);
+    if (!label.empty()) out.append("{").append(label).append("}");
+    out.append(" ").append(FmtDouble(value)).append("\n");
+  }
+  last_base.clear();
+  for (const auto& [name, h] : snapshot.histograms) {
+    SplitLabeled(name, &base, &label);
+    AppendTypeLine(base, "histogram", &out, &last_base);
+    const std::string prefix = label.empty() ? "" : label + ",";
+    int64_t cumulative = 0;
+    for (size_t i = 0; i < h.counts.size(); ++i) {
+      cumulative += h.counts[i];
+      const std::string le =
+          i < h.bounds.size() ? FmtDouble(h.bounds[i]) : "+Inf";
+      out.append(base).append("_bucket{").append(prefix);
+      out.append("le=\"").append(le).append("\"} ");
+      out.append(std::to_string(cumulative)).append("\n");
+    }
+    out.append(base).append("_sum");
+    if (!label.empty()) out.append("{").append(label).append("}");
+    out.append(" ").append(FmtDouble(h.sum)).append("\n");
+    out.append(base).append("_count");
+    if (!label.empty()) out.append("{").append(label).append("}");
+    out.append(" ").append(std::to_string(h.count)).append("\n");
+  }
+  return out;
+}
+
+std::string ToPrometheusText(const Registry& registry) {
+  return ToPrometheusText(registry.snapshot());
+}
+
+void AppendMetricsJson(const Registry::Snapshot& snapshot, JsonWriter* json) {
+  json->BeginObject("metrics");
+  json->BeginObject("counters");
+  for (const auto& [name, value] : snapshot.counters) {
+    json->Field(name.c_str(), value);
+  }
+  json->EndObject();
+  json->BeginObject("gauges");
+  for (const auto& [name, value] : snapshot.gauges) {
+    json->Field(name.c_str(), value);
+  }
+  json->EndObject();
+  json->BeginObject("histograms");
+  for (const auto& [name, h] : snapshot.histograms) {
+    json->BeginObject(name.c_str());
+    json->Field("count", h.count);
+    json->Field("sum", h.sum);
+    json->Field("p50", h.Quantile(0.50));
+    json->Field("p95", h.Quantile(0.95));
+    json->Field("p99", h.Quantile(0.99));
+    json->BeginArray("bounds");
+    for (double b : h.bounds) {
+      json->Element(b);
+    }
+    json->EndArray();
+    json->BeginArray("counts");
+    for (int64_t c : h.counts) {
+      json->Element(c);
+    }
+    json->EndArray();
+    json->EndObject();
+  }
+  json->EndObject();
+  json->EndObject();
+}
+
+void AppendSpansJson(const std::vector<SpanRecord>& spans, JsonWriter* json) {
+  json->BeginArray("spans");
+  for (const SpanRecord& s : spans) {
+    json->BeginObject();
+    json->Field("name", std::string(s.name));
+    json->Field("seq", static_cast<int64_t>(s.seq));
+    json->Field("parent_seq", static_cast<int64_t>(s.parent_seq));
+    json->Field("depth", s.depth);
+    json->Field("thread", static_cast<int64_t>(s.thread_ix));
+    json->Field("start_ms", s.start_ms);
+    json->Field("dur_ms", s.dur_ms);
+    json->EndObject();
+  }
+  json->EndArray();
+}
+
+std::string MetricsDocumentJson(const Registry::Snapshot& snapshot,
+                                const std::vector<SpanRecord>* spans) {
+  JsonWriter json;
+  json.BeginObject();
+  AppendMetricsJson(snapshot, &json);
+  if (spans != nullptr) AppendSpansJson(*spans, &json);
+  json.EndObject();
+  return json.str();
+}
+
+bool WriteMetricsFile(const std::string& path,
+                      const Registry::Snapshot& snapshot,
+                      const std::vector<SpanRecord>* spans) {
+  JsonWriter json;
+  json.BeginObject();
+  AppendMetricsJson(snapshot, &json);
+  if (spans != nullptr) AppendSpansJson(*spans, &json);
+  json.EndObject();
+  return json.WriteFile(path);
+}
+
+}  // namespace taste::obs

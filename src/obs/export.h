@@ -1,0 +1,44 @@
+// Exporters for the metrics registry and trace spans (DESIGN.md §7): a
+// Prometheus-style text page and a machine-readable JSON document (the
+// format taste_cli --metrics-out writes and tools/bench_check.py reads).
+
+#ifndef TASTE_OBS_EXPORT_H_
+#define TASTE_OBS_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace taste::obs {
+
+/// Prometheus text exposition: one `# TYPE` line per metric family,
+/// histograms expanded to cumulative `_bucket{le=...}` series plus `_sum`
+/// and `_count`. Registry names carrying a `{key="value"}` label suffix
+/// (see LabeledName) are emitted with that label preserved.
+std::string ToPrometheusText(const Registry::Snapshot& snapshot);
+std::string ToPrometheusText(const Registry& registry);
+
+/// Appends `"metrics": {counters: {...}, gauges: {...}, histograms: {...}}`
+/// to an open JSON object. Histograms carry bucket bounds/counts, count,
+/// sum, and extracted p50/p95/p99.
+void AppendMetricsJson(const Registry::Snapshot& snapshot, JsonWriter* json);
+
+/// Appends `"spans": [...]` to an open JSON object.
+void AppendSpansJson(const std::vector<SpanRecord>& spans, JsonWriter* json);
+
+/// A complete standalone document: {"metrics": {...}, "spans": [...]}.
+/// Pass nullptr to omit the spans section.
+std::string MetricsDocumentJson(const Registry::Snapshot& snapshot,
+                                const std::vector<SpanRecord>* spans);
+
+/// Writes MetricsDocumentJson to `path`; false on I/O failure.
+bool WriteMetricsFile(const std::string& path,
+                      const Registry::Snapshot& snapshot,
+                      const std::vector<SpanRecord>* spans);
+
+}  // namespace taste::obs
+
+#endif  // TASTE_OBS_EXPORT_H_

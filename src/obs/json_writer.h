@@ -1,0 +1,134 @@
+// Minimal streaming JSON emitter for machine-readable artifacts: the
+// BENCH_*.json files benches drop next to their human-readable tables and
+// the --metrics-out documents of taste_cli. Handles objects, arrays, and
+// scalar fields with automatic comma placement; the caller is responsible
+// for balanced Begin/End calls.
+//
+// Promoted here from bench/bench_common.h so the serving path (which must
+// not depend on bench/) can emit metrics documents. String values AND keys
+// are fully escaped per RFC 8259: quote, backslash, and every control
+// character below 0x20 (the historical bench copy emitted those raw,
+// producing invalid JSON for metric names containing `"` or newlines).
+
+#ifndef TASTE_OBS_JSON_WRITER_H_
+#define TASTE_OBS_JSON_WRITER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace taste::obs {
+
+class JsonWriter {
+ public:
+  void BeginObject() { Sep(); out_ += '{'; first_ = true; }
+  void BeginObject(const char* key) { Key(key); out_ += '{'; first_ = true; }
+  void EndObject() { out_ += '}'; first_ = false; }
+  void BeginArray() { Sep(); out_ += '['; first_ = true; }
+  void BeginArray(const char* key) { Key(key); out_ += '['; first_ = true; }
+  void EndArray() { out_ += ']'; first_ = false; }
+
+  void Field(const char* key, const std::string& v) {
+    Key(key);
+    AppendEscaped(v);
+  }
+  void Field(const char* key, double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    Key(key);
+    out_ += buf;
+  }
+  void Field(const char* key, int64_t v) {
+    Key(key);
+    out_ += std::to_string(v);
+  }
+  void Field(const char* key, int v) { Field(key, static_cast<int64_t>(v)); }
+  void Field(const char* key, bool v) {
+    Key(key);
+    out_ += v ? "true" : "false";
+  }
+
+  /// Bare elements inside an array.
+  void Element(const std::string& v) {
+    Sep();
+    AppendEscaped(v);
+  }
+  void Element(double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    Sep();
+    out_ += buf;
+  }
+  void Element(int64_t v) {
+    Sep();
+    out_ += std::to_string(v);
+  }
+
+  const std::string& str() const { return out_; }
+
+  /// Writes the accumulated document (plus trailing newline); returns
+  /// false on I/O failure.
+  bool WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const bool ok = std::fwrite(out_.data(), 1, out_.size(), f) == out_.size();
+    std::fputc('\n', f);
+    return std::fclose(f) == 0 && ok;
+  }
+
+ private:
+  void Sep() {
+    if (!first_) out_ += ',';
+    first_ = false;
+  }
+  void Key(const char* key) {
+    Sep();
+    AppendEscaped(key);
+    out_ += ':';
+  }
+  void AppendEscaped(const std::string& v) {
+    out_ += '"';
+    for (char c : v) {
+      switch (c) {
+        case '"':
+          out_ += "\\\"";
+          break;
+        case '\\':
+          out_ += "\\\\";
+          break;
+        case '\n':
+          out_ += "\\n";
+          break;
+        case '\r':
+          out_ += "\\r";
+          break;
+        case '\t':
+          out_ += "\\t";
+          break;
+        case '\b':
+          out_ += "\\b";
+          break;
+        case '\f':
+          out_ += "\\f";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  bool first_ = true;
+};
+
+}  // namespace taste::obs
+
+#endif  // TASTE_OBS_JSON_WRITER_H_

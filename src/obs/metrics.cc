@@ -1,0 +1,192 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+namespace taste::obs {
+
+namespace {
+
+bool InitialEnabled() {
+  const char* env = std::getenv("TASTE_METRICS");
+  if (env == nullptr) return true;
+  return !(std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
+           std::strcmp(env, "false") == 0);
+}
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> flag{InitialEnabled()};
+  return flag;
+}
+
+}  // namespace
+
+bool MetricsEnabled() {
+  return EnabledFlag().load(std::memory_order_relaxed);
+}
+
+void SetMetricsEnabled(bool enabled) {
+  EnabledFlag().store(enabled, std::memory_order_relaxed);
+}
+
+std::string LabeledName(const std::string& base, const std::string& key,
+                        const std::string& value) {
+  return base + "{" + key + "=\"" + value + "\"}";
+}
+
+void Gauge::Add(double d) {
+  double cur = v_.load(std::memory_order_relaxed);
+  while (!v_.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+  }
+}
+
+const std::vector<double>& DefaultLatencyBucketsMs() {
+  static const std::vector<double> kBuckets = {
+      0.05, 0.1, 0.25, 0.5, 1.0,    2.5,    5.0,    10.0,
+      25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 10000.0};
+  return kBuckets;
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(bounds.empty() ? DefaultLatencyBucketsMs() : std::move(bounds)),
+      counts_(nullptr) {
+  // Strictly increasing bounds or quantile interpolation breaks.
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  counts_.reset(new std::atomic<int64_t>[bounds_.size() + 1]);
+  for (size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+}
+
+void Histogram::Observe(double v) {
+  size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  counts_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.bounds = bounds_;
+  s.counts.resize(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    s.counts[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+double Histogram::Snapshot::Quantile(double q) const {
+  if (count <= 0 || counts.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const int64_t in_bucket = counts[i];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= target) {
+      if (i >= bounds.size()) return bounds.empty() ? 0.0 : bounds.back();
+      const double lower = i == 0 ? 0.0 : bounds[i - 1];
+      const double upper = bounds[i];
+      const double rank_in_bucket =
+          std::max(0.0, target - static_cast<double>(cumulative));
+      return lower + (upper - lower) * rank_in_bucket /
+                         static_cast<double>(in_bucket);
+    }
+    cumulative += in_bucket;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+Counter* Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name,
+                                  std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(bounds));
+  return slot.get();
+}
+
+Registry::Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot s;
+  for (const auto& [name, c] : counters_) s.counters[name] = c->Value();
+  for (const auto& [name, g] : gauges_) s.gauges[name] = g->Value();
+  for (const auto& [name, h] : histograms_) s.histograms[name] = h->snapshot();
+  return s;
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry();  // never destroyed
+  return *registry;
+}
+
+MetricsSnapshot MetricsSnapshot::Capture(const Registry& registry) {
+  MetricsSnapshot s;
+  s.snap_ = registry.snapshot();
+  return s;
+}
+
+int64_t MetricsSnapshot::counter(const std::string& name) const {
+  auto it = snap_.counters.find(name);
+  return it == snap_.counters.end() ? 0 : it->second;
+}
+
+double MetricsSnapshot::gauge(const std::string& name) const {
+  auto it = snap_.gauges.find(name);
+  return it == snap_.gauges.end() ? 0.0 : it->second;
+}
+
+int64_t MetricsSnapshot::histogram_count(const std::string& name) const {
+  auto it = snap_.histograms.find(name);
+  return it == snap_.histograms.end() ? 0 : it->second.count;
+}
+
+double MetricsSnapshot::histogram_sum(const std::string& name) const {
+  auto it = snap_.histograms.find(name);
+  return it == snap_.histograms.end() ? 0.0 : it->second.sum;
+}
+
+int64_t MetricsSnapshot::CounterDelta(const MetricsSnapshot& earlier,
+                                      const std::string& name) const {
+  return counter(name) - earlier.counter(name);
+}
+
+int64_t MetricsSnapshot::HistogramCountDelta(const MetricsSnapshot& earlier,
+                                             const std::string& name) const {
+  return histogram_count(name) - earlier.histogram_count(name);
+}
+
+}  // namespace taste::obs

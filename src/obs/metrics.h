@@ -1,0 +1,165 @@
+// Lock-cheap metrics registry for the serving path (DESIGN.md §7).
+//
+// Three instrument kinds, all safe for concurrent use from any thread:
+//
+//  * Counter   — monotonic int64; Inc() is one relaxed fetch_add. Values
+//                wrap modulo 2^64 (two's complement) past INT64_MAX, by
+//                design — exporters treat counters as deltas.
+//  * Gauge     — a double that goes up and down (bytes cached, pool sizes);
+//                Set()/Add() are single atomic operations.
+//  * Histogram — fixed upper-bound buckets (latency in ms by default);
+//                Observe() is two relaxed fetch_adds plus a linear bucket
+//                scan over ~16 bounds. p50/p95/p99 are extracted from the
+//                bucket counts with linear interpolation at export time.
+//
+// The Registry maps stable names ("taste_cache_hits_total", optionally
+// carrying a {key="value"} label suffix, see LabeledName) to instruments.
+// Lookup takes a mutex; hot paths therefore resolve their handles once
+// (static local or member) and touch only atomics afterwards. Handles stay
+// valid for the registry's lifetime; Reset() zeroes values but never
+// invalidates handles.
+//
+// A process-global on/off switch gates every instrumentation site in the
+// serving path: MetricsEnabled() is a single relaxed atomic load, and the
+// TASTE_METRICS environment variable ("0"/"off" disables) sets the initial
+// state so benches can measure the uninstrumented baseline.
+
+#ifndef TASTE_OBS_METRICS_H_
+#define TASTE_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace taste::obs {
+
+/// Whether instrumentation sites should record. Initialized once from the
+/// TASTE_METRICS environment variable (default on).
+bool MetricsEnabled();
+void SetMetricsEnabled(bool enabled);
+
+/// "base{key=\"value\"}" — the registry's convention for one-label metrics
+/// (e.g. taste_pipeline_stage_ms{stage="p1_prep"}). The exporters parse
+/// the suffix back out; the value must not contain '"' or '\\'.
+std::string LabeledName(const std::string& base, const std::string& key,
+                        const std::string& value);
+
+class Counter {
+ public:
+  void Inc(int64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void Set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(double d);
+  double Value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Default latency buckets (milliseconds), 50 µs .. 10 s.
+const std::vector<double>& DefaultLatencyBucketsMs();
+
+class Histogram {
+ public:
+  /// `bounds` are strictly increasing bucket upper bounds; an implicit
+  /// +inf bucket is appended. Empty bounds use DefaultLatencyBucketsMs().
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  struct Snapshot {
+    std::vector<double> bounds;   // finite upper bounds
+    std::vector<int64_t> counts;  // bounds.size() + 1 (last = +inf bucket)
+    int64_t count = 0;
+    double sum = 0.0;
+
+    /// Quantile q in [0, 1] by linear interpolation inside the bucket
+    /// containing the target rank. Observations past the last finite
+    /// bound report that bound (the histogram cannot see further).
+    double Quantile(double q) const;
+  };
+
+  Snapshot snapshot() const;
+  void Reset();
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<int64_t>[]> counts_;
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Name -> instrument map. Get*() registers on first use and returns a
+/// stable handle; concurrent Get*() of the same name returns the same
+/// handle. Names are unique per kind, not across kinds (don't reuse a
+/// counter name for a histogram — exporters would emit both).
+class Registry {
+ public:
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// `bounds` applies only on first registration; later calls return the
+  /// existing histogram regardless.
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> bounds = {});
+
+  struct Snapshot {
+    std::map<std::string, int64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, Histogram::Snapshot> histograms;
+  };
+  Snapshot snapshot() const;
+
+  /// Zeroes every registered value. Handles remain valid.
+  void Reset();
+
+  /// The process-wide registry all serving-path instrumentation uses.
+  static Registry& Global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Point-in-time capture of a registry for test assertions: capture before
+/// and after the exercised code, then compare deltas. Missing names read
+/// as zero so tests don't depend on registration order.
+class MetricsSnapshot {
+ public:
+  static MetricsSnapshot Capture(const Registry& registry = Registry::Global());
+
+  int64_t counter(const std::string& name) const;
+  double gauge(const std::string& name) const;
+  int64_t histogram_count(const std::string& name) const;
+  double histogram_sum(const std::string& name) const;
+
+  /// this->counter(name) - earlier.counter(name).
+  int64_t CounterDelta(const MetricsSnapshot& earlier,
+                       const std::string& name) const;
+  int64_t HistogramCountDelta(const MetricsSnapshot& earlier,
+                              const std::string& name) const;
+
+  const Registry::Snapshot& raw() const { return snap_; }
+
+ private:
+  Registry::Snapshot snap_;
+};
+
+}  // namespace taste::obs
+
+#endif  // TASTE_OBS_METRICS_H_

@@ -1,0 +1,133 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+
+namespace taste::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point Epoch() {
+  static const Clock::time_point epoch = Clock::now();
+  return epoch;
+}
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(Clock::now() - Epoch())
+      .count();
+}
+
+bool InitialTracing() {
+  const char* env = std::getenv("TASTE_TRACE");
+  return env != nullptr && std::strcmp(env, "0") != 0 &&
+         std::strcmp(env, "off") != 0;
+}
+
+std::atomic<bool>& TracingFlag() {
+  static std::atomic<bool> flag{InitialTracing()};
+  return flag;
+}
+
+/// One thread's completed spans plus its live nesting state. The buffer is
+/// shared (shared_ptr) between the owning thread and the global drain list
+/// so it survives thread exit; `mu` serializes the owner's push against
+/// DrainSpans().
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<SpanRecord> done;
+  // Owner-thread-only state (no lock needed):
+  uint64_t thread_ix = 0;
+  int depth = 0;
+  uint64_t open_seq = 0;  // seq of the innermost open span, 0 = none
+};
+
+struct BufferListState {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  uint64_t next_thread_ix = 0;
+};
+
+BufferListState& BufferList() {
+  static BufferListState* state = new BufferListState();  // never destroyed
+  return *state;
+}
+
+ThreadBuffer& LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buf = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    BufferListState& list = BufferList();
+    std::lock_guard<std::mutex> lock(list.mu);
+    b->thread_ix = list.next_thread_ix++;
+    list.buffers.push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+std::atomic<uint64_t>& NextSeq() {
+  static std::atomic<uint64_t> seq{1};
+  return seq;
+}
+
+}  // namespace
+
+bool TracingEnabled() {
+  return TracingFlag().load(std::memory_order_relaxed);
+}
+
+void SetTracingEnabled(bool enabled) {
+  if (enabled) Epoch();  // pin the epoch before the first span
+  TracingFlag().store(enabled, std::memory_order_relaxed);
+}
+
+std::vector<SpanRecord> DrainSpans() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    BufferListState& list = BufferList();
+    std::lock_guard<std::mutex> lock(list.mu);
+    buffers = list.buffers;
+  }
+  std::vector<SpanRecord> out;
+  for (const auto& buf : buffers) {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    out.insert(out.end(), buf->done.begin(), buf->done.end());
+    buf->done.clear();
+  }
+  return out;
+}
+
+void Span::Begin(const char* name) {
+  ThreadBuffer& buf = LocalBuffer();
+  name_ = name;
+  seq_ = NextSeq().fetch_add(1, std::memory_order_relaxed);
+  parent_seq_ = buf.open_seq;
+  depth_ = buf.depth;
+  ++buf.depth;
+  buf.open_seq = seq_;
+  start_ms_ = NowMs();
+}
+
+void Span::End() {
+  const double end_ms = NowMs();
+  ThreadBuffer& buf = LocalBuffer();
+  SpanRecord rec;
+  rec.name = name_;
+  rec.seq = seq_;
+  rec.parent_seq = parent_seq_;
+  rec.depth = depth_;
+  rec.thread_ix = buf.thread_ix;
+  rec.start_ms = start_ms_;
+  rec.dur_ms = end_ms - start_ms_;
+  buf.depth = depth_;
+  buf.open_seq = parent_seq_;
+  std::lock_guard<std::mutex> lock(buf.mu);
+  buf.done.push_back(rec);
+}
+
+}  // namespace taste::obs

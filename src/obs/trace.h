@@ -1,0 +1,76 @@
+// Trace spans for the serving pipeline (DESIGN.md §7).
+//
+// TASTE_SPAN("stage") opens an RAII span: the constructor stamps a start
+// time and nesting depth, the destructor stamps the duration and pushes a
+// SpanRecord into the calling thread's buffer. Spans nest naturally with
+// scopes — a span opened while another is alive on the same thread records
+// the outer span's sequence number as its parent.
+//
+// Overhead contract: when tracing is disabled (the default) a span is a
+// single relaxed atomic load and branch — no clock read, no allocation.
+// Enable with SetTracingEnabled(true) or TASTE_TRACE=1.
+//
+// Buffers are per-thread (no cross-thread contention while recording) and
+// drained globally by DrainSpans(), which any thread may call; records are
+// pushed on span *completion*, so children appear before their parents in
+// buffer order and an unfinished span is simply absent.
+//
+// Span names must outlive the span system — string literals only.
+
+#ifndef TASTE_OBS_TRACE_H_
+#define TASTE_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace taste::obs {
+
+struct SpanRecord {
+  const char* name = "";
+  uint64_t seq = 0;         // process-unique span id, allocated at open
+  uint64_t parent_seq = 0;  // 0 = root span of its thread at open time
+  int depth = 0;            // nesting depth at open time (0 = root)
+  uint64_t thread_ix = 0;   // dense per-process thread index
+  double start_ms = 0.0;    // relative to the process trace epoch
+  double dur_ms = 0.0;
+};
+
+bool TracingEnabled();
+void SetTracingEnabled(bool enabled);
+
+/// Moves every completed span out of all thread buffers, in no particular
+/// cross-thread order (records of one thread stay in completion order).
+std::vector<SpanRecord> DrainSpans();
+
+class Span {
+ public:
+  explicit Span(const char* name) : active_(TracingEnabled()) {
+    if (active_) Begin(name);
+  }
+  ~Span() {
+    if (active_) End();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  void Begin(const char* name);
+  void End();
+
+  bool active_;
+  const char* name_ = "";
+  uint64_t seq_ = 0;
+  uint64_t parent_seq_ = 0;
+  int depth_ = 0;
+  double start_ms_ = 0.0;
+};
+
+#define TASTE_SPAN_CONCAT_INNER(a, b) a##b
+#define TASTE_SPAN_CONCAT(a, b) TASTE_SPAN_CONCAT_INNER(a, b)
+#define TASTE_SPAN(name) \
+  ::taste::obs::Span TASTE_SPAN_CONCAT(taste_span_, __LINE__)(name)
+
+}  // namespace taste::obs
+
+#endif  // TASTE_OBS_TRACE_H_

@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "common/stopwatch.h"
+#include "obs/export.h"
 #include "tensor/exec_context.h"
 
 namespace taste::pipeline {
@@ -15,12 +16,99 @@ namespace taste::pipeline {
 using core::TableDetectionResult;
 using core::TasteDetector;
 
+namespace {
+
+/// Registry handles for the pipeline's serving metrics, resolved once.
+/// Resolved eagerly by the executor constructor so every family appears in
+/// a --metrics-out document even when its count is zero.
+struct PipelineMetrics {
+  obs::Histogram* batch_ms;
+  obs::Histogram* table_ms;                // sequential mode, per table
+  obs::Histogram* stage_ms[4];             // indexed by Stage (p1p..p2i)
+  obs::Counter* tables;
+  obs::Counter* tables_p2;
+  obs::Counter* retries;
+  obs::Counter* stage_retries;
+  obs::Counter* connect_retries;
+  obs::Counter* breaker_trips;
+  obs::Counter* breaker_short_circuits;
+  obs::Counter* degraded_columns;
+  obs::Counter* failed_columns;
+  obs::Counter* failed_tables;
+  obs::Counter* deadline_misses;
+  obs::Histogram* op_ms[4];                // gemm, softmax, layernorm, gelu
+  obs::Counter* op_calls[4];
+  obs::Counter* pool_acquires;
+  obs::Counter* pool_reuses;
+
+  static PipelineMetrics& Get() {
+    static PipelineMetrics m = [] {
+      obs::Registry& r = obs::Registry::Global();
+      auto stage_hist = [&r](const char* stage) {
+        return r.GetHistogram(
+            obs::LabeledName("taste_pipeline_stage_ms", "stage", stage));
+      };
+      PipelineMetrics x;
+      x.batch_ms = r.GetHistogram("taste_pipeline_batch_ms");
+      x.table_ms = r.GetHistogram("taste_pipeline_table_ms");
+      x.stage_ms[0] = stage_hist("p1_prep");
+      x.stage_ms[1] = stage_hist("p1_infer");
+      x.stage_ms[2] = stage_hist("p2_prep");
+      x.stage_ms[3] = stage_hist("p2_infer");
+      x.tables = r.GetCounter("taste_pipeline_tables_total");
+      x.tables_p2 = r.GetCounter("taste_pipeline_tables_p2_total");
+      x.retries = r.GetCounter("taste_retries_total");
+      x.stage_retries = r.GetCounter("taste_stage_retries_total");
+      x.connect_retries = r.GetCounter("taste_connect_retries_total");
+      x.breaker_trips = r.GetCounter("taste_breaker_trips_total");
+      x.breaker_short_circuits =
+          r.GetCounter("taste_breaker_short_circuits_total");
+      x.degraded_columns = r.GetCounter("taste_degraded_columns_total");
+      x.failed_columns = r.GetCounter("taste_failed_columns_total");
+      x.failed_tables = r.GetCounter("taste_failed_tables_total");
+      x.deadline_misses = r.GetCounter("taste_deadline_misses_total");
+      const char* ops[4] = {"gemm", "softmax", "layernorm", "gelu"};
+      for (int i = 0; i < 4; ++i) {
+        x.op_ms[i] =
+            r.GetHistogram(obs::LabeledName("taste_op_ms", "op", ops[i]));
+        x.op_calls[i] = r.GetCounter(
+            obs::LabeledName("taste_op_calls_total", "op", ops[i]));
+      }
+      x.pool_acquires = r.GetCounter("taste_pool_acquires_total");
+      x.pool_reuses = r.GetCounter("taste_pool_reuses_total");
+      return x;
+    }();
+    return m;
+  }
+};
+
+/// Folds one serving context's per-op timings and pool counters into the
+/// registry. Contexts live for exactly one RunBatch, so each fold
+/// contributes that batch's totals: op histograms get one observation per
+/// (context, op) — the op's cumulative ms in that batch.
+void FoldExecStats(const tensor::ExecContext& ctx) {
+  if (!obs::MetricsEnabled()) return;
+  PipelineMetrics& m = PipelineMetrics::Get();
+  const tensor::ExecStats s = ctx.stats();
+  const tensor::OpTiming* ops[4] = {&s.gemm, &s.softmax, &s.layernorm,
+                                    &s.gelu};
+  for (int i = 0; i < 4; ++i) {
+    m.op_calls[i]->Inc(ops[i]->calls);
+    if (ops[i]->calls > 0) m.op_ms[i]->Observe(ops[i]->ms);
+  }
+  m.pool_acquires->Inc(s.pool.acquires);
+  m.pool_reuses->Inc(s.pool.reuses);
+}
+
+}  // namespace
+
 PipelineExecutor::PipelineExecutor(const TasteDetector* detector,
                                    clouddb::SimulatedDatabase* db,
                                    PipelineOptions options)
     : detector_(detector), db_(db), options_(options) {
   TASTE_CHECK(detector_ != nullptr && db_ != nullptr);
   TASTE_CHECK(options_.prep_threads >= 1 && options_.infer_threads >= 1);
+  PipelineMetrics::Get();  // register the pipeline metric families eagerly
 }
 
 int EffectiveIntraOpThreads(const PipelineOptions& options) {
@@ -41,6 +129,7 @@ BatchResult PipelineExecutor::RunBatch(
   const int64_t trips_before =
       detector_->breakers() != nullptr ? detector_->breakers()->TotalTrips()
                                        : 0;
+  TASTE_SPAN("pipeline.run_batch");
   Stopwatch sw;
   BatchResult batch;
   batch.tables.resize(table_names.size());
@@ -86,6 +175,23 @@ void PipelineExecutor::FinalizeStats(const BatchResult& batch,
     resilience_.breaker_trips =
         detector_->breakers()->TotalTrips() - trips_before;
   }
+  if (obs::MetricsEnabled()) {
+    // Migrate the batch's ResilienceStats onto the registry: the registry
+    // accumulates across batches, the struct stays per-batch.
+    PipelineMetrics& m = PipelineMetrics::Get();
+    m.batch_ms->Observe(stats_.wall_ms);
+    m.tables->Inc(stats_.tables_processed);
+    m.tables_p2->Inc(stats_.tables_entered_p2);
+    m.retries->Inc(resilience_.retries);
+    m.stage_retries->Inc(resilience_.stage_retries);
+    m.connect_retries->Inc(resilience_.connect_retries);
+    m.breaker_trips->Inc(resilience_.breaker_trips);
+    m.breaker_short_circuits->Inc(resilience_.breaker_short_circuits);
+    m.degraded_columns->Inc(resilience_.degraded_columns);
+    m.failed_columns->Inc(resilience_.failed_columns);
+    m.failed_tables->Inc(resilience_.failed_tables);
+    m.deadline_misses->Inc(resilience_.deadline_misses);
+  }
 }
 
 void PipelineExecutor::RunSequential(
@@ -97,17 +203,25 @@ void PipelineExecutor::RunSequential(
   // across tables, and no_grad structurally forbids tape construction.
   tensor::ExecContext::Options ctx_options;
   ctx_options.no_grad = true;
+  ctx_options.profile = obs::MetricsEnabled();
   ctx_options.intra_op_threads = EffectiveIntraOpThreads(options_);
   tensor::ExecContext ctx(ctx_options);
   auto conn = db_->Connect();
+  const bool metrics = obs::MetricsEnabled();
   for (size_t i = 0; i < table_names.size(); ++i) {
+    TASTE_SPAN("pipeline.detect_table");
+    Stopwatch table_sw;
     auto res = detector_->DetectTable(conn.get(), table_names[i], &ctx);
+    if (metrics) {
+      PipelineMetrics::Get().table_ms->Observe(table_sw.ElapsedMillis());
+    }
     if (res.ok()) {
       out->tables[i].result = std::move(*res);
     } else {
       out->tables[i].status = res.status();
     }
   }
+  FoldExecStats(ctx);
 }
 
 namespace {
@@ -193,6 +307,7 @@ void PipelineExecutor::RunPipelined(
     if (slot == nullptr) {
       tensor::ExecContext::Options ctx_options;
       ctx_options.no_grad = true;
+      ctx_options.profile = obs::MetricsEnabled();
       ctx_options.intra_op_threads = intra_threads;
       slot = std::make_unique<tensor::ExecContext>(ctx_options);
     }
@@ -227,29 +342,42 @@ void PipelineExecutor::RunPipelined(
   // the re-run on the stage's own pool. Permanent failures park the table
   // with a sticky error; the rest of the batch is unaffected.
   auto run_stage = [&](size_t idx, Stage stage) {
+    static const char* kStageSpanNames[] = {
+        "pipeline.p1_prep", "pipeline.p1_infer", "pipeline.p2_prep",
+        "pipeline.p2_infer"};
     TableState& st = states[idx];
     Status status;
-    switch (stage) {
-      case Stage::kP1Prep: {
-        auto conn = connections.Acquire();
-        status = detector_->PrepareP1(conn.get(), st.name, &st.job);
-        connections.Release(std::move(conn));
-        break;
+    // kDone is never dispatched; clamp keeps the name index safe anyway.
+    const int stage_ix = std::min(static_cast<int>(stage), 3);
+    {
+      obs::Span span(kStageSpanNames[stage_ix]);
+      Stopwatch stage_sw;
+      switch (stage) {
+        case Stage::kP1Prep: {
+          auto conn = connections.Acquire();
+          status = detector_->PrepareP1(conn.get(), st.name, &st.job);
+          connections.Release(std::move(conn));
+          break;
+        }
+        case Stage::kP1Infer:
+          status = detector_->InferP1(&st.job, infer_context());
+          break;
+        case Stage::kP2Prep: {
+          auto conn = connections.Acquire();
+          status = detector_->PrepareP2(conn.get(), &st.job);
+          connections.Release(std::move(conn));
+          break;
+        }
+        case Stage::kP2Infer:
+          status = detector_->InferP2(&st.job, infer_context());
+          break;
+        case Stage::kDone:
+          break;
       }
-      case Stage::kP1Infer:
-        status = detector_->InferP1(&st.job, infer_context());
-        break;
-      case Stage::kP2Prep: {
-        auto conn = connections.Acquire();
-        status = detector_->PrepareP2(conn.get(), &st.job);
-        connections.Release(std::move(conn));
-        break;
+      if (obs::MetricsEnabled()) {
+        PipelineMetrics::Get().stage_ms[stage_ix]->Observe(
+            stage_sw.ElapsedMillis());
       }
-      case Stage::kP2Infer:
-        status = detector_->InferP2(&st.job, infer_context());
-        break;
-      case Stage::kDone:
-        break;
     }
     std::lock_guard<std::mutex> lock(mu);
     if (kDebug) {
@@ -318,6 +446,13 @@ void PipelineExecutor::RunPipelined(
   lock.unlock();
   tp1.WaitIdle();
   tp2.WaitIdle();
+
+  // Workers are idle: surface every infer context's op timings and pool
+  // counters (this batch's totals) as registry metrics.
+  {
+    std::lock_guard<std::mutex> ctx_lock(ctx_mu);
+    for (const auto& [tid, ctx] : infer_contexts) FoldExecStats(*ctx);
+  }
 
   for (size_t i = 0; i < states.size(); ++i) {
     out->tables[i].status = states[i].error;

@@ -15,6 +15,7 @@
 #include "common/retry.h"
 #include "core/taste_detector.h"
 #include "data/table_generator.h"
+#include "obs/metrics.h"
 #include "pipeline/scheduler.h"
 
 namespace taste {
@@ -634,6 +635,54 @@ TEST(PipelineFaultTest, FailedColumnsMarkedWhenDegradationDisabled) {
     }
   }
   EXPECT_TRUE(saw_failed_column);
+}
+
+TEST(PipelineFaultTest, RegistryCountersMatchResilienceAndCacheStats) {
+  // The observability layer must tell the same story as the executor's own
+  // ResilienceStats and the latent cache's internal counters: a faulted
+  // RunBatch's registry deltas equal the structs the run returns.
+  obs::SetMetricsEnabled(true);
+  Env e = Env::Make(8);
+  const std::string dead = e.table_names[3];
+  clouddb::FaultConfig cfg;
+  cfg.seed = 77;
+  cfg.timeout_prob = 0.10;         // transient faults -> retries
+  cfg.unavailable_tables = {dead}; // permanent scan failure -> degradation
+  e.InstallFaults(cfg);
+  core::TasteDetector det(e.model.get(), e.tokenizer.get(),
+                          ResilientOptions());
+  pipeline::PipelineExecutor exec(&det, e.db.get(), {.pipelined = true});
+
+  const obs::MetricsSnapshot before = obs::MetricsSnapshot::Capture();
+  pipeline::BatchResult batch = exec.RunBatch(e.table_names);
+  const obs::MetricsSnapshot after = obs::MetricsSnapshot::Capture();
+
+  ASSERT_EQ(batch.tables.size(), e.table_names.size());
+  const auto& rz = exec.resilience_stats();
+  EXPECT_GT(rz.retries, 0);
+  EXPECT_EQ(after.CounterDelta(before, "taste_retries_total"), rz.retries);
+  EXPECT_EQ(after.CounterDelta(before, "taste_stage_retries_total"),
+            rz.stage_retries);
+  EXPECT_EQ(after.CounterDelta(before, "taste_breaker_trips_total"),
+            rz.breaker_trips);
+  EXPECT_EQ(after.CounterDelta(before, "taste_degraded_columns_total"),
+            rz.degraded_columns);
+  EXPECT_EQ(after.CounterDelta(before, "taste_failed_tables_total"),
+            rz.failed_tables);
+  EXPECT_EQ(after.CounterDelta(before, "taste_pipeline_tables_total"),
+            static_cast<int64_t>(exec.stats().tables_processed));
+
+  // Cache counters: this detector is the only cache user between the two
+  // snapshots, so its internal stats equal the registry deltas exactly.
+  const auto cache_stats = det.cache().stats();
+  EXPECT_GT(cache_stats.hits + cache_stats.misses, 0);
+  EXPECT_EQ(after.CounterDelta(before, "taste_cache_hits_total"),
+            cache_stats.hits);
+  EXPECT_EQ(after.CounterDelta(before, "taste_cache_misses_total"),
+            cache_stats.misses);
+
+  // One batch -> exactly one batch-latency observation.
+  EXPECT_EQ(after.HistogramCountDelta(before, "taste_pipeline_batch_ms"), 1);
 }
 
 TEST(PipelineFaultTest, ZeroFaultRateIsByteIdenticalToLegacyPath) {

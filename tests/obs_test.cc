@@ -1,0 +1,557 @@
+// Tests for the observability layer (src/obs/): metrics instruments and
+// registry, trace spans, the JSON writer's escaping, and both exporters.
+// The exporter round-trip uses a deliberately tiny recursive-descent JSON
+// parser defined below — enough of RFC 8259 to re-read our own documents.
+
+#include <atomic>
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/export.h"
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace taste::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tiny JSON parser (objects, arrays, strings, numbers, bools, null).
+
+struct JsonValue {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind = kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::map<std::string, JsonValue> obj;
+
+  const JsonValue& at(const std::string& key) const {
+    static const JsonValue missing;
+    auto it = obj.find(key);
+    return it == obj.end() ? missing : it->second;
+  }
+  bool has(const std::string& key) const { return obj.count(key) > 0; }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  bool Parse(JsonValue* out) {
+    SkipWs();
+    if (!ParseValue(out)) return false;
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool ParseValue(JsonValue* out) {
+    SkipWs();
+    if (pos_ >= s_.size()) return false;
+    const char c = s_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      out->kind = JsonValue::kString;
+      return ParseString(&out->str);
+    }
+    if (s_.compare(pos_, 4, "true") == 0) {
+      out->kind = JsonValue::kBool;
+      out->b = true;
+      pos_ += 4;
+      return true;
+    }
+    if (s_.compare(pos_, 5, "false") == 0) {
+      out->kind = JsonValue::kBool;
+      out->b = false;
+      pos_ += 5;
+      return true;
+    }
+    if (s_.compare(pos_, 4, "null") == 0) {
+      out->kind = JsonValue::kNull;
+      pos_ += 4;
+      return true;
+    }
+    return ParseNumber(out);
+  }
+  bool ParseObject(JsonValue* out) {
+    out->kind = JsonValue::kObject;
+    if (!Consume('{')) return false;
+    if (Consume('}')) return true;
+    while (true) {
+      SkipWs();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      if (!Consume(':')) return false;
+      JsonValue v;
+      if (!ParseValue(&v)) return false;
+      out->obj[key] = std::move(v);
+      if (Consume(',')) continue;
+      return Consume('}');
+    }
+  }
+  bool ParseArray(JsonValue* out) {
+    out->kind = JsonValue::kArray;
+    if (!Consume('[')) return false;
+    if (Consume(']')) return true;
+    while (true) {
+      JsonValue v;
+      if (!ParseValue(&v)) return false;
+      out->arr.push_back(std::move(v));
+      if (Consume(',')) continue;
+      return Consume(']');
+    }
+  }
+  bool ParseString(std::string* out) {
+    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
+    ++pos_;
+    out->clear();
+    while (pos_ < s_.size()) {
+      char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return false;
+        char e = s_[pos_++];
+        switch (e) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'n': *out += '\n'; break;
+          case 'r': *out += '\r'; break;
+          case 't': *out += '\t'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) return false;
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              code <<= 4;
+              char h = s_[pos_++];
+              if (h >= '0' && h <= '9') code |= h - '0';
+              else if (h >= 'a' && h <= 'f') code |= h - 'a' + 10;
+              else if (h >= 'A' && h <= 'F') code |= h - 'A' + 10;
+              else return false;
+            }
+            // Our writer only emits \u00xx for control chars.
+            if (code > 0xFF) return false;
+            *out += static_cast<char>(code);
+            break;
+          }
+          default:
+            return false;
+        }
+      } else {
+        // Raw control characters are invalid JSON — the whole point of
+        // the escaping fix.
+        if (static_cast<unsigned char>(c) < 0x20) return false;
+        *out += c;
+      }
+    }
+    return false;
+  }
+  bool ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    out->kind = JsonValue::kNumber;
+    out->num = std::stod(s_.substr(start, pos_ - start));
+    return true;
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+JsonValue MustParse(const std::string& text) {
+  JsonValue v;
+  JsonParser p(text);
+  EXPECT_TRUE(p.Parse(&v)) << "invalid JSON: " << text;
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// JsonWriter escaping.
+
+TEST(JsonWriterTest, EscapesQuotesBackslashesAndControlChars) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("plain", std::string("hello"));
+  w.Field("quoted", std::string("say \"hi\""));
+  w.Field("back\\slash", std::string("a\\b"));
+  w.Field("ctl", std::string("line1\nline2\ttab\x01raw"));
+  w.EndObject();
+
+  const JsonValue doc = MustParse(w.str());
+  EXPECT_EQ(doc.at("plain").str, "hello");
+  EXPECT_EQ(doc.at("quoted").str, "say \"hi\"");
+  EXPECT_EQ(doc.at("back\\slash").str, "a\\b");
+  EXPECT_EQ(doc.at("ctl").str, std::string("line1\nline2\ttab\x01raw"));
+  // The raw output must not contain an unescaped control character.
+  for (char c : w.str()) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u) << "raw control char";
+  }
+}
+
+TEST(JsonWriterTest, NumbersAndNesting) {
+  JsonWriter w;
+  w.BeginObject();
+  w.BeginArray("xs");
+  w.Element(1.5);
+  w.Element(static_cast<int64_t>(-7));
+  w.Element(std::string("s"));
+  w.EndArray();
+  w.Field("flag", true);
+  w.EndObject();
+
+  const JsonValue doc = MustParse(w.str());
+  ASSERT_EQ(doc.at("xs").arr.size(), 3u);
+  EXPECT_DOUBLE_EQ(doc.at("xs").arr[0].num, 1.5);
+  EXPECT_DOUBLE_EQ(doc.at("xs").arr[1].num, -7.0);
+  EXPECT_EQ(doc.at("xs").arr[2].str, "s");
+  EXPECT_TRUE(doc.at("flag").b);
+}
+
+// ---------------------------------------------------------------------------
+// Instruments.
+
+TEST(CounterTest, IncAndWrapAroundOverflow) {
+  Counter c;
+  c.Inc();
+  c.Inc(41);
+  EXPECT_EQ(c.Value(), 42);
+  // Counters wrap modulo 2^64 past INT64_MAX by design.
+  c.Reset();
+  c.Inc(std::numeric_limits<int64_t>::max());
+  c.Inc();
+  EXPECT_EQ(c.Value(), std::numeric_limits<int64_t>::min());
+  c.Inc();
+  EXPECT_EQ(c.Value(), std::numeric_limits<int64_t>::min() + 1);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAreLossless) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.Value(), static_cast<int64_t>(kThreads) * kPerThread);
+}
+
+TEST(GaugeTest, SetAddAndConcurrentAdds) {
+  Gauge g;
+  g.Set(10.0);
+  g.Add(-3.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 6.5);
+
+  g.Reset();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&g] {
+      for (int i = 0; i < kPerThread; ++i) g.Add(1.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_DOUBLE_EQ(g.Value(), static_cast<double>(kThreads) * kPerThread);
+}
+
+TEST(HistogramTest, BucketBoundaries) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.Observe(0.5);   // bucket 0 (<= 1)
+  h.Observe(1.0);   // bucket 0 (le is inclusive)
+  h.Observe(1.5);   // bucket 1
+  h.Observe(4.0);   // bucket 2
+  h.Observe(100.0); // +inf bucket
+  const auto snap = h.snapshot();
+  ASSERT_EQ(snap.bounds.size(), 3u);
+  ASSERT_EQ(snap.counts.size(), 4u);
+  EXPECT_EQ(snap.counts[0], 2);
+  EXPECT_EQ(snap.counts[1], 1);
+  EXPECT_EQ(snap.counts[2], 1);
+  EXPECT_EQ(snap.counts[3], 1);
+  EXPECT_EQ(snap.count, 5);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.5 + 1.0 + 1.5 + 4.0 + 100.0);
+}
+
+TEST(HistogramTest, QuantileExtraction) {
+  Histogram h({10.0, 20.0, 30.0, 40.0});
+  // 100 observations uniform in (0, 40]: 25 per bucket.
+  for (int i = 1; i <= 100; ++i) h.Observe(i * 0.4);
+  const auto snap = h.snapshot();
+  // Median falls on the bucket boundary between (10,20].
+  EXPECT_NEAR(snap.Quantile(0.5), 20.0, 0.5);
+  EXPECT_NEAR(snap.Quantile(0.25), 10.0, 0.5);
+  EXPECT_NEAR(snap.Quantile(0.95), 38.0, 1.0);
+  // Quantiles never exceed the last finite bound.
+  h.Observe(500.0);
+  EXPECT_LE(h.snapshot().Quantile(0.999), 40.0);
+}
+
+TEST(HistogramTest, ConcurrentObserves) {
+  Histogram h({1.0, 10.0, 100.0});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Observe(static_cast<double>((t + i) % 3 == 0 ? 0.5 : 50.0));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, static_cast<int64_t>(kThreads) * kPerThread);
+  int64_t bucket_total = 0;
+  for (int64_t c : snap.counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, snap.count);
+}
+
+// ---------------------------------------------------------------------------
+// Registry + snapshot helper.
+
+TEST(RegistryTest, HandlesAreStableAndResetPreservesThem) {
+  Registry reg;
+  Counter* c = reg.GetCounter("taste_test_total");
+  EXPECT_EQ(reg.GetCounter("taste_test_total"), c);
+  c->Inc(5);
+  Histogram* h = reg.GetHistogram("taste_test_ms", {1.0, 2.0});
+  h->Observe(1.5);
+  reg.Reset();
+  EXPECT_EQ(c->Value(), 0);
+  EXPECT_EQ(h->snapshot().count, 0);
+  EXPECT_EQ(reg.GetCounter("taste_test_total"), c);
+  c->Inc();
+  EXPECT_EQ(reg.snapshot().counters.at("taste_test_total"), 1);
+}
+
+TEST(RegistryTest, ConcurrentRegistrationSameName) {
+  Registry reg;
+  constexpr int kThreads = 8;
+  std::vector<Counter*> seen(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, &seen, t] {
+      Counter* c = reg.GetCounter("taste_race_total");
+      c->Inc();
+      seen[t] = c;
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(seen[t], seen[0]);
+  EXPECT_EQ(seen[0]->Value(), kThreads);
+}
+
+TEST(MetricsSnapshotTest, DeltasAndMissingNamesReadZero) {
+  Registry reg;
+  Counter* c = reg.GetCounter("taste_delta_total");
+  c->Inc(3);
+  const MetricsSnapshot before = MetricsSnapshot::Capture(reg);
+  c->Inc(4);
+  reg.GetHistogram("taste_delta_ms")->Observe(2.0);
+  const MetricsSnapshot after = MetricsSnapshot::Capture(reg);
+  EXPECT_EQ(after.CounterDelta(before, "taste_delta_total"), 4);
+  EXPECT_EQ(after.HistogramCountDelta(before, "taste_delta_ms"), 1);
+  EXPECT_EQ(after.counter("taste_never_registered_total"), 0);
+  EXPECT_DOUBLE_EQ(after.gauge("taste_never_registered"), 0.0);
+}
+
+TEST(MetricsEnabledTest, ToggleRoundTrip) {
+  const bool was = MetricsEnabled();
+  SetMetricsEnabled(false);
+  EXPECT_FALSE(MetricsEnabled());
+  SetMetricsEnabled(true);
+  EXPECT_TRUE(MetricsEnabled());
+  SetMetricsEnabled(was);
+}
+
+TEST(LabeledNameTest, Format) {
+  EXPECT_EQ(LabeledName("taste_pipeline_stage_ms", "stage", "p1_prep"),
+            "taste_pipeline_stage_ms{stage=\"p1_prep\"}");
+}
+
+// ---------------------------------------------------------------------------
+// Trace spans.
+
+TEST(TraceTest, DisabledSpansRecordNothing) {
+  SetTracingEnabled(false);
+  (void)DrainSpans();
+  {
+    TASTE_SPAN("never.seen");
+  }
+  EXPECT_TRUE(DrainSpans().empty());
+}
+
+TEST(TraceTest, NestingDepthAndParentLinks) {
+  SetTracingEnabled(true);
+  (void)DrainSpans();  // discard leftovers from other tests
+  {
+    TASTE_SPAN("outer");
+    {
+      TASTE_SPAN("inner");
+    }
+    {
+      TASTE_SPAN("sibling");
+    }
+  }
+  SetTracingEnabled(false);
+  auto spans = DrainSpans();
+  ASSERT_EQ(spans.size(), 3u);
+  // Completion order: children before parents.
+  std::map<std::string, SpanRecord> by_name;
+  for (const auto& s : spans) by_name[s.name] = s;
+  ASSERT_TRUE(by_name.count("outer"));
+  ASSERT_TRUE(by_name.count("inner"));
+  ASSERT_TRUE(by_name.count("sibling"));
+  const auto& outer = by_name["outer"];
+  EXPECT_EQ(outer.depth, 0);
+  EXPECT_EQ(outer.parent_seq, 0u);
+  EXPECT_EQ(by_name["inner"].depth, 1);
+  EXPECT_EQ(by_name["inner"].parent_seq, outer.seq);
+  EXPECT_EQ(by_name["sibling"].depth, 1);
+  EXPECT_EQ(by_name["sibling"].parent_seq, outer.seq);
+  // Children complete before the parent does.
+  EXPECT_EQ(std::string(spans[0].name), "inner");
+  EXPECT_EQ(std::string(spans[2].name), "outer");
+  EXPECT_GE(outer.dur_ms, by_name["inner"].dur_ms);
+}
+
+TEST(TraceTest, SpansFromMultipleThreadsGetDistinctThreadIx) {
+  SetTracingEnabled(true);
+  (void)DrainSpans();
+  std::thread t1([] { TASTE_SPAN("thread.a"); });
+  std::thread t2([] { TASTE_SPAN("thread.b"); });
+  t1.join();
+  t2.join();
+  SetTracingEnabled(false);
+  auto spans = DrainSpans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_NE(spans[0].thread_ix, spans[1].thread_ix);
+  for (const auto& s : spans) {
+    EXPECT_EQ(s.depth, 0);
+    EXPECT_EQ(s.parent_seq, 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Exporters.
+
+TEST(ExportTest, PrometheusTextShape) {
+  Registry reg;
+  reg.GetCounter("taste_cache_hits_total")->Inc(7);
+  reg.GetGauge("taste_cache_bytes")->Set(1024.0);
+  reg.GetCounter(LabeledName("taste_db_faults_total", "op", "scan"))->Inc(2);
+  Histogram* h = reg.GetHistogram(
+      LabeledName("taste_pipeline_stage_ms", "stage", "p1_prep"),
+      {1.0, 10.0});
+  h->Observe(0.5);
+  h->Observe(5.0);
+  h->Observe(50.0);
+
+  const std::string text = ToPrometheusText(reg);
+  EXPECT_NE(text.find("# TYPE taste_cache_hits_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("taste_cache_hits_total 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE taste_cache_bytes gauge"), std::string::npos);
+  EXPECT_NE(text.find("taste_db_faults_total{op=\"scan\"} 2"),
+            std::string::npos);
+  // Histogram: cumulative buckets with both the stage label and le.
+  EXPECT_NE(text.find("# TYPE taste_pipeline_stage_ms histogram"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("taste_pipeline_stage_ms_bucket{stage=\"p1_prep\",le=\"1\"} 1"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find(
+          "taste_pipeline_stage_ms_bucket{stage=\"p1_prep\",le=\"10\"} 2"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find(
+          "taste_pipeline_stage_ms_bucket{stage=\"p1_prep\",le=\"+Inf\"} 3"),
+      std::string::npos);
+  EXPECT_NE(text.find("taste_pipeline_stage_ms_count{stage=\"p1_prep\"} 3"),
+            std::string::npos);
+}
+
+TEST(ExportTest, JsonDocumentRoundTrip) {
+  Registry reg;
+  reg.GetCounter("taste_cache_hits_total")->Inc(3);
+  reg.GetGauge("taste_cache_bytes")->Set(2048.0);
+  Histogram* h = reg.GetHistogram("taste_batch_ms", {10.0, 100.0});
+  for (int i = 0; i < 10; ++i) h->Observe(5.0);
+
+  std::vector<SpanRecord> spans(1);
+  spans[0].name = "pipeline.run_batch";
+  spans[0].seq = 1;
+  spans[0].dur_ms = 12.5;
+
+  const std::string doc_text = MetricsDocumentJson(reg.snapshot(), &spans);
+  const JsonValue doc = MustParse(doc_text);
+
+  const JsonValue& metrics = doc.at("metrics");
+  ASSERT_EQ(metrics.kind, JsonValue::kObject);
+  EXPECT_DOUBLE_EQ(metrics.at("counters").at("taste_cache_hits_total").num,
+                   3.0);
+  EXPECT_DOUBLE_EQ(metrics.at("gauges").at("taste_cache_bytes").num, 2048.0);
+  const JsonValue& hist = metrics.at("histograms").at("taste_batch_ms");
+  EXPECT_DOUBLE_EQ(hist.at("count").num, 10.0);
+  EXPECT_DOUBLE_EQ(hist.at("sum").num, 50.0);
+  EXPECT_TRUE(hist.has("p50"));
+  EXPECT_TRUE(hist.has("p95"));
+  EXPECT_TRUE(hist.has("p99"));
+  ASSERT_EQ(hist.at("bounds").arr.size(), 2u);
+  ASSERT_EQ(hist.at("counts").arr.size(), 3u);
+  EXPECT_DOUBLE_EQ(hist.at("counts").arr[0].num, 10.0);
+
+  const JsonValue& span_arr = doc.at("spans");
+  ASSERT_EQ(span_arr.kind, JsonValue::kArray);
+  ASSERT_EQ(span_arr.arr.size(), 1u);
+  EXPECT_EQ(span_arr.arr[0].at("name").str, "pipeline.run_batch");
+  EXPECT_DOUBLE_EQ(span_arr.arr[0].at("dur_ms").num, 12.5);
+}
+
+TEST(ExportTest, MetricNamesNeedingEscapesStayValidJson) {
+  Registry reg;
+  reg.GetCounter("weird\"name\ntotal")->Inc(1);
+  const std::string doc_text = MetricsDocumentJson(reg.snapshot(), nullptr);
+  const JsonValue doc = MustParse(doc_text);
+  EXPECT_DOUBLE_EQ(
+      doc.at("metrics").at("counters").at("weird\"name\ntotal").num, 1.0);
+}
+
+}  // namespace
+}  // namespace taste::obs

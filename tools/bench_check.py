@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Gate benchmark regressions against the committed baseline.
+
+Compares a freshly generated BENCH_substrate.json (bench_micro_substrate's
+machine-readable artifact) against the baseline committed at the repo root
+and exits non-zero when either
+
+  * any GEMM shape's blocked-kernel GFLOP/s dropped by more than the
+    threshold (default 25%), or
+  * either end-to-end wall time (sequential or pipelined) grew by more
+    than the threshold.
+
+It also sanity-checks the artifact's embedded "metrics" section (present
+since the observability layer landed): the document must be valid JSON and
+carry the pipeline stage histograms with as many batch observations as the
+end-to-end run processed tables.
+
+Faster-than-baseline results never fail: CI runners are noisy in BOTH
+directions, so the gate is one-sided. The CI job that runs this is
+continue-on-error — the signal is the uploaded artifact plus a red mark,
+not a hard merge block.
+
+Usage:
+  python3 tools/bench_check.py --fresh build/BENCH_substrate.json \
+      [--baseline BENCH_substrate.json] [--threshold 0.25]
+
+Stdlib only; no third-party imports.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_check: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def check_gemm(baseline, fresh, threshold, failures):
+    base_by_shape = {row["shape"]: row for row in baseline.get("gemm", [])}
+    fresh_by_shape = {row["shape"]: row for row in fresh.get("gemm", [])}
+    missing = sorted(set(base_by_shape) - set(fresh_by_shape))
+    if missing:
+        failures.append(f"gemm shapes missing from fresh run: {missing}")
+    for shape, base in sorted(base_by_shape.items()):
+        cur = fresh_by_shape.get(shape)
+        if cur is None:
+            continue
+        b, c = base["blocked_gflops"], cur["blocked_gflops"]
+        if b <= 0:
+            continue
+        drop = (b - c) / b
+        verdict = "FAIL" if drop > threshold else "ok"
+        print(f"  gemm/{shape:<14} blocked {b:8.2f} -> {c:8.2f} GFLOP/s "
+              f"({-drop:+6.1%}) {verdict}")
+        if drop > threshold:
+            failures.append(
+                f"gemm/{shape}: blocked GFLOP/s regressed {drop:.1%} "
+                f"({b:.2f} -> {c:.2f}, threshold {threshold:.0%})")
+
+
+def check_end_to_end(baseline, fresh, threshold, failures):
+    base = baseline.get("end_to_end", {})
+    cur = fresh.get("end_to_end", {})
+    for key in ("sequential_wall_ms", "pipelined_wall_ms"):
+        if key not in base or key not in cur:
+            failures.append(f"end_to_end.{key} missing")
+            continue
+        b, c = base[key], cur[key]
+        if b <= 0:
+            continue
+        growth = (c - b) / b
+        verdict = "FAIL" if growth > threshold else "ok"
+        print(f"  end_to_end/{key:<20} {b:8.1f} -> {c:8.1f} ms "
+              f"({growth:+6.1%}) {verdict}")
+        if growth > threshold:
+            failures.append(
+                f"end_to_end.{key}: wall time regressed {growth:.1%} "
+                f"({b:.1f} -> {c:.1f} ms, threshold {threshold:.0%})")
+
+
+def check_metrics_section(fresh, failures):
+    metrics = fresh.get("metrics")
+    if metrics is None:
+        # Baselines generated before the observability layer have no
+        # metrics section; only the FRESH artifact is required to.
+        failures.append("fresh artifact has no 'metrics' section")
+        return
+    hists = metrics.get("histograms", {})
+    stage_hists = {k: v for k, v in hists.items()
+                   if k.startswith("taste_pipeline_stage_ms")}
+    if not stage_hists:
+        failures.append("metrics section carries no pipeline stage histograms")
+        return
+    tables = fresh.get("end_to_end", {}).get("tables", 0)
+    for name, h in sorted(stage_hists.items()):
+        # Two end-to-end runs (sequential + pipelined); P2 stages can be
+        # skipped per table, so the count is bounded, not exact.
+        if not 0 < h.get("count", 0) <= 2 * tables:
+            failures.append(
+                f"{name}: implausible observation count {h.get('count')} "
+                f"for {tables}-table runs")
+    print(f"  metrics section: {len(metrics.get('counters', {}))} counters, "
+          f"{len(hists)} histograms, stage histograms present")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--fresh", required=True,
+                    help="BENCH_substrate.json from this run")
+    ap.add_argument("--baseline", default="BENCH_substrate.json",
+                    help="committed baseline (default: %(default)s)")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="max tolerated fractional regression "
+                         "(default: %(default)s)")
+    args = ap.parse_args()
+
+    baseline = load(args.baseline)
+    fresh = load(args.fresh)
+
+    failures = []
+    print(f"bench_check: baseline={args.baseline} fresh={args.fresh} "
+          f"threshold={args.threshold:.0%}")
+    check_gemm(baseline, fresh, args.threshold, failures)
+    check_end_to_end(baseline, fresh, args.threshold, failures)
+    check_metrics_section(fresh, failures)
+
+    if failures:
+        print(f"\nbench_check: {len(failures)} regression(s):",
+              file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        sys.exit(1)
+    print("bench_check: no regressions beyond threshold")
+
+
+if __name__ == "__main__":
+    main()

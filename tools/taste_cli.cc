@@ -13,6 +13,8 @@
 //     --sample               random-sample scans instead of first-m rows
 //     --json                 emit JSON instead of text
 //     --list                 list the staged test tables and exit
+//     --metrics-out FILE     run via the pipelined executor and write the
+//                            unified metrics + trace-span JSON to FILE
 
 #include <cstdio>
 #include <cstring>
@@ -20,6 +22,8 @@
 
 #include "core/result_json.h"
 #include "core/taste_detector.h"
+#include "obs/export.h"
+#include "pipeline/scheduler.h"
 #include "data/table_generator.h"
 #include "common/logging.h"
 #include "eval/experiment.h"
@@ -37,6 +41,7 @@ struct CliOptions {
   bool sample = false;
   bool json = false;
   bool list = false;
+  std::string metrics_out;
 };
 
 bool ParseArgs(int argc, char** argv, CliOptions* out) {
@@ -73,6 +78,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
       out->json = true;
     } else if (arg == "--list") {
       out->list = true;
+    } else if (arg == "--metrics-out") {
+      const char* v = need_value("--metrics-out");
+      if (v == nullptr) return false;
+      out->metrics_out = v;
     } else if (arg == "--help" || arg == "-h") {
       return false;
     } else {
@@ -95,7 +104,8 @@ void PrintUsage() {
   std::fprintf(
       stderr,
       "taste_cli [--profile wiki|git] [--table NAME] [--alpha X] [--beta Y]\n"
-      "          [--no-p2] [--sample] [--json] [--list]\n");
+      "          [--no-p2] [--sample] [--json] [--list]\n"
+      "          [--metrics-out FILE]\n");
 }
 
 void PrintText(const core::TableDetectionResult& r,
@@ -175,14 +185,42 @@ int main(int argc, char** argv) {
   }
 
   std::vector<core::TableDetectionResult> results;
-  for (const auto& name : targets) {
-    auto res = detector.DetectTable(conn.get(), name);
-    if (!res.ok()) {
-      std::fprintf(stderr, "detection failed for %s: %s\n", name.c_str(),
-                   res.status().ToString().c_str());
+  if (!cli.metrics_out.empty()) {
+    // Observability mode: run the batch through the pipelined executor so
+    // the metrics document carries per-stage latency histograms and
+    // nested trace spans alongside cache/db/retry counters.
+    obs::SetMetricsEnabled(true);
+    obs::SetTracingEnabled(true);
+    pipeline::PipelineExecutor exec(&detector, db->get(), {});
+    pipeline::BatchResult batch = exec.RunBatch(targets);
+    for (size_t i = 0; i < batch.tables.size(); ++i) {
+      if (!batch.tables[i].status.ok()) {
+        std::fprintf(stderr, "detection failed for %s: %s\n",
+                     targets[i].c_str(),
+                     batch.tables[i].status.ToString().c_str());
+        return 1;
+      }
+      results.push_back(std::move(batch.tables[i].result));
+    }
+    const auto spans = obs::DrainSpans();
+    if (!obs::WriteMetricsFile(cli.metrics_out,
+                               obs::Registry::Global().snapshot(), &spans)) {
+      std::fprintf(stderr, "failed to write %s\n", cli.metrics_out.c_str());
       return 1;
     }
-    results.push_back(std::move(*res));
+    std::fprintf(stderr, "wrote metrics to %s (%d tables, %.1f ms wall)\n",
+                 cli.metrics_out.c_str(), exec.stats().tables_processed,
+                 exec.stats().wall_ms);
+  } else {
+    for (const auto& name : targets) {
+      auto res = detector.DetectTable(conn.get(), name);
+      if (!res.ok()) {
+        std::fprintf(stderr, "detection failed for %s: %s\n", name.c_str(),
+                     res.status().ToString().c_str());
+        return 1;
+      }
+      results.push_back(std::move(*res));
+    }
   }
 
   if (cli.json) {
