@@ -20,6 +20,7 @@ struct DbMetrics {
   obs::Counter* connect_faults;
   obs::Counter* metadata_faults;
   obs::Counter* scan_faults;
+  obs::Counter* deadline_truncated;
   obs::Histogram* query_ms;
   obs::Histogram* connect_ms;
 
@@ -35,6 +36,8 @@ struct DbMetrics {
           obs::LabeledName("taste_db_faults_total", "op", "metadata"));
       x.scan_faults = r.GetCounter(
           obs::LabeledName("taste_db_faults_total", "op", "scan"));
+      x.deadline_truncated =
+          r.GetCounter("taste_db_deadline_truncated_total");
       x.query_ms = r.GetHistogram("taste_db_query_ms");
       x.connect_ms = r.GetHistogram("taste_db_connect_ms");
       return x;
@@ -94,6 +97,28 @@ void SimulatedDatabase::SimulateDelay(double ms) {
     std::this_thread::sleep_for(
         std::chrono::duration<double, std::milli>(ms * cost_.time_scale));
   }
+}
+
+bool SimulatedDatabase::SimulateDelayCapped(double ms,
+                                            const Deadline& deadline,
+                                            double* charged_ms) {
+  if (charged_ms != nullptr) *charged_ms = ms;
+  if (deadline.IsInfinite()) {
+    SimulateDelay(ms);
+    return false;
+  }
+  const double remaining = deadline.RemainingMillis();
+  if (ms <= remaining) {
+    SimulateDelay(ms);
+    return false;
+  }
+  // The caller's budget runs out mid-wait: burn only what is left. The
+  // ledger charges the truncated wait — that is the I/O time the service
+  // actually spent before giving up.
+  if (charged_ms != nullptr) *charged_ms = remaining;
+  SimulateDelay(remaining);
+  if (obs::MetricsEnabled()) DbMetrics::Get().deadline_truncated->Inc();
+  return true;
 }
 
 Status SimulatedDatabase::CreateTable(const data::TableSpec& spec) {
@@ -213,14 +238,15 @@ FaultInjector* SimulatedDatabase::fault_injector() const {
 }
 
 FaultDecision SimulatedDatabase::DecideFault(DbOp op,
-                                             const std::string& table) {
+                                             const std::string& table,
+                                             double remaining_deadline_ms) {
   std::shared_ptr<FaultInjector> injector;
   {
     std::lock_guard<std::mutex> lock(fault_mu_);
     injector = fault_injector_;
   }
   if (injector == nullptr) return FaultDecision();
-  return injector->Decide(op, table, VirtualNowMs());
+  return injector->Decide(op, table, VirtualNowMs(), remaining_deadline_ms);
 }
 
 int64_t SimulatedDatabase::num_tables() const {
@@ -252,11 +278,19 @@ std::vector<std::string> Connection::ListTables() {
 
 Result<TableMetadata> Connection::GetTableMetadata(
     const std::string& table_name) {
-  FaultDecision fault = db_->DecideFault(DbOp::kMetadata, table_name);
+  if (deadline_.Expired()) {
+    // Deadline already gone: refuse before issuing — no query, no wait.
+    return Status::DeadlineExceeded("metadata query not issued: deadline "
+                                    "expired for " + table_name);
+  }
+  FaultDecision fault = db_->DecideFault(DbOp::kMetadata, table_name,
+                                         deadline_.RemainingMillis());
   if (!fault.status.ok()) {
     db_->ledger_.AddQuery();
-    db_->SimulateDelay(db_->cost_.query_ms + fault.extra_latency_ms);
-    ObserveQuery(db_->cost_.query_ms + fault.extra_latency_ms);
+    double charged = 0.0;
+    db_->SimulateDelayCapped(db_->cost_.query_ms + fault.extra_latency_ms,
+                             deadline_, &charged);
+    ObserveQuery(charged);
     ObserveFault(&DbMetrics::metadata_faults);
     return fault.status;
   }
@@ -278,8 +312,13 @@ Result<TableMetadata> Connection::GetTableMetadata(
       db_->cost_.per_metadata_col_ms *
           static_cast<double>(stored->metadata.columns.size()) +
       db_->cost_.per_histogram_col_ms * static_cast<double>(hist_cols);
-  db_->SimulateDelay(ms);
-  ObserveQuery(ms);
+  double charged = ms;
+  const bool truncated = db_->SimulateDelayCapped(ms, deadline_, &charged);
+  ObserveQuery(charged);
+  if (truncated) {
+    return Status::DeadlineExceeded("metadata transfer for " + table_name +
+                                    " exceeded the caller deadline");
+  }
   return stored->metadata;
 }
 
@@ -289,11 +328,18 @@ Result<std::vector<std::vector<std::string>>> Connection::ScanColumns(
   if (options.limit_rows <= 0) {
     return Status::Invalid("ScanOptions.limit_rows must be positive");
   }
-  FaultDecision fault = db_->DecideFault(DbOp::kScan, table_name);
+  if (deadline_.Expired()) {
+    return Status::DeadlineExceeded("scan not issued: deadline expired for " +
+                                    table_name);
+  }
+  FaultDecision fault = db_->DecideFault(DbOp::kScan, table_name,
+                                         deadline_.RemainingMillis());
   if (!fault.status.ok()) {
     db_->ledger_.AddQuery();
-    db_->SimulateDelay(db_->cost_.query_ms + fault.extra_latency_ms);
-    ObserveQuery(db_->cost_.query_ms + fault.extra_latency_ms);
+    double charged = 0.0;
+    db_->SimulateDelayCapped(db_->cost_.query_ms + fault.extra_latency_ms,
+                             deadline_, &charged);
+    ObserveQuery(charged);
     ObserveFault(&DbMetrics::scan_faults);
     return fault.status;
   }
@@ -360,8 +406,15 @@ Result<std::vector<std::vector<std::string>>> Connection::ScanColumns(
   double ms = db_->cost_.query_ms +
               db_->cost_.per_cell_ms * static_cast<double>(cells);
   if (options.random_sample) ms *= db_->cost_.random_sample_factor;
-  db_->SimulateDelay(ms + fault.extra_latency_ms);
-  ObserveQuery(ms + fault.extra_latency_ms);
+  double charged = 0.0;
+  const bool truncated =
+      db_->SimulateDelayCapped(ms + fault.extra_latency_ms, deadline_,
+                               &charged);
+  ObserveQuery(charged);
+  if (truncated) {
+    return Status::DeadlineExceeded("scan of " + table_name +
+                                    " exceeded the caller deadline");
+  }
   return out;
 }
 

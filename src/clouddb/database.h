@@ -16,6 +16,7 @@
 #ifndef TASTE_CLOUDDB_DATABASE_H_
 #define TASTE_CLOUDDB_DATABASE_H_
 
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -23,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "clouddb/fault_injector.h"
@@ -169,10 +171,19 @@ class SimulatedDatabase {
 
   /// Accounts `ms` of I/O time and blocks for time_scale * ms.
   void SimulateDelay(double ms);
+  /// Like SimulateDelay, but never waits past `deadline`: charges and
+  /// blocks for min(ms, remaining), written to `charged_ms` when non-null.
+  /// Returns true when the wait was cut short — the operation's payload
+  /// never arrived and the caller must surface DeadlineExceeded.
+  bool SimulateDelayCapped(double ms, const Deadline& deadline,
+                           double* charged_ms = nullptr);
   const StoredTable* FindTable(const std::string& name) const;
   /// Consults the injector for `op` on `table`; kNone decision when no
-  /// injector is installed.
-  FaultDecision DecideFault(DbOp op, const std::string& table);
+  /// injector is installed. `remaining_deadline_ms` caps injected waits
+  /// (+inf = no deadline).
+  FaultDecision DecideFault(
+      DbOp op, const std::string& table,
+      double remaining_deadline_ms = std::numeric_limits<double>::infinity());
 
   CostModel cost_;
   IoLedger ledger_;
@@ -187,6 +198,14 @@ class SimulatedDatabase {
 class Connection {
  public:
   ~Connection() = default;
+
+  /// Installs the caller's latency budget for subsequent queries on this
+  /// connection (a pooled connection gets the acquiring table's deadline).
+  /// An expired deadline makes every query return DeadlineExceeded before
+  /// issuing; a live one caps each simulated wait at the remaining budget.
+  /// The default (infinite) restores the historical behaviour exactly.
+  void SetDeadline(const Deadline& deadline) { deadline_ = deadline; }
+  const Deadline& deadline() const { return deadline_; }
 
   /// Table names, sorted.
   std::vector<std::string> ListTables();
@@ -206,6 +225,7 @@ class Connection {
   explicit Connection(SimulatedDatabase* db);
 
   SimulatedDatabase* db_;
+  Deadline deadline_;  // infinite unless SetDeadline() was called
 };
 
 }  // namespace taste::clouddb

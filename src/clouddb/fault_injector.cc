@@ -99,45 +99,57 @@ FaultDecision FaultInjector::Apply(FaultKind kind, DbOp op,
 }
 
 FaultDecision FaultInjector::Decide(DbOp op, const std::string& table,
-                                    double virtual_now_ms) {
+                                    double virtual_now_ms,
+                                    double remaining_deadline_ms) {
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.decisions;
   uint64_t attempt = ++attempts_[{static_cast<int>(op), table}];
 
-  // 1. Hard-failed tables (permanent).
-  if (op == DbOp::kScan || config_.unavailable_all_ops) {
-    for (const auto& t : config_.unavailable_tables) {
-      if (t == table) return Apply(FaultKind::kTableUnavailable, op, table);
+  FaultDecision d = [&] {
+    // 1. Hard-failed tables (permanent).
+    if (op == DbOp::kScan || config_.unavailable_all_ops) {
+      for (const auto& t : config_.unavailable_tables) {
+        if (t == table) return Apply(FaultKind::kTableUnavailable, op, table);
+      }
     }
+    // 2. Scripted windows on the virtual clock (always fire while active).
+    for (const auto& w : config_.windows) {
+      if (w.op != op) continue;
+      if (!w.table.empty() && w.table != table) continue;
+      if (virtual_now_ms < w.begin_ms || virtual_now_ms >= w.end_ms) continue;
+      return Apply(w.kind, op, table);
+    }
+    // 3. Probabilistic faults, each from an independent deterministic draw.
+    if (op == DbOp::kConnect && config_.connect_failure_prob > 0.0 &&
+        UniformFor(op, table, attempt, kSaltConnect) <
+            config_.connect_failure_prob) {
+      return Apply(FaultKind::kConnectFailure, op, table);
+    }
+    if (op != DbOp::kConnect && config_.timeout_prob > 0.0 &&
+        UniformFor(op, table, attempt, kSaltTimeout) < config_.timeout_prob) {
+      return Apply(FaultKind::kTimeout, op, table);
+    }
+    if (op == DbOp::kScan && config_.partial_scan_prob > 0.0 &&
+        UniformFor(op, table, attempt, kSaltPartial) <
+            config_.partial_scan_prob) {
+      return Apply(FaultKind::kPartialScan, op, table);
+    }
+    if (config_.latency_spike_prob > 0.0 &&
+        UniformFor(op, table, attempt, kSaltSpike) <
+            config_.latency_spike_prob) {
+      return Apply(FaultKind::kLatencySpike, op, table);
+    }
+    return Apply(FaultKind::kNone, op, table);
+  }();
+  // A caller on a deadline must not burn a wait longer than its remaining
+  // budget: a timed-out query that would sit out timeout_wait_ms is cut
+  // short at the deadline. The decision itself is already made above, so
+  // the cap never perturbs the deterministic fault sequence.
+  if (d.extra_latency_ms > remaining_deadline_ms) {
+    d.extra_latency_ms = std::max(0.0, remaining_deadline_ms);
+    ++stats_.deadline_truncated;
   }
-  // 2. Scripted windows on the virtual clock (always fire while active).
-  for (const auto& w : config_.windows) {
-    if (w.op != op) continue;
-    if (!w.table.empty() && w.table != table) continue;
-    if (virtual_now_ms < w.begin_ms || virtual_now_ms >= w.end_ms) continue;
-    return Apply(w.kind, op, table);
-  }
-  // 3. Probabilistic faults, each from an independent deterministic draw.
-  if (op == DbOp::kConnect && config_.connect_failure_prob > 0.0 &&
-      UniformFor(op, table, attempt, kSaltConnect) <
-          config_.connect_failure_prob) {
-    return Apply(FaultKind::kConnectFailure, op, table);
-  }
-  if (op != DbOp::kConnect && config_.timeout_prob > 0.0 &&
-      UniformFor(op, table, attempt, kSaltTimeout) < config_.timeout_prob) {
-    return Apply(FaultKind::kTimeout, op, table);
-  }
-  if (op == DbOp::kScan && config_.partial_scan_prob > 0.0 &&
-      UniformFor(op, table, attempt, kSaltPartial) <
-          config_.partial_scan_prob) {
-    return Apply(FaultKind::kPartialScan, op, table);
-  }
-  if (config_.latency_spike_prob > 0.0 &&
-      UniformFor(op, table, attempt, kSaltSpike) <
-          config_.latency_spike_prob) {
-    return Apply(FaultKind::kLatencySpike, op, table);
-  }
-  return Apply(FaultKind::kNone, op, table);
+  return d;
 }
 
 FaultInjector::Stats FaultInjector::stats() const {

@@ -24,6 +24,7 @@
 #define TASTE_CLOUDDB_FAULT_INJECTOR_H_
 
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <mutex>
 #include <string>
@@ -105,6 +106,10 @@ class FaultInjector {
     int64_t latency_spikes = 0;
     int64_t partial_scans = 0;
     int64_t unavailable_hits = 0;
+    /// Decisions whose injected extra latency was clipped because the
+    /// caller's remaining deadline was shorter than the fault's wait (a
+    /// timed-out call must not burn budget the caller no longer has).
+    int64_t deadline_truncated = 0;
     int64_t faults() const {
       return connect_failures + timeouts + latency_spikes + partial_scans +
              unavailable_hits;
@@ -116,9 +121,15 @@ class FaultInjector {
   /// Decides the fate of one operation. `virtual_now_ms` is the database's
   /// accumulated simulated I/O time (drives scripted windows). Increments
   /// the per-(op, table) attempt counter, so repeated calls — retries —
-  /// see fresh, still-deterministic draws.
-  FaultDecision Decide(DbOp op, const std::string& table,
-                       double virtual_now_ms);
+  /// see fresh, still-deterministic draws. `remaining_deadline_ms` is the
+  /// caller's remaining latency budget (+inf = none): injected extra
+  /// latency (timeout waits, spikes) is capped at it, and each capped
+  /// decision counts once toward Stats::deadline_truncated. The fault
+  /// *choice* never depends on the deadline — only the burned wait does —
+  /// so deadline-free replays stay bit-identical.
+  FaultDecision Decide(
+      DbOp op, const std::string& table, double virtual_now_ms,
+      double remaining_deadline_ms = std::numeric_limits<double>::infinity());
 
   Stats stats() const;
   void ResetStats();

@@ -1,0 +1,132 @@
+// Deadline propagation and cooperative cancellation for the serving path.
+//
+// A detection request arriving at a cloud service carries a latency budget;
+// work that outlives the budget is pure waste — it holds a worker, a
+// database connection, and memory that a fresh request could use (the
+// overload-collapse failure mode DESIGN.md §8 rules out). This header
+// provides the two primitives every serving layer shares:
+//
+//   * Deadline     — an absolute steady-clock time point with Remaining() /
+//                    Expired(). Default-constructed it is infinite (no
+//                    budget), so threading a Deadline through a layer is
+//                    zero-cost for callers that never set one.
+//   * CancelToken  — a shared cancellation flag + a Deadline + an optional
+//                    parent token. Cancelled() is true when the flag is
+//                    set, the deadline has passed, or any ancestor is
+//                    cancelled, so a batch-level token fans out to
+//                    per-table tokens without copying state.
+//
+// Both are passed by raw pointer through the stage APIs (nullptr = never
+// cancelled) and checked cooperatively: the database caps simulated waits
+// at Remaining(), retry loops stop retrying, and the ADTD forward loop
+// checks between encoder layers. Nothing here throws or aborts — expiry
+// surfaces as Status::DeadlineExceeded / Status::Cancelled.
+
+#ifndef TASTE_COMMON_DEADLINE_H_
+#define TASTE_COMMON_DEADLINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <string>
+
+#include "common/status.h"
+
+namespace taste {
+
+/// An absolute point in time work must finish by. Infinite by default.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// No deadline: Remaining() is +inf, Expired() never true.
+  Deadline() = default;
+
+  static Deadline Infinite() { return Deadline(); }
+
+  /// A deadline `ms` from now. Non-positive `ms` yields a deadline that is
+  /// already expired — the deterministic "budget exhausted before work
+  /// started" hook the tests and the chaos harness rely on.
+  static Deadline AfterMillis(double ms) {
+    Deadline d;
+    d.infinite_ = false;
+    d.at_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double, std::milli>(ms));
+    return d;
+  }
+
+  bool IsInfinite() const { return infinite_; }
+
+  /// Milliseconds until expiry, clamped at 0; +inf when infinite.
+  double RemainingMillis() const {
+    if (infinite_) return std::numeric_limits<double>::infinity();
+    const double ms =
+        std::chrono::duration<double, std::milli>(at_ - Clock::now()).count();
+    return ms > 0.0 ? ms : 0.0;
+  }
+
+  bool Expired() const {
+    return !infinite_ && Clock::now() >= at_;
+  }
+
+ private:
+  bool infinite_ = true;
+  Clock::time_point at_{};
+};
+
+/// Shared cancellation state: an explicit flag, a deadline, and an optional
+/// parent. Thread-safe; typically one per table (child) hanging off one per
+/// batch (parent). Checked via raw pointer — nullptr means "never
+/// cancelled" and costs nothing.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  explicit CancelToken(Deadline deadline, const CancelToken* parent = nullptr)
+      : deadline_(deadline), parent_(parent) {}
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests explicit cancellation (client disconnect, shutdown).
+  void RequestCancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// True when explicitly cancelled (here or on any ancestor), ignoring
+  /// deadlines.
+  bool CancelRequested() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    return parent_ != nullptr && parent_->CancelRequested();
+  }
+
+  /// True when work under this token should stop: explicit cancellation,
+  /// expired deadline, or a cancelled ancestor.
+  bool Cancelled() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    if (deadline_.Expired()) return true;
+    return parent_ != nullptr && parent_->Cancelled();
+  }
+
+  const Deadline& deadline() const { return deadline_; }
+
+  /// The Status a cancelled operation should surface: kCancelled for an
+  /// explicit request, kDeadlineExceeded for an expired budget. Call only
+  /// on the slow path (allocates the message).
+  Status ToStatus(const std::string& what) const {
+    if (CancelRequested()) return Status::Cancelled("cancelled: " + what);
+    return Status::DeadlineExceeded("deadline exceeded: " + what);
+  }
+
+ private:
+  Deadline deadline_;
+  const CancelToken* parent_ = nullptr;
+  std::atomic<bool> cancelled_{false};
+};
+
+/// True when `cancel` is set and fired — the one-line guard the stage
+/// implementations use.
+inline bool CancelledNow(const CancelToken* cancel) {
+  return cancel != nullptr && cancel->Cancelled();
+}
+
+}  // namespace taste
+
+#endif  // TASTE_COMMON_DEADLINE_H_

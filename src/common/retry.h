@@ -34,6 +34,7 @@
 #include <string>
 #include <utility>
 
+#include "common/deadline.h"
 #include "common/rng.h"
 #include "common/status.h"
 
@@ -106,10 +107,15 @@ const Status& StatusOf(const Result<T>& r) {
 /// errors are retried with backoff realized through `sleep_ms` (pass {} or
 /// a no-op to keep tests instant; the clouddb layer passes its virtual-clock
 /// sleeper). Returns the last outcome; fills `obs` when non-null.
+///
+/// When `cancel` is set, a fired token stops the retry loop: the last
+/// error is returned immediately (counted as a deadline miss) instead of
+/// burning further attempts on a request whose budget is already gone.
 template <typename Fn>
 auto RetryCall(const RetryPolicy& policy, uint64_t salt,
                const std::function<void(double)>& sleep_ms, Fn&& fn,
-               RetryObservation* obs = nullptr) -> decltype(fn()) {
+               RetryObservation* obs = nullptr,
+               const CancelToken* cancel = nullptr) -> decltype(fn()) {
   RetryObservation local;
   RetryObservation* o = obs != nullptr ? obs : &local;
   *o = RetryObservation();
@@ -119,6 +125,10 @@ auto RetryCall(const RetryPolicy& policy, uint64_t salt,
     auto outcome = fn();
     const Status& st = internal::StatusOf(outcome);
     if (st.ok() || !IsTransient(st) || attempt >= max_attempts) {
+      return outcome;
+    }
+    if (CancelledNow(cancel)) {
+      o->deadline_miss = true;
       return outcome;
     }
     double backoff = policy.BackoffMillis(attempt + 1, salt);

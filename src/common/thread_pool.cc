@@ -4,7 +4,8 @@
 
 namespace taste {
 
-ThreadPool::ThreadPool(size_t num_threads) {
+ThreadPool::ThreadPool(size_t num_threads, size_t max_extra_queued)
+    : max_extra_queued_(max_extra_queued) {
   if (num_threads == 0) num_threads = 1;
   threads_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
@@ -12,14 +13,7 @@ ThreadPool::ThreadPool(size_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stop_ = true;
-  }
-  cv_.notify_all();
-  for (auto& t : threads_) t.join();
-}
+ThreadPool::~ThreadPool() { Shutdown(/*drain_pending=*/true); }
 
 std::future<void> ThreadPool::Submit(std::function<void()> task) {
   TASTE_CHECK(task != nullptr);
@@ -29,6 +23,25 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     TASTE_CHECK_MSG(!stop_, "Submit after shutdown");
+    queue_.push_back(std::move(item));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+std::optional<std::future<void>> ThreadPool::TrySubmit(
+    std::function<void()> task) {
+  TASTE_CHECK(task != nullptr);
+  Item item;
+  item.fn = std::move(task);
+  std::future<void> fut = item.done.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return std::nullopt;
+    if (max_extra_queued_ != std::numeric_limits<size_t>::max() &&
+        queue_.size() + running_ >= threads_.size() + max_extra_queued_) {
+      return std::nullopt;
+    }
     queue_.push_back(std::move(item));
   }
   cv_.notify_one();
@@ -48,6 +61,29 @@ size_t ThreadPool::InFlight() const {
 void ThreadPool::WaitIdle() {
   std::unique_lock<std::mutex> lock(mu_);
   idle_cv_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+}
+
+void ThreadPool::Shutdown(bool drain_pending) {
+  std::deque<Item> discarded;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    if (!drain_pending) {
+      discarded.swap(queue_);
+      if (running_ == 0) idle_cv_.notify_all();
+    }
+  }
+  cv_.notify_all();
+  {
+    std::lock_guard<std::mutex> join_lock(join_mu_);
+    if (!joined_) {
+      for (auto& t : threads_) t.join();
+      joined_ = true;
+    }
+  }
+  // `discarded` dies here: the promises of never-run tasks are abandoned,
+  // so their futures observe broken_promise instead of hanging — and the
+  // process does not abort.
 }
 
 void ThreadPool::SetTaskCompleteCallback(std::function<void()> callback) {

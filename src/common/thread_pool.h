@@ -5,15 +5,25 @@
 // tests that exercise concurrent behaviour. Tasks are arbitrary
 // std::function<void()>; completion can be awaited per-task via the returned
 // future or globally via WaitIdle().
+//
+// Admission control: TrySubmit() refuses work past a bounded in-flight
+// budget (size() + max_extra_queued) instead of queueing without limit, so
+// overload surfaces at the submission edge where the caller can shed load
+// (DESIGN.md §8). Shutdown(drain_pending) tears the pool down gracefully:
+// either draining the queue or discarding it, then joining — teardown under
+// cancellation never aborts the process.
 
 #ifndef TASTE_COMMON_THREAD_POOL_H_
 #define TASTE_COMMON_THREAD_POOL_H_
 
 #include <condition_variable>
+#include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
+#include <limits>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -22,15 +32,29 @@ namespace taste {
 /// A simple fixed-size thread pool.
 class ThreadPool {
  public:
-  /// Starts `num_threads` workers (at least 1).
-  explicit ThreadPool(size_t num_threads);
+  /// Starts `num_threads` workers (at least 1). `max_extra_queued` bounds
+  /// how far TrySubmit() may overcommit beyond the worker count: TrySubmit
+  /// refuses once (queued + running) >= num_threads + max_extra_queued.
+  /// The default (unbounded) keeps Submit/TrySubmit equivalent for legacy
+  /// callers; the pipeline executor passes 0 so its dispatch gate is
+  /// exactly "a worker slot is free".
+  explicit ThreadPool(size_t num_threads,
+                      size_t max_extra_queued =
+                          std::numeric_limits<size_t>::max());
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task; returns a future completed when the task finishes.
+  /// Unbounded — never refuses (asserts the pool is not shut down).
   std::future<void> Submit(std::function<void()> task);
+
+  /// Bounded admission: enqueues only when in-flight work is below
+  /// size() + max_extra_queued and the pool is not shut down; otherwise
+  /// returns nullopt and the task is NOT queued. The caller decides
+  /// whether to shed, retry, or block.
+  std::optional<std::future<void>> TrySubmit(std::function<void()> task);
 
   /// True when every worker is busy AND no free capacity remains, i.e.
   /// (queued + running) >= size(). The pipeline scheduler uses this as the
@@ -45,6 +69,15 @@ class ThreadPool {
 
   /// Blocks until all submitted tasks have completed.
   void WaitIdle();
+
+  /// Stops the pool and joins every worker. With `drain_pending` (the
+  /// default, also what the destructor does) queued tasks still run to
+  /// completion first; without it the queue is discarded — the promises of
+  /// discarded tasks are abandoned (their futures see broken_promise), but
+  /// the process never aborts. Idempotent; safe to call concurrently with
+  /// completions. Submit/TrySubmit after Shutdown: Submit asserts,
+  /// TrySubmit returns nullopt.
+  void Shutdown(bool drain_pending = true);
 
   /// Registers a callback invoked after EVERY task completes and its slot
   /// has been released (i.e. Full() can have become false). Called with no
@@ -61,12 +94,15 @@ class ThreadPool {
 
   void WorkerLoop();
 
+  const size_t max_extra_queued_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::condition_variable idle_cv_;
   std::deque<Item> queue_;
   size_t running_ = 0;
   bool stop_ = false;
+  std::mutex join_mu_;  // serializes Shutdown()'s join phase
+  bool joined_ = false;  // guarded by join_mu_
   std::function<void()> task_complete_callback_;
   std::vector<std::thread> threads_;
 };

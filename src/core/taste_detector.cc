@@ -65,6 +65,9 @@ Status TasteDetector::PrepareP1(clouddb::Connection* conn,
   TASTE_SPAN("detector.p1_prep");
   TASTE_CHECK(conn != nullptr && job != nullptr);
   job->table_name = table_name;
+  if (CancelledNow(job->cancel)) {
+    return job->cancel->ToStatus("P1 prep for " + table_name);
+  }
   const ResilienceOptions& rz = options_.resilience;
   clouddb::TableMetadata meta;
   if (!rz.enabled) {
@@ -78,7 +81,8 @@ Status TasteDetector::PrepareP1(clouddb::Connection* conn,
     RetryObservation obs;
     auto fetched = RetryCall(
         rz.retry, TableSalt(table_name, /*extra=*/1), /*sleep_ms=*/{},
-        [&] { return conn->GetTableMetadata(table_name); }, &obs);
+        [&] { return conn->GetTableMetadata(table_name); }, &obs,
+        job->cancel);
     job->result.retries += obs.retries;
     job->result.deadline_misses += obs.deadline_miss ? 1 : 0;
     if (!fetched.ok()) {
@@ -135,11 +139,24 @@ Status TasteDetector::InferP1(Job* job, tensor::ExecContext* ctx) const {
     return Status::Invalid("InferP1 before PrepareP1");
   }
   tensor::ScopedExecContext scope(ctx);
+  // Install the table's token on whichever context is bound (the ctx
+  // argument or an outer binding) so the encoder loop can stop between
+  // layers when the budget fires mid-forward.
+  tensor::ScopedCancelToken cancel_scope(tensor::ExecContext::Current(),
+                                         job->cancel);
   tensor::NoGradGuard no_grad;
   job->result.table_name = job->table_name;
   for (size_t i = 0; i < job->chunks.size(); ++i) {
+    if (CancelledNow(job->cancel)) {
+      return job->cancel->ToStatus("P1 inference for " + job->table_name);
+    }
     const EncodedMetadata& chunk = job->chunks[i];
     AdtdModel::MetadataEncoding enc = model_->ForwardMetadata(chunk);
+    if (CancelledNow(job->cancel)) {
+      // The forward may have bailed between layers: the encoding is
+      // (potentially) partial — never classify or cache it.
+      return job->cancel->ToStatus("P1 inference for " + job->table_name);
+    }
     std::vector<float> probs = tensor::SigmoidValues(enc.logits);
     job->p1_probs.push_back(probs);
     ClassifyP1Chunk(chunk, probs, job);
@@ -185,6 +202,9 @@ Status TasteDetector::PrepareP2(clouddb::Connection* conn, Job* job) const {
   TASTE_SPAN("detector.p2_prep");
   TASTE_CHECK(conn != nullptr && job != nullptr);
   if (!job->needs_p2) return Status::OK();
+  if (CancelledNow(job->cancel)) {
+    return job->cancel->ToStatus("P2 prep for " + job->table_name);
+  }
   TASTE_CHECK(job->uncertain_columns.size() == job->chunks.size());
   job->contents.resize(job->chunks.size());
   const ResilienceOptions& rz = options_.resilience;
@@ -227,7 +247,7 @@ Status TasteDetector::PrepareP2(clouddb::Connection* conn, Job* job) const {
       }
       RetryObservation obs;
       auto r = RetryCall(rz.retry, TableSalt(job->table_name, 2 + i),
-                         /*sleep_ms=*/{}, scan, &obs);
+                         /*sleep_ms=*/{}, scan, &obs, job->cancel);
       job->result.retries += obs.retries;
       job->result.deadline_misses += obs.deadline_miss ? 1 : 0;
       if (breaker != nullptr) {
@@ -275,6 +295,8 @@ Status TasteDetector::InferP2(Job* job, tensor::ExecContext* ctx) const {
     return Status::Invalid("InferP2 before PrepareP2");
   }
   tensor::ScopedExecContext scope(ctx);
+  tensor::ScopedCancelToken cancel_scope(tensor::ExecContext::Current(),
+                                         job->cancel);
   tensor::NoGradGuard no_grad;
   const int num_types = model_->config().num_types;
   int result_offset = 0;
@@ -297,7 +319,19 @@ Status TasteDetector::InferP2(Job* job, tensor::ExecContext* ctx) const {
       if (!have) enc = model_->ForwardMetadata(chunk);
       for (const EncodedContent& content : job->contents[i]) {
         if (content.scanned.empty()) continue;
+        if (CancelledNow(job->cancel)) {
+          // Columns already decided by earlier content batches keep their
+          // P2 predictions; the executor degrades the rest.
+          return job->cancel->ToStatus("P2 inference for " +
+                                       job->table_name);
+        }
         tensor::Tensor logits = model_->ForwardContent(content, chunk, enc);
+        if (CancelledNow(job->cancel)) {
+          // The cross-attention forward may have bailed between layers —
+          // discard the (potentially partial) logits.
+          return job->cancel->ToStatus("P2 inference for " +
+                                       job->table_name);
+        }
         std::vector<float> probs = tensor::SigmoidValues(logits);
         // A^c = A2^c for uncertain columns.
         for (size_t k = 0; k < content.scanned.size(); ++k) {
@@ -323,15 +357,69 @@ Status TasteDetector::InferP2(Job* job, tensor::ExecContext* ctx) const {
   return Status::OK();
 }
 
+int TasteDetector::DegradeRemainingToMetadataOnly(Job* job) const {
+  TASTE_CHECK(job != nullptr);
+  if (!P1Complete(*job)) return 0;
+  const double threshold = options_.resilience.degraded_admit_threshold;
+  int degraded = 0;
+  int result_offset = 0;
+  for (size_t i = 0; i < job->chunks.size(); ++i) {
+    for (int c : job->uncertain_columns[i]) {
+      ColumnPrediction& pred =
+          job->result.columns[static_cast<size_t>(result_offset + c)];
+      if (pred.went_to_p2) continue;  // P2 already decided this column
+      if (pred.provenance != ResultProvenance::kFull) continue;  // degraded
+      pred.provenance = ResultProvenance::kDegradedMetadataOnly;
+      if (threshold > 0.0) {
+        pred.admitted_types.clear();
+        for (size_t s = 0; s < pred.probabilities.size(); ++s) {
+          if (pred.probabilities[s] >= threshold) {
+            pred.admitted_types.push_back(static_cast<int>(s));
+          }
+        }
+      }
+      ++job->result.degraded_columns;
+      ++degraded;
+    }
+    result_offset += job->chunks[i].num_columns;
+  }
+  return degraded;
+}
+
 Result<TableDetectionResult> TasteDetector::DetectTable(
     clouddb::Connection* conn, const std::string& table_name,
-    tensor::ExecContext* ctx) const {
+    tensor::ExecContext* ctx, const CancelToken* cancel) const {
   Job job;
+  job.cancel = cancel;
   TASTE_RETURN_IF_ERROR(PrepareP1(conn, table_name, &job));
   TASTE_RETURN_IF_ERROR(InferP1(&job, ctx));
   if (job.needs_p2) {
-    TASTE_RETURN_IF_ERROR(PrepareP2(conn, &job));
-    TASTE_RETURN_IF_ERROR(InferP2(&job, ctx));
+    // Once P1 has classified every column, an expired budget degrades the
+    // still-uncertain columns to the metadata-only path instead of failing
+    // the table — the sequential-mode mirror of the pipeline's routing.
+    auto expired_after_p1 = [&] {
+      return CancelledNow(cancel) && P1Complete(job);
+    };
+    if (expired_after_p1()) {
+      DegradeRemainingToMetadataOnly(&job);
+      return job.result;
+    }
+    Status s = PrepareP2(conn, &job);
+    if (!s.ok()) {
+      if (expired_after_p1()) {
+        DegradeRemainingToMetadataOnly(&job);
+        return job.result;
+      }
+      return s;
+    }
+    s = InferP2(&job, ctx);
+    if (!s.ok()) {
+      if (expired_after_p1()) {
+        DegradeRemainingToMetadataOnly(&job);
+        return job.result;
+      }
+      return s;
+    }
   }
   return job.result;
 }

@@ -90,6 +90,13 @@ class TasteDetector {
   /// Mutable state of one table's detection as it moves through stages.
   struct Job {
     std::string table_name;
+    /// The table's latency budget / cancellation signal (not owned;
+    /// nullptr = none). Stage entry points refuse to start work on a
+    /// fired token, retry loops stop retrying, and the inference stages
+    /// install it on their ExecContext so the ADTD forward can stop
+    /// between encoder layers. The pipeline executor re-sets this after
+    /// any job reset (P1-prep retries restart from a clean Job).
+    const CancelToken* cancel = nullptr;
     // After P1 data preparation:
     std::vector<model::EncodedMetadata> chunks;
     // After P1 inference (entry i matches chunks[i]):
@@ -126,12 +133,32 @@ class TasteDetector {
   /// final A^c merge.
   Status InferP2(Job* job, tensor::ExecContext* ctx = nullptr) const;
 
+  /// Deadline-expiry degrade: serves every uncertain column that has no P2
+  /// prediction yet from its P1 metadata-only probabilities (provenance
+  /// kDegradedMetadataOnly, same admission rule as the scan-failure
+  /// degrade). Requires P1 inference to have classified every chunk; call
+  /// when a table's budget expires after P1 but before P2 finished.
+  /// Columns P2 already decided keep their content-based prediction.
+  /// Returns the number of columns degraded.
+  int DegradeRemainingToMetadataOnly(Job* job) const;
+
+  /// True when P1 inference has classified every chunk of `job` — the
+  /// precondition for DegradeRemainingToMetadataOnly (and the pipeline's
+  /// "degrade instead of expire" routing).
+  static bool P1Complete(const Job& job) {
+    return !job.chunks.empty() && job.p1_probs.size() == job.chunks.size();
+  }
+
   // -- Convenience -----------------------------------------------------------
 
-  /// Runs all four stages sequentially for one table.
+  /// Runs all four stages sequentially for one table. With `cancel` set,
+  /// expiry before P1 inference finished surfaces as a non-OK Status;
+  /// expiry after P1 degrades the remaining uncertain columns to the
+  /// metadata-only path and returns the (degraded) result with OK.
   Result<TableDetectionResult> DetectTable(
       clouddb::Connection* conn, const std::string& table_name,
-      tensor::ExecContext* ctx = nullptr) const;
+      tensor::ExecContext* ctx = nullptr,
+      const CancelToken* cancel = nullptr) const;
 
   const TasteOptions& options() const { return options_; }
   model::LatentCache& cache() const { return *cache_; }

@@ -79,6 +79,14 @@ AdtdModel::MetadataEncoding AdtdModel::ForwardMetadata(
   Tensor h = Embed(input.token_ids);
   out.layer_latents.push_back(h);
   for (int64_t i = 0; i < encoder_.num_layers(); ++i) {
+    // Cooperative cancellation: a table whose deadline fired mid-forward
+    // stops burning compute between layers. The partial encoding is
+    // discarded by the caller (the detector re-checks the token and never
+    // classifies or caches it).
+    if (tensor::ExecContext* c = tensor::ExecContext::Current();
+        c != nullptr && c->cancelled()) {
+      break;
+    }
     h = encoder_.block(i).Forward(h, &input.attention_mask);
     out.layer_latents.push_back(h);
   }
@@ -98,6 +106,12 @@ Tensor AdtdModel::ForwardContent(
               encoder_.num_layers() + 1);
   Tensor c = Embed(content.token_ids);
   for (int64_t i = 0; i < encoder_.num_layers(); ++i) {
+    // Cooperative cancellation between layers, as in ForwardMetadata; the
+    // caller discards the partial result after re-checking its token.
+    if (tensor::ExecContext* ec = tensor::ExecContext::Current();
+        ec != nullptr && ec->cancelled()) {
+      break;
+    }
     // K = V = Encode_{i-1}^{M} (+) Encode_{i-1}^{D}; Q = Encode_{i-1}^{D}.
     Tensor kv = tensor::ConcatRows(
         {meta_encoding.layer_latents[static_cast<size_t>(i)], c});

@@ -10,7 +10,16 @@ namespace taste::nn {
 
 namespace {
 
-constexpr char kMagic[8] = {'T', 'S', 'T', 'C', 'K', 'P', 'T', '1'};
+// Current format, "TSTCKPT2": magic, u32 format version, payload (u64 param
+// count, then per parameter: u32 name length, name bytes, u32 rank,
+// u64 dims..., float data), and a trailing u32 CRC32 over everything
+// between the magic and the CRC (version + payload). The CRC is verified
+// over the whole buffered file BEFORE any field is parsed, so a corrupt
+// length prefix can never drive a multi-gigabyte allocation or a partial
+// load. Legacy "TSTCKPT1" files (no version, no CRC) are still readable.
+constexpr char kMagicV2[8] = {'T', 'S', 'T', 'C', 'K', 'P', 'T', '2'};
+constexpr char kMagicV1[8] = {'T', 'S', 'T', 'C', 'K', 'P', 'T', '1'};
+constexpr uint32_t kFormatVersion = 2;
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -19,84 +28,213 @@ struct FileCloser {
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
-template <typename T>
-bool WritePod(std::FILE* f, const T& v) {
-  return std::fwrite(&v, sizeof(T), 1, f) == 1;
+/// CRC-32 (IEEE 802.3, the zlib polynomial), table-driven.
+uint32_t Crc32(const uint8_t* data, size_t n) {
+  static const auto table = [] {
+    std::vector<uint32_t> t(256);
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
 }
 
 template <typename T>
-bool ReadPod(std::FILE* f, T* v) {
-  return std::fread(v, sizeof(T), 1, f) == 1;
+void AppendPod(std::vector<uint8_t>* buf, const T& v) {
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(&v);
+  buf->insert(buf->end(), p, p + sizeof(T));
+}
+
+/// Bounds-checked forward reader over a byte buffer.
+class Cursor {
+ public:
+  Cursor(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  template <typename T>
+  bool Read(T* v) {
+    if (size_ - pos_ < sizeof(T)) return false;
+    std::memcpy(v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  bool ReadBytes(void* dst, size_t n) {
+    if (size_ - pos_ < n) return false;
+    std::memcpy(dst, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+/// Parses the shared parameter payload (identical between v1 and v2).
+Result<std::map<std::string, tensor::Tensor>> ParseParams(
+    Cursor* cur, const std::string& path) {
+  uint64_t count = 0;
+  if (!cur->Read(&count)) {
+    return Status::IOError("truncated checkpoint header: " + path);
+  }
+  std::map<std::string, tensor::Tensor> out;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t name_len = 0;
+    if (!cur->Read(&name_len) || cur->remaining() < name_len) {
+      return Status::IOError("truncated parameter name in " + path);
+    }
+    std::string name(name_len, '\0');
+    if (!cur->ReadBytes(name.data(), name_len)) {
+      return Status::IOError("truncated parameter name in " + path);
+    }
+    uint32_t rank = 0;
+    if (!cur->Read(&rank)) {
+      return Status::IOError("truncated rank in " + path);
+    }
+    if (rank > 8) {
+      return Status::Invalid("implausible rank in checkpoint: " + path);
+    }
+    tensor::Shape shape(rank);
+    for (uint32_t d = 0; d < rank; ++d) {
+      uint64_t du = 0;
+      if (!cur->Read(&du)) {
+        return Status::IOError("truncated dims in " + path);
+      }
+      shape[d] = static_cast<int64_t>(du);
+    }
+    const int64_t numel = tensor::NumElements(shape);
+    if (numel < 0 ||
+        cur->remaining() < sizeof(float) * static_cast<size_t>(numel)) {
+      return Status::IOError("truncated tensor data in " + path);
+    }
+    std::vector<float> data(static_cast<size_t>(numel));
+    if (!cur->ReadBytes(data.data(), sizeof(float) * data.size())) {
+      return Status::IOError("truncated tensor data in " + path);
+    }
+    if (out.count(name) != 0) {
+      return Status::Invalid("duplicate parameter name: " + name);
+    }
+    out.emplace(name, tensor::Tensor::FromVector(shape, std::move(data)));
+  }
+  return out;
+}
+
+Result<std::vector<uint8_t>> ReadWholeFile(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return Status::IOError("cannot open for read: " + path);
+  if (std::fseek(f.get(), 0, SEEK_END) != 0) {
+    return Status::IOError("seek failed: " + path);
+  }
+  const long end = std::ftell(f.get());
+  if (end < 0) return Status::IOError("tell failed: " + path);
+  if (std::fseek(f.get(), 0, SEEK_SET) != 0) {
+    return Status::IOError("seek failed: " + path);
+  }
+  std::vector<uint8_t> buf(static_cast<size_t>(end));
+  if (!buf.empty() &&
+      std::fread(buf.data(), 1, buf.size(), f.get()) != buf.size()) {
+    return Status::IOError("read failed: " + path);
+  }
+  return buf;
 }
 
 }  // namespace
 
 Status SaveCheckpoint(const Module& module, const std::string& path) {
-  FilePtr f(std::fopen(path.c_str(), "wb"));
-  if (!f) return Status::IOError("cannot open for write: " + path);
+  // Serialize to memory first: the CRC covers version + payload, and the
+  // bytes hit disk through a temp file renamed into place, so a crash or
+  // full disk mid-write can never leave a half-written file at `path`.
   auto params = module.NamedParameters();
-  if (std::fwrite(kMagic, 1, 8, f.get()) != 8) {
-    return Status::IOError("write failed: " + path);
-  }
-  uint64_t count = params.size();
-  if (!WritePod(f.get(), count)) return Status::IOError("write failed");
+  std::vector<uint8_t> body;  // version + payload (the CRC-covered bytes)
+  AppendPod(&body, kFormatVersion);
+  AppendPod(&body, static_cast<uint64_t>(params.size()));
   for (const auto& [name, p] : params) {
-    uint32_t name_len = static_cast<uint32_t>(name.size());
-    if (!WritePod(f.get(), name_len)) return Status::IOError("write failed");
-    if (std::fwrite(name.data(), 1, name_len, f.get()) != name_len) {
-      return Status::IOError("write failed");
-    }
-    uint32_t rank = static_cast<uint32_t>(p.shape().size());
-    if (!WritePod(f.get(), rank)) return Status::IOError("write failed");
+    AppendPod(&body, static_cast<uint32_t>(name.size()));
+    body.insert(body.end(), name.begin(), name.end());
+    AppendPod(&body, static_cast<uint32_t>(p.shape().size()));
     for (int64_t d : p.shape()) {
-      uint64_t du = static_cast<uint64_t>(d);
-      if (!WritePod(f.get(), du)) return Status::IOError("write failed");
+      AppendPod(&body, static_cast<uint64_t>(d));
     }
-    size_t n = static_cast<size_t>(p.numel());
-    if (std::fwrite(p.data(), sizeof(float), n, f.get()) != n) {
-      return Status::IOError("write failed");
+    const uint8_t* data = reinterpret_cast<const uint8_t*>(p.data());
+    body.insert(body.end(),
+                data, data + sizeof(float) * static_cast<size_t>(p.numel()));
+  }
+  const uint32_t crc = Crc32(body.data(), body.size());
+
+  const std::string tmp = path + ".tmp";
+  {
+    FilePtr f(std::fopen(tmp.c_str(), "wb"));
+    if (!f) return Status::IOError("cannot open for write: " + tmp);
+    bool ok = std::fwrite(kMagicV2, 1, 8, f.get()) == 8;
+    ok = ok && (body.empty() ||
+                std::fwrite(body.data(), 1, body.size(), f.get()) ==
+                    body.size());
+    ok = ok && std::fwrite(&crc, sizeof(crc), 1, f.get()) == 1;
+    ok = ok && std::fflush(f.get()) == 0;
+    if (!ok) {
+      f.reset();
+      std::remove(tmp.c_str());
+      return Status::IOError("write failed: " + tmp);
     }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("rename failed: " + tmp + " -> " + path);
   }
   return Status::OK();
 }
 
 Result<std::map<std::string, tensor::Tensor>> ReadCheckpoint(
     const std::string& path) {
-  FilePtr f(std::fopen(path.c_str(), "rb"));
-  if (!f) return Status::IOError("cannot open for read: " + path);
-  char magic[8];
-  if (std::fread(magic, 1, 8, f.get()) != 8 ||
-      std::memcmp(magic, kMagic, 8) != 0) {
+  TASTE_ASSIGN_OR_RETURN(std::vector<uint8_t> buf, ReadWholeFile(path));
+  if (buf.size() < 8) {
     return Status::Invalid("bad checkpoint magic: " + path);
   }
-  uint64_t count = 0;
-  if (!ReadPod(f.get(), &count)) return Status::IOError("truncated header");
-  std::map<std::string, tensor::Tensor> out;
-  for (uint64_t i = 0; i < count; ++i) {
-    uint32_t name_len = 0;
-    if (!ReadPod(f.get(), &name_len)) return Status::IOError("truncated");
-    std::string name(name_len, '\0');
-    if (std::fread(name.data(), 1, name_len, f.get()) != name_len) {
-      return Status::IOError("truncated name");
-    }
-    uint32_t rank = 0;
-    if (!ReadPod(f.get(), &rank)) return Status::IOError("truncated rank");
-    if (rank > 8) return Status::Invalid("implausible rank in checkpoint");
-    tensor::Shape shape(rank);
-    for (uint32_t d = 0; d < rank; ++d) {
-      uint64_t du = 0;
-      if (!ReadPod(f.get(), &du)) return Status::IOError("truncated dims");
-      shape[d] = static_cast<int64_t>(du);
-    }
-    size_t n = static_cast<size_t>(tensor::NumElements(shape));
-    std::vector<float> data(n);
-    if (std::fread(data.data(), sizeof(float), n, f.get()) != n) {
-      return Status::IOError("truncated tensor data");
-    }
-    if (out.count(name) != 0) {
-      return Status::Invalid("duplicate parameter name: " + name);
-    }
-    out.emplace(name, tensor::Tensor::FromVector(shape, std::move(data)));
+  if (std::memcmp(buf.data(), kMagicV1, 8) == 0) {
+    // Legacy v1: no version field, no CRC. Bounds-checked parse only.
+    Cursor cur(buf.data() + 8, buf.size() - 8);
+    return ParseParams(&cur, path);
+  }
+  if (std::memcmp(buf.data(), kMagicV2, 8) != 0) {
+    return Status::Invalid("bad checkpoint magic: " + path);
+  }
+  // v2: [magic][version u32][payload][crc u32]; CRC over version + payload,
+  // verified before ANY parsing.
+  if (buf.size() < 8 + sizeof(uint32_t) + sizeof(uint32_t)) {
+    return Status::IOError("truncated checkpoint (no room for CRC): " + path);
+  }
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, buf.data() + buf.size() - sizeof(uint32_t),
+              sizeof(uint32_t));
+  const size_t body_size = buf.size() - 8 - sizeof(uint32_t);
+  const uint32_t actual_crc = Crc32(buf.data() + 8, body_size);
+  if (actual_crc != stored_crc) {
+    return Status::Invalid("checkpoint CRC mismatch (file corrupt): " + path);
+  }
+  Cursor cur(buf.data() + 8, body_size);
+  uint32_t version = 0;
+  if (!cur.Read(&version)) {
+    return Status::IOError("truncated checkpoint version: " + path);
+  }
+  if (version != kFormatVersion) {
+    return Status::Invalid("unsupported checkpoint format version " +
+                           std::to_string(version) + ": " + path);
+  }
+  auto out = ParseParams(&cur, path);
+  if (out.ok() && cur.remaining() != 0) {
+    return Status::Invalid("trailing bytes after checkpoint payload: " + path);
   }
   return out;
 }

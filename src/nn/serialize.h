@@ -1,7 +1,16 @@
 // Checkpoint (de)serialization for Module parameter trees.
 //
-// Format (little-endian): magic "TSTCKPT1", u64 param count, then per
-// parameter: u32 name length, name bytes, u32 rank, u64 dims..., float data.
+// Format v2 (little-endian): magic "TSTCKPT2", u32 format version, u64
+// param count, then per parameter: u32 name length, name bytes, u32 rank,
+// u64 dims..., float data; finally a u32 CRC32 over everything between the
+// magic and the CRC. The CRC is verified before any field is parsed, so
+// byte-level corruption (including corrupted length prefixes) surfaces as
+// a descriptive Status instead of a bogus load or a huge allocation.
+// Legacy "TSTCKPT1" checkpoints (no version/CRC) remain readable.
+//
+// SaveCheckpoint writes through a temp file renamed into place, so a crash
+// or full disk mid-write never leaves a truncated file at the target path.
+//
 // Loading matches by name and verifies shapes, so a checkpoint written from
 // one model instance can initialize another with the same architecture —
 // the paper's "initialize from the pre-trained checkpoint" step (Sec. 6.1.3).

@@ -86,6 +86,25 @@ void SetTracingEnabled(bool enabled) {
   TracingFlag().store(enabled, std::memory_order_relaxed);
 }
 
+double TraceNowMs() { return NowMs(); }
+
+void EmitSpan(const char* name, double start_ms, double dur_ms) {
+  if (!TracingEnabled()) return;
+  ThreadBuffer& buf = LocalBuffer();
+  SpanRecord rec;
+  rec.name = name;
+  rec.seq = NextSeq().fetch_add(1, std::memory_order_relaxed);
+  // Root-level record: the emitting thread's live nesting state is left
+  // untouched, so EmitSpan is safe from inside an open TASTE_SPAN.
+  rec.parent_seq = 0;
+  rec.depth = 0;
+  rec.thread_ix = buf.thread_ix;
+  rec.start_ms = start_ms;
+  rec.dur_ms = dur_ms;
+  std::lock_guard<std::mutex> lock(buf.mu);
+  buf.done.push_back(rec);
+}
+
 std::vector<SpanRecord> DrainSpans() {
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;
   {

@@ -39,6 +39,18 @@ struct SpanRecord {
 bool TracingEnabled();
 void SetTracingEnabled(bool enabled);
 
+/// Milliseconds since the process trace epoch (the SpanRecord timebase).
+/// For code that needs to stamp a span manually via EmitSpan.
+double TraceNowMs();
+
+/// Records a completed root-level span directly, without the RAII nesting
+/// machinery. For logical spans whose begin and end happen on different
+/// threads (e.g. a table's dispatch-to-terminal lifetime in the pipeline
+/// executor), where Span's thread-local nesting state cannot be used.
+/// `start_ms` is on the TraceNowMs() timebase. No-op while tracing is
+/// disabled. `name` must be a string literal.
+void EmitSpan(const char* name, double start_ms, double dur_ms);
+
 /// Moves every completed span out of all thread buffers, in no particular
 /// cross-thread order (records of one thread stay in completion order).
 std::vector<SpanRecord> DrainSpans();

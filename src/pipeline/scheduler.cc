@@ -1,9 +1,11 @@
 #include "pipeline/scheduler.h"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <unordered_map>
 
@@ -36,6 +38,10 @@ struct PipelineMetrics {
   obs::Counter* failed_columns;
   obs::Counter* failed_tables;
   obs::Counter* deadline_misses;
+  obs::Counter* tables_shed;
+  obs::Counter* tables_expired;
+  obs::Counter* tables_degraded;
+  obs::Histogram* admitted_table_ms;  // first dispatch -> terminal state
   obs::Histogram* op_ms[4];                // gemm, softmax, layernorm, gelu
   obs::Counter* op_calls[4];
   obs::Counter* pool_acquires;
@@ -67,6 +73,10 @@ struct PipelineMetrics {
       x.failed_columns = r.GetCounter("taste_failed_columns_total");
       x.failed_tables = r.GetCounter("taste_failed_tables_total");
       x.deadline_misses = r.GetCounter("taste_deadline_misses_total");
+      x.tables_shed = r.GetCounter("taste_tables_shed_total");
+      x.tables_expired = r.GetCounter("taste_tables_expired_total");
+      x.tables_degraded = r.GetCounter("taste_tables_degraded_total");
+      x.admitted_table_ms = r.GetHistogram("taste_admitted_table_ms");
       const char* ops[4] = {"gemm", "softmax", "layernorm", "gelu"};
       for (int i = 0; i < 4; ++i) {
         x.op_ms[i] =
@@ -133,6 +143,22 @@ BatchResult PipelineExecutor::RunBatch(
   Stopwatch sw;
   BatchResult batch;
   batch.tables.resize(table_names.size());
+  if (options_.admission.enabled) {
+    // Deterministic entry shedding: the batch may carry at most
+    // max_inflight + max_queued tables; the input-order tail past that
+    // bound is rejected up front with kUnavailable, before any work (or
+    // wall-clock nondeterminism) touches it.
+    const size_t limit =
+        static_cast<size_t>(std::max(0, options_.admission.max_inflight_tables)) +
+        static_cast<size_t>(std::max(0, options_.admission.max_queued_tables));
+    for (size_t i = limit; i < table_names.size(); ++i) {
+      batch.tables[i].status = Status::Unavailable(
+          "admission queue full: table " + table_names[i] +
+          " shed at batch entry");
+      batch.tables[i].outcome = TableOutcome::kShed;
+      batch.tables[i].result.table_name = table_names[i];
+    }
+  }
   if (options_.pipelined) {
     RunPipelined(table_names, &batch);
   } else {
@@ -165,9 +191,23 @@ void PipelineExecutor::FinalizeStats(const BatchResult& batch,
     resilience_.degraded_columns += r.degraded_columns;
     resilience_.failed_columns += r.failed_columns;
     resilience_.deadline_misses += r.deadline_misses;
-    if (!t.status.ok()) {
-      ++resilience_.failed_tables;
-    } else if (r.columns_scanned > 0) {
+    switch (t.outcome) {
+      case TableOutcome::kShed:
+        ++resilience_.shed_tables;
+        break;
+      case TableOutcome::kExpired:
+        ++resilience_.expired_tables;
+        break;
+      case TableOutcome::kFailed:
+        ++resilience_.failed_tables;
+        break;
+      case TableOutcome::kDegraded:
+        ++resilience_.degraded_tables;
+        break;
+      case TableOutcome::kComplete:
+        break;
+    }
+    if (t.status.ok() && r.columns_scanned > 0) {
       ++stats_.tables_entered_p2;
     }
   }
@@ -191,8 +231,33 @@ void PipelineExecutor::FinalizeStats(const BatchResult& batch,
     m.failed_columns->Inc(resilience_.failed_columns);
     m.failed_tables->Inc(resilience_.failed_tables);
     m.deadline_misses->Inc(resilience_.deadline_misses);
+    m.tables_shed->Inc(resilience_.shed_tables);
+    m.tables_expired->Inc(resilience_.expired_tables);
+    m.tables_degraded->Inc(resilience_.degraded_tables);
   }
 }
+
+namespace {
+
+/// The terminal state of one finished (non-shed) table. `cancel_fired` is
+/// whether the table's budget/cancel token had fired at finish time; a
+/// genuine unrelated fault on an expired table still counts as kFailed
+/// (only deadline/cancel status codes route to kExpired).
+TableOutcome DeriveOutcome(const Status& status,
+                           const core::TableDetectionResult& result,
+                           bool cancel_fired) {
+  if (!status.ok()) {
+    const bool budget_status =
+        status.code() == StatusCode::kDeadlineExceeded ||
+        status.code() == StatusCode::kCancelled;
+    return (cancel_fired && budget_status) ? TableOutcome::kExpired
+                                           : TableOutcome::kFailed;
+  }
+  return result.degraded_columns > 0 ? TableOutcome::kDegraded
+                                     : TableOutcome::kComplete;
+}
+
+}  // namespace
 
 void PipelineExecutor::RunSequential(
     const std::vector<std::string>& table_names, BatchResult* out) {
@@ -208,10 +273,24 @@ void PipelineExecutor::RunSequential(
   tensor::ExecContext ctx(ctx_options);
   auto conn = db_->Connect();
   const bool metrics = obs::MetricsEnabled();
+  // The batch latency budget (shared absolute expiry, as in the pipelined
+  // mode). Null token = deadlines off = exact legacy behaviour.
+  const bool budget_active =
+      options_.deadline_ms != 0.0 || options_.cancel != nullptr;
+  std::optional<CancelToken> token;
+  if (budget_active) {
+    token.emplace(options_.deadline_ms != 0.0
+                      ? Deadline::AfterMillis(options_.deadline_ms)
+                      : Deadline(),
+                  options_.cancel);
+    conn->SetDeadline(token->deadline());
+  }
   for (size_t i = 0; i < table_names.size(); ++i) {
+    if (out->tables[i].outcome == TableOutcome::kShed) continue;
     TASTE_SPAN("pipeline.detect_table");
     Stopwatch table_sw;
-    auto res = detector_->DetectTable(conn.get(), table_names[i], &ctx);
+    auto res = detector_->DetectTable(conn.get(), table_names[i], &ctx,
+                                      token ? &*token : nullptr);
     if (metrics) {
       PipelineMetrics::Get().table_ms->Observe(table_sw.ElapsedMillis());
     }
@@ -220,6 +299,10 @@ void PipelineExecutor::RunSequential(
     } else {
       out->tables[i].status = res.status();
     }
+    out->tables[i].outcome =
+        DeriveOutcome(out->tables[i].status, out->tables[i].result,
+                      token && token->Cancelled());
+    if (stats_.max_tables_in_flight == 0) stats_.max_tables_in_flight = 1;
   }
   FoldExecStats(ctx);
 }
@@ -240,6 +323,13 @@ struct TableState {
   bool in_flight = false;
   int stage_attempts = 0;  // failed tries of the CURRENT stage
   Status error;            // sticky first (permanent) error
+  /// The table's budget/cancel token (points at the batch token when the
+  /// run has one; nullptr = deadlines off, exact legacy behaviour).
+  const CancelToken* cancel = nullptr;
+  bool started = false;   // first stage dispatched (the table was admitted)
+  bool shed = false;      // rejected by admission (entry or queue-wait)
+  bool expired = false;   // parked by deadline/cancel before P1 finished
+  double admit_ms = 0.0;  // TraceNowMs() at first dispatch
 };
 
 /// A small free-list of connections shared by the prep workers. Connect
@@ -285,9 +375,34 @@ void PipelineExecutor::RunPipelined(
   // task-complete callback) happens while they are alive.
   std::mutex mu;
   std::condition_variable cv;
+  Stopwatch batch_sw;  // anchor for deadlines and queue-wait shedding
+
+  // The batch latency budget: one token whose deadline is anchored here at
+  // batch entry; every table observes the same absolute expiry (and the
+  // caller's external cancel, when given). No token when both knobs are
+  // off — table states keep a null cancel and every code path below is
+  // byte-identical to the legacy executor.
+  const bool budget_active =
+      options_.deadline_ms != 0.0 || options_.cancel != nullptr;
+  std::optional<CancelToken> batch_token;
+  if (budget_active) {
+    batch_token.emplace(options_.deadline_ms != 0.0
+                            ? Deadline::AfterMillis(options_.deadline_ms)
+                            : Deadline(),
+                        options_.cancel);
+  }
+
   std::vector<TableState> states(table_names.size());
   for (size_t i = 0; i < table_names.size(); ++i) {
     states[i].name = table_names[i];
+    states[i].cancel = batch_token ? &*batch_token : nullptr;
+    states[i].job.cancel = states[i].cancel;
+    if (out->tables[i].outcome == TableOutcome::kShed) {
+      // Shed at batch entry (RunBatch); never enters the scheduler loop.
+      states[i].next = Stage::kDone;
+      states[i].shed = true;
+      states[i].error = out->tables[i].status;
+    }
   }
 
   // Each TP2 infer worker owns a private ExecContext (buffer pool, no-grad
@@ -314,8 +429,12 @@ void PipelineExecutor::RunPipelined(
     return slot.get();
   };
 
-  ThreadPool tp1(static_cast<size_t>(options_.prep_threads));
-  ThreadPool tp2(static_cast<size_t>(options_.infer_threads));
+  // max_extra_queued = 0: TrySubmit admits a stage only when a worker slot
+  // is free, so the dispatch gate is exactly Algorithm 1's "pool not full".
+  ThreadPool tp1(static_cast<size_t>(options_.prep_threads),
+                 /*max_extra_queued=*/0);
+  ThreadPool tp2(static_cast<size_t>(options_.infer_threads),
+                 /*max_extra_queued=*/0);
   // Connections are created once and reused across the batch (the paper
   // recommends batching tables per database to amortize connection cost).
   ConnectionPool connections(db_, options_.prep_threads,
@@ -336,6 +455,42 @@ void PipelineExecutor::RunPipelined(
   tp1.SetTaskCompleteCallback(wake_scheduler);
   tp2.SetTaskCompleteCallback(wake_scheduler);
 
+  // Tables concurrently in flight (started, not yet terminal) — the value
+  // AdmissionPolicy::max_inflight_tables caps. Guarded by `mu`.
+  int inflight_tables = 0;
+
+  // Marks one table terminal (its `next` just became kDone). Called under
+  // `mu`, exactly once per started table: releases its in-flight slot and
+  // surfaces its admitted-lifetime span/histogram observation.
+  auto table_done = [&](TableState& st) {
+    if (!st.started) return;
+    --inflight_tables;
+    if (obs::TracingEnabled() || obs::MetricsEnabled()) {
+      const double dur = obs::TraceNowMs() - st.admit_ms;
+      obs::EmitSpan("pipeline.table", st.admit_ms, dur);
+      if (obs::MetricsEnabled()) {
+        PipelineMetrics::Get().admitted_table_ms->Observe(dur);
+      }
+    }
+  };
+
+  // Deadline-expiry routing for one table, under `mu`. A table whose P1
+  // classification finished serves its remaining uncertain columns
+  // metadata-only and terminates OK (degraded); one still inside P1 parks
+  // with the token's status. Columns P2 already decided keep their
+  // content-based predictions either way.
+  auto expire_table = [&](TableState& st) {
+    if (TasteDetector::P1Complete(st.job)) {
+      detector_->DegradeRemainingToMetadataOnly(&st.job);
+      st.error = Status::OK();
+    } else {
+      st.error = st.cancel->ToStatus("table " + st.name);
+      st.expired = true;
+    }
+    st.next = Stage::kDone;
+    table_done(st);
+  };
+
   // Runs one stage of one table outside the lock, then advances its state.
   // A transiently failed stage is re-queued (up to max_stage_retries) by
   // leaving `next` pointing at the same stage — the scheduler dispatches
@@ -355,7 +510,9 @@ void PipelineExecutor::RunPipelined(
       switch (stage) {
         case Stage::kP1Prep: {
           auto conn = connections.Acquire();
+          if (st.cancel != nullptr) conn->SetDeadline(st.cancel->deadline());
           status = detector_->PrepareP1(conn.get(), st.name, &st.job);
+          if (st.cancel != nullptr) conn->SetDeadline(Deadline());
           connections.Release(std::move(conn));
           break;
         }
@@ -364,7 +521,9 @@ void PipelineExecutor::RunPipelined(
           break;
         case Stage::kP2Prep: {
           auto conn = connections.Acquire();
+          if (st.cancel != nullptr) conn->SetDeadline(st.cancel->deadline());
           status = detector_->PrepareP2(conn.get(), &st.job);
+          if (st.cancel != nullptr) conn->SetDeadline(Deadline());
           connections.Release(std::move(conn));
           break;
         }
@@ -386,16 +545,28 @@ void PipelineExecutor::RunPipelined(
     }
     st.in_flight = false;
     if (!status.ok()) {
-      if (IsTransient(status) && st.stage_attempts < options_.max_stage_retries) {
+      if (st.cancel != nullptr && st.cancel->Cancelled()) {
+        // The table's own budget fired. This MUST be checked before the
+        // transient-retry branch: kDeadlineExceeded is transient for the
+        // per-call server timeouts the fault injector raises, but a table
+        // whose batch deadline expired has no budget left to retry with —
+        // it degrades (P1 done) or parks (P1 incomplete) right here.
+        expire_table(st);
+      } else if (IsTransient(status) &&
+                 st.stage_attempts < options_.max_stage_retries) {
         // Retry the same stage on the same pool. P1-prep retries restart
         // from a clean job so chunks are not encoded twice.
         ++st.stage_attempts;
         ++resilience_.stage_retries;
-        if (stage == Stage::kP1Prep) st.job = TasteDetector::Job();
+        if (stage == Stage::kP1Prep) {
+          st.job = TasteDetector::Job();
+          st.job.cancel = st.cancel;  // the reset wiped the token
+        }
         st.next = stage;
       } else {
         st.error = status;
         st.next = Stage::kDone;
+        table_done(st);
       }
     } else {
       st.stage_attempts = 0;
@@ -415,6 +586,7 @@ void PipelineExecutor::RunPipelined(
         case Stage::kDone:
           break;
       }
+      if (st.next == Stage::kDone) table_done(st);
     }
     cv.notify_all();
   };
@@ -429,19 +601,75 @@ void PipelineExecutor::RunPipelined(
       TableState& st = states[i];
       if (st.next != Stage::kDone || st.in_flight) all_done = false;
       if (st.in_flight || st.next == Stage::kDone) continue;
-      ThreadPool& pool = IsPrepStage(st.next) ? tp1 : tp2;
-      if (pool.Full()) continue;
-      st.in_flight = true;
+      // Budget check before every dispatch: an already-expired table never
+      // burns a pool slot on a stage that would only discover the expiry
+      // itself (this is also where a pre-expired deadline_ms < 0 parks
+      // every table without running anything).
+      if (st.cancel != nullptr && st.cancel->Cancelled()) {
+        expire_table(st);
+        dispatched = true;  // state advanced; rescan before sleeping
+        continue;
+      }
+      if (!st.started && options_.admission.enabled) {
+        // Admission gate for a table's FIRST dispatch: cap the tables in
+        // flight, and optionally shed a table that has already queued
+        // longer than the policy allows.
+        if (options_.admission.max_queue_wait_ms > 0.0 &&
+            batch_sw.ElapsedMillis() > options_.admission.max_queue_wait_ms) {
+          st.error = Status::Unavailable(
+              "admission queue wait exceeded for table " + st.name);
+          st.shed = true;
+          st.next = Stage::kDone;
+          dispatched = true;
+          continue;
+        }
+        // Clamped to >= 1 so a degenerate policy can never wedge the batch.
+        if (inflight_tables >=
+            std::max(1, options_.admission.max_inflight_tables)) {
+          continue;  // wait for an in-flight table to reach a terminal state
+        }
+      }
       Stage stage = st.next;
+      ThreadPool& pool = IsPrepStage(stage) ? tp1 : tp2;
+      // Bounded admission at the pool edge: refused = no free worker slot.
+      if (!pool.TrySubmit([&run_stage, i, stage] { run_stage(i, stage); })
+               .has_value()) {
+        continue;
+      }
+      st.in_flight = true;
+      if (!st.started) {
+        st.started = true;
+        st.admit_ms = obs::TraceNowMs();
+        ++inflight_tables;
+        stats_.max_tables_in_flight =
+            std::max(stats_.max_tables_in_flight, inflight_tables);
+      }
       if (kDebug) {
         std::fprintf(stderr, "[pipe] dispatch t=%zu stage=%d\n", i,
                      static_cast<int>(stage));
       }
-      pool.Submit([&run_stage, i, stage] { run_stage(i, stage); });
       dispatched = true;
     }
     if (all_done) break;
-    if (!dispatched) cv.wait(lock);
+    if (!dispatched) {
+      // A live deadline can fire while nothing else would wake the
+      // scheduler (e.g. every remaining table is queued behind the
+      // admission cap); sleep at most until the expiry instant so those
+      // tables are parked on time. Once the deadline has fired, every
+      // dispatchable table was already expired above — only in-flight
+      // stages remain, and their completions notify — so a plain wait is
+      // correct (and avoids spinning on a zero remaining budget).
+      double remaining = -1.0;
+      if (batch_token && !batch_token->deadline().IsInfinite()) {
+        remaining = batch_token->deadline().RemainingMillis();
+      }
+      if (remaining > 0.0) {
+        cv.wait_for(lock,
+                    std::chrono::duration<double, std::milli>(remaining));
+      } else {
+        cv.wait(lock);
+      }
+    }
   }
   lock.unlock();
   tp1.WaitIdle();
@@ -455,8 +683,21 @@ void PipelineExecutor::RunPipelined(
   }
 
   for (size_t i = 0; i < states.size(); ++i) {
-    out->tables[i].status = states[i].error;
-    out->tables[i].result = std::move(states[i].job.result);
+    TableState& st = states[i];
+    if (out->tables[i].outcome == TableOutcome::kShed) {
+      continue;  // entry-shed: RunBatch already filled status + outcome
+    }
+    out->tables[i].status = st.error;
+    out->tables[i].result = std::move(st.job.result);
+    if (out->tables[i].result.table_name.empty()) {
+      out->tables[i].result.table_name = st.name;
+    }
+    if (st.shed) {
+      out->tables[i].outcome = TableOutcome::kShed;
+    } else {
+      out->tables[i].outcome =
+          DeriveOutcome(st.error, out->tables[i].result, st.expired);
+    }
   }
 }
 

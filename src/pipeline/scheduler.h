@@ -29,11 +29,33 @@
 #include <vector>
 
 #include "clouddb/database.h"
+#include "common/deadline.h"
 #include "common/retry.h"
 #include "common/thread_pool.h"
 #include "core/taste_detector.h"
 
 namespace taste::pipeline {
+
+/// Load shedding at the batch edge (DESIGN.md §8). Disabled by default:
+/// every table is admitted and the executor behaves exactly as before.
+struct AdmissionPolicy {
+  bool enabled = false;
+  /// Tables concurrently in flight (first stage dispatched, not yet
+  /// terminal). Further tables wait in the admission queue.
+  int max_inflight_tables = 4;
+  /// Tables allowed to wait behind the in-flight set. A batch larger than
+  /// max_inflight_tables + max_queued_tables sheds the excess tables at
+  /// batch entry with kUnavailable (deterministically: the input-order
+  /// tail), so overload surfaces immediately instead of queueing without
+  /// bound.
+  int max_queued_tables = 8;
+  /// When > 0, a queued table still waiting for its first dispatch after
+  /// this many wall-clock ms is shed with kUnavailable instead of being
+  /// started late. 0 disables the wait bound (queued tables only shed via
+  /// max_queued_tables). Wall-clock dependent — keep 0 where determinism
+  /// matters (the chaos harness does).
+  double max_queue_wait_ms = 0.0;
+};
 
 struct PipelineOptions {
   int prep_threads = 2;   // |TP1|
@@ -56,6 +78,22 @@ struct PipelineOptions {
   /// opened after these attempts falls back to the infallible legacy
   /// connect path so the batch can always run.
   RetryPolicy connect_retry;
+  /// Per-table latency budget in milliseconds, anchored at batch entry
+  /// (every table of the batch shares the same absolute expiry instant).
+  /// 0 disables deadlines entirely — byte-identical legacy behaviour.
+  /// > 0 arms the budget; < 0 produces an already-expired deadline (a
+  /// deterministic hook for tests and the chaos harness). On expiry a
+  /// table whose P1 classification finished degrades its remaining
+  /// uncertain columns to the metadata-only path (outcome kDegraded with
+  /// an OK status); a table still inside P1 parks with kDeadlineExceeded
+  /// (outcome kExpired).
+  double deadline_ms = 0.0;
+  /// Optional external cancellation for the whole batch (not owned; must
+  /// outlive the run). Composes with deadline_ms: tables observe whichever
+  /// fires first.
+  const CancelToken* cancel = nullptr;
+  /// Admission control / load shedding (off by default).
+  AdmissionPolicy admission;
 };
 
 /// Timing/throughput of one Run()/RunBatch().
@@ -63,6 +101,10 @@ struct PipelineRunStats {
   double wall_ms = 0.0;
   int tables_processed = 0;
   int tables_entered_p2 = 0;
+  /// High-water mark of tables concurrently in flight (first stage
+  /// dispatched, not yet terminal). With admission enabled this never
+  /// exceeds AdmissionPolicy::max_inflight_tables.
+  int max_tables_in_flight = 0;
 };
 
 /// Fault-handling activity of one Run()/RunBatch(). All zeros on a
@@ -75,9 +117,37 @@ struct ResilienceStats {
   int64_t breaker_short_circuits = 0;  // calls rejected by open breakers
   int64_t degraded_columns = 0;  // columns served metadata-only
   int64_t failed_columns = 0;    // columns with no usable prediction
-  int64_t failed_tables = 0;     // tables with a non-OK final status
+  int64_t failed_tables = 0;     // tables with outcome kFailed
   int64_t deadline_misses = 0;   // retry loops that exhausted their budget
+  int64_t shed_tables = 0;       // rejected by admission control
+  int64_t expired_tables = 0;    // deadline fired before P1 finished
+  int64_t degraded_tables = 0;   // finished OK with >= 1 degraded column
 };
+
+/// The single terminal state every table of a batch reaches exactly once.
+enum class TableOutcome {
+  kComplete = 0,  // OK status, no degraded columns
+  kDegraded,      // OK status, >= 1 column served metadata-only
+  kShed,          // rejected by admission control (kUnavailable status)
+  kExpired,       // deadline/cancel fired before P1 finished classifying
+  kFailed,        // any other non-OK terminal status
+};
+
+inline const char* TableOutcomeName(TableOutcome o) {
+  switch (o) {
+    case TableOutcome::kComplete:
+      return "complete";
+    case TableOutcome::kDegraded:
+      return "degraded";
+    case TableOutcome::kShed:
+      return "shed";
+    case TableOutcome::kExpired:
+      return "expired";
+    case TableOutcome::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
 
 /// One table's outcome in a batch: the (possibly partial or degraded)
 /// detection result plus the table's final status. On a non-OK status the
@@ -86,6 +156,7 @@ struct ResilienceStats {
 struct TableRunResult {
   core::TableDetectionResult result;
   Status status;
+  TableOutcome outcome = TableOutcome::kComplete;
 };
 
 /// Outcome of a whole batch, in input order.

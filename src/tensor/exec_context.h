@@ -37,6 +37,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/deadline.h"
+
 namespace taste {
 class ThreadPool;
 }
@@ -131,6 +133,16 @@ class ExecContext {
   /// Adds `ms` to the timing bucket `t` (called by the ops layer).
   void RecordOp(OpTiming ExecStats::* t, double ms);
 
+  /// Cooperative-cancellation token long-running forwards observe (the
+  /// ADTD encoder loop checks cancelled() between layers, so one stuck
+  /// table cannot hold an infer worker hostage past its deadline). Not
+  /// owned; nullptr (the default) means never cancelled. Installed per
+  /// stage via ScopedCancelToken; like the rest of the context, single-
+  /// thread access only.
+  void set_cancel_token(const CancelToken* token) { cancel_ = token; }
+  const CancelToken* cancel_token() const { return cancel_; }
+  bool cancelled() const { return cancel_ != nullptr && cancel_->Cancelled(); }
+
   /// The context bound to the calling thread, or nullptr.
   static ExecContext* Current();
 
@@ -140,6 +152,7 @@ class ExecContext {
   Options options_;
   std::shared_ptr<BufferPool> pool_;             // null when pooling is off
   std::unique_ptr<ThreadPool> owned_intra_pool_;  // null unless owned
+  const CancelToken* cancel_ = nullptr;           // not owned
   ExecStats stats_;
 };
 
@@ -157,6 +170,27 @@ class ScopedExecContext {
  private:
   ExecContext* prev_;
   bool bound_;
+};
+
+/// RAII install of a cancel token on a context, restoring the previous
+/// token on destruction. A null context or null token is a no-op, so stage
+/// code can pass both through unconditionally.
+class ScopedCancelToken {
+ public:
+  ScopedCancelToken(ExecContext* ctx, const CancelToken* token)
+      : ctx_(token != nullptr ? ctx : nullptr),
+        prev_(ctx_ != nullptr ? ctx_->cancel_token() : nullptr) {
+    if (ctx_ != nullptr) ctx_->set_cancel_token(token);
+  }
+  ~ScopedCancelToken() {
+    if (ctx_ != nullptr) ctx_->set_cancel_token(prev_);
+  }
+  ScopedCancelToken(const ScopedCancelToken&) = delete;
+  ScopedCancelToken& operator=(const ScopedCancelToken&) = delete;
+
+ private:
+  ExecContext* ctx_;
+  const CancelToken* prev_;
 };
 
 }  // namespace taste::tensor

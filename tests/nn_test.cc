@@ -2,8 +2,10 @@
 // attention masking, cross-attention, checkpoint round-trips, and
 // end-to-end trainability of a tiny transformer.
 
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -266,6 +268,106 @@ TEST_F(SerializeTest, ReadCheckpointExposesTensors) {
   EXPECT_EQ(res->size(), 2u);
   EXPECT_EQ(res->at("weight").shape(), (Shape{3, 2}));
   EXPECT_EQ(res->at("bias").shape(), (Shape{2}));
+}
+
+TEST_F(SerializeTest, NoTempFileLeftBehind) {
+  Rng rng(25);
+  Linear lin(3, 2, rng);
+  ASSERT_TRUE(SaveCheckpoint(lin, path_.string()).ok());
+  EXPECT_FALSE(std::filesystem::exists(path_.string() + ".tmp"));
+}
+
+TEST_F(SerializeTest, EverySingleByteCorruptionIsRejected) {
+  Rng rng(26);
+  Linear lin(3, 2, rng);
+  ASSERT_TRUE(SaveCheckpoint(lin, path_.string()).ok());
+  std::vector<unsigned char> good;
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    int c;
+    while ((c = std::fgetc(f)) != EOF) good.push_back(static_cast<unsigned char>(c));
+    std::fclose(f);
+  }
+  ASSERT_GT(good.size(), 16u);
+  // Flip every byte of the file in turn. The CRC (or the magic check, for
+  // the first 8 bytes) must catch each one: a corrupt length prefix must
+  // never drive a bogus load or a huge allocation.
+  for (size_t i = 0; i < good.size(); ++i) {
+    std::vector<unsigned char> bad = good;
+    bad[i] ^= 0xFF;
+    std::FILE* f = std::fopen(path_.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(bad.data(), 1, bad.size(), f), bad.size());
+    std::fclose(f);
+    EXPECT_FALSE(ReadCheckpoint(path_.string()).ok()) << "flipped byte " << i;
+  }
+  // Every truncation must be caught too (the trailing CRC goes missing).
+  for (size_t len : {good.size() - 1, good.size() / 2, size_t{9}, size_t{0}}) {
+    std::FILE* f = std::fopen(path_.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(good.data(), 1, len, f), len);
+    std::fclose(f);
+    EXPECT_FALSE(ReadCheckpoint(path_.string()).ok())
+        << "truncated to " << len;
+  }
+  // Appended garbage shifts the CRC trailer and must be caught as well.
+  {
+    std::vector<unsigned char> bad = good;
+    bad.push_back(0x5A);
+    std::FILE* f = std::fopen(path_.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(bad.data(), 1, bad.size(), f), bad.size());
+    std::fclose(f);
+    EXPECT_FALSE(ReadCheckpoint(path_.string()).ok()) << "trailing garbage";
+  }
+  // And the pristine bytes still load, so the sweep tested the real format.
+  std::FILE* f = std::fopen(path_.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(good.data(), 1, good.size(), f), good.size());
+  std::fclose(f);
+  EXPECT_TRUE(ReadCheckpoint(path_.string()).ok());
+}
+
+TEST_F(SerializeTest, LegacyV1CheckpointStillLoads) {
+  Rng rng(27);
+  Linear a(3, 2, rng);
+  ASSERT_TRUE(SaveCheckpoint(a, path_.string()).ok());
+  auto tensors = ReadCheckpoint(path_.string());
+  ASSERT_TRUE(tensors.ok());
+  // Re-serialize the same parameters in the v1 layout: magic "TSTCKPT1",
+  // then the payload with no version field and no CRC trailer.
+  std::vector<unsigned char> v1;
+  auto put = [&v1](const void* p, size_t n) {
+    const unsigned char* b = static_cast<const unsigned char*>(p);
+    v1.insert(v1.end(), b, b + n);
+  };
+  put("TSTCKPT1", 8);
+  const uint64_t count = tensors->size();
+  put(&count, sizeof(count));
+  for (const auto& [name, t] : *tensors) {
+    const uint32_t name_len = static_cast<uint32_t>(name.size());
+    put(&name_len, sizeof(name_len));
+    put(name.data(), name.size());
+    const uint32_t rank = static_cast<uint32_t>(t.shape().size());
+    put(&rank, sizeof(rank));
+    for (int64_t d : t.shape()) {
+      const uint64_t du = static_cast<uint64_t>(d);
+      put(&du, sizeof(du));
+    }
+    put(t.data(), sizeof(float) * static_cast<size_t>(t.numel()));
+  }
+  std::FILE* f = std::fopen(path_.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(v1.data(), 1, v1.size(), f), v1.size());
+  std::fclose(f);
+
+  Rng rng2(999);
+  Linear b(3, 2, rng2);
+  ASSERT_TRUE(LoadCheckpoint(&b, path_.string()).ok());
+  Tensor x = Tensor::Randn({2, 3}, rng);
+  Tensor ya = a.Forward(x), yb = b.Forward(x);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(ya.data()[i], yb.data()[i]);
 }
 
 TEST(CopyParametersTest, TransplantsWeights) {

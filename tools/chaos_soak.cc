@@ -1,0 +1,526 @@
+// chaos_soak — seeded chaos/soak harness for the serving pipeline
+// (DESIGN.md §8).
+//
+// Each seed deterministically derives a scenario: a random table subset,
+// pool sizes, fault-injection probabilities (timeouts, latency spikes,
+// partial scans, connect failures, unavailable tables), resilience and
+// admission-control settings, and a deadline mode from {none, generous,
+// pre-expired}. The scenario runs against PipelineExecutor::RunBatch and
+// the harness asserts the robustness invariants:
+//
+//   * no hang — a watchdog aborts the process if a run stops progressing;
+//   * no lost table — every table reaches exactly one terminal outcome
+//     (complete / degraded / shed / expired / failed) whose sticky Status
+//     is consistent with the outcome;
+//   * deterministic shedding — with admission on, exactly the input-order
+//     tail past (max_inflight + max_queued) is shed at batch entry;
+//   * bounded concurrency — max_tables_in_flight never exceeds the
+//     admission cap;
+//   * registry consistency — the global metric counters move by exactly
+//     the run's ResilienceStats;
+//   * replayability — re-running the same seed produces a byte-identical
+//     outcome digest (results, statuses, probabilities, fault stats).
+//
+// All scenarios use time_scale = 0 (pure-ledger I/O costs, no real
+// sleeping) and serial kernels, and avoid wall-clock-dependent knobs
+// (scripted fault windows, queue-wait shedding, live mid-run deadlines), so
+// every decision is a pure function of the seed regardless of thread
+// interleaving.
+//
+// Usage:
+//   chaos_soak [--seeds N] [--start-seed S] [--tables N] [--verbose]
+//   chaos_soak --overload   latency-under-overload sweep (real time scale)
+//
+// Exit code 0 = all seeds green; 1 = an invariant failed (details on
+// stderr, with the seed to replay).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "clouddb/fault_injector.h"
+#include "common/logging.h"
+#include "core/taste_detector.h"
+#include "data/table_generator.h"
+#include "model/adtd.h"
+#include "obs/metrics.h"
+#include "pipeline/scheduler.h"
+#include "text/wordpiece.h"
+
+using namespace taste;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Deterministic per-seed randomness
+
+struct SplitMix64 {
+  uint64_t s;
+  explicit SplitMix64(uint64_t seed) : s(seed) {}
+  uint64_t Next() {
+    uint64_t z = (s += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+  double Unit() {  // [0, 1)
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+  int Range(int lo, int hi) {  // inclusive
+    return lo + static_cast<int>(Next() % static_cast<uint64_t>(hi - lo + 1));
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Shared environment (built once; read-only across runs)
+
+struct Env {
+  data::Dataset dataset;
+  std::unique_ptr<text::WordPieceTokenizer> tokenizer;
+  std::unique_ptr<model::AdtdModel> model;
+  std::vector<std::string> table_names;
+
+  static Env Make(int tables) {
+    Env e;
+    e.dataset = data::GenerateDataset(data::DatasetProfile::WikiLike(tables));
+    text::WordPieceTrainer trainer({.vocab_size = 400});
+    for (const auto& d : data::BuildCorpusDocuments(e.dataset)) {
+      trainer.AddDocument(d);
+    }
+    e.tokenizer = std::make_unique<text::WordPieceTokenizer>(trainer.Train());
+    model::AdtdConfig cfg = model::AdtdConfig::Tiny(
+        e.tokenizer->vocab().size(),
+        data::SemanticTypeRegistry::Default().size());
+    Rng rng(21);  // untrained weights; inference is still deterministic
+    e.model = std::make_unique<model::AdtdModel>(cfg, rng);
+    for (const auto& t : e.dataset.tables) e.table_names.push_back(t.name);
+    return e;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Per-seed scenario
+
+enum class DeadlineMode { kNone, kGenerous, kPreExpired };
+
+struct Scenario {
+  std::vector<std::string> tables;
+  clouddb::FaultConfig faults;
+  core::TasteOptions detector_options;
+  pipeline::PipelineOptions pipeline_options;
+  DeadlineMode deadline_mode = DeadlineMode::kNone;
+};
+
+Scenario MakeScenario(uint64_t seed, const Env& env) {
+  SplitMix64 rng(seed * 0x100000001B3ull + 0x9E3779B9ull);
+  Scenario sc;
+
+  const int total = static_cast<int>(env.table_names.size());
+  const int count = rng.Range(3, std::min(8, total));
+  const int start = rng.Range(0, total - 1);
+  for (int k = 0; k < count; ++k) {
+    sc.tables.push_back(env.table_names[(start + k) % total]);
+  }
+
+  clouddb::FaultConfig& f = sc.faults;
+  f.seed = seed;
+  f.connect_failure_prob = rng.Unit() < 0.4 ? rng.Unit() * 0.20 : 0.0;
+  f.timeout_prob = rng.Unit() < 0.6 ? rng.Unit() * 0.25 : 0.0;
+  f.latency_spike_prob = rng.Unit() < 0.5 ? rng.Unit() * 0.25 : 0.0;
+  f.partial_scan_prob = rng.Unit() < 0.5 ? rng.Unit() * 0.25 : 0.0;
+  for (const auto& t : sc.tables) {
+    if (rng.Unit() < 0.15) f.unavailable_tables.push_back(t);
+  }
+  f.unavailable_all_ops = rng.Unit() < 0.25;
+  // NOTE: no scripted FaultWindows — they key on the virtual clock, whose
+  // per-table ordering depends on thread interleaving.
+
+  core::TasteOptions& topt = sc.detector_options;
+  topt.enable_p2 = rng.Unit() < 0.9;
+  if (rng.Unit() < 0.7) {
+    topt.resilience.enabled = true;
+    topt.resilience.retry.max_attempts = rng.Range(1, 3);
+    topt.resilience.retry.initial_backoff_ms = 0.0;  // no real sleeping
+    topt.resilience.use_breaker = rng.Unit() < 0.5;
+    topt.resilience.degrade_on_scan_failure = rng.Unit() < 0.8;
+    topt.resilience.degraded_admit_threshold = rng.Unit() < 0.5 ? 0.5 : 0.0;
+  }
+
+  pipeline::PipelineOptions& popt = sc.pipeline_options;
+  popt.pipelined = rng.Unit() < 0.8;
+  popt.prep_threads = rng.Range(1, 3);
+  popt.infer_threads = rng.Range(1, 3);
+  popt.max_stage_retries = rng.Range(0, 2);
+  if (rng.Unit() < 0.5) {
+    popt.admission.enabled = true;
+    popt.admission.max_inflight_tables = rng.Range(1, 3);
+    popt.admission.max_queued_tables = rng.Range(0, 4);
+    popt.admission.max_queue_wait_ms = 0.0;  // wall-clock; keep off
+  }
+  const double u = rng.Unit();
+  if (u < 0.25) {
+    sc.deadline_mode = DeadlineMode::kPreExpired;
+    popt.deadline_ms = -1.0;  // expired before anything runs
+  } else if (u < 0.5) {
+    sc.deadline_mode = DeadlineMode::kGenerous;
+    popt.deadline_ms = 10000.0;  // never fires within a chaos run
+  }
+  return sc;
+}
+
+// ---------------------------------------------------------------------------
+// One run + invariants
+
+struct RunOutput {
+  std::string digest;
+  std::vector<std::string> violations;
+};
+
+void Violate(RunOutput* out, uint64_t seed, const std::string& what) {
+  out->violations.push_back("seed " + std::to_string(seed) + ": " + what);
+}
+
+const char* kCounterNames[] = {
+    "taste_tables_shed_total",     "taste_tables_expired_total",
+    "taste_tables_degraded_total", "taste_failed_tables_total",
+    "taste_retries_total",         "taste_stage_retries_total",
+};
+
+RunOutput RunOnce(uint64_t seed, const Env& env, const Scenario& sc) {
+  RunOutput out;
+
+  // Fresh database, injector, and detector per run: attempt counters,
+  // ledger, and latent cache all start from zero, which is what makes a
+  // seed replay byte-identical.
+  clouddb::CostModel cost;
+  cost.time_scale = 0.0;
+  clouddb::SimulatedDatabase db(cost);
+  TASTE_CHECK(db.IngestDataset(env.dataset).ok());
+  auto injector = std::make_shared<clouddb::FaultInjector>(sc.faults);
+  db.SetFaultInjector(injector);
+  core::TasteDetector detector(env.model.get(), env.tokenizer.get(),
+                               sc.detector_options);
+  pipeline::PipelineExecutor exec(&detector, &db, sc.pipeline_options);
+
+  obs::Registry& reg = obs::Registry::Global();
+  int64_t before[6];
+  for (int i = 0; i < 6; ++i) {
+    before[i] = reg.GetCounter(kCounterNames[i])->Value();
+  }
+
+  pipeline::BatchResult batch = exec.RunBatch(sc.tables);
+  const pipeline::ResilienceStats& rz = exec.resilience_stats();
+  const pipeline::PipelineRunStats& ps = exec.stats();
+
+  // -- Invariant: every table reaches exactly one consistent terminal state.
+  if (batch.tables.size() != sc.tables.size()) {
+    Violate(&out, seed, "result count mismatch");
+    return out;
+  }
+  int64_t n_shed = 0, n_expired = 0, n_degraded = 0, n_failed = 0;
+  for (size_t i = 0; i < batch.tables.size(); ++i) {
+    const auto& t = batch.tables[i];
+    const StatusCode code = t.status.code();
+    switch (t.outcome) {
+      case pipeline::TableOutcome::kComplete:
+        if (!t.status.ok() || t.result.degraded_columns != 0) {
+          Violate(&out, seed, sc.tables[i] + ": kComplete inconsistent");
+        }
+        break;
+      case pipeline::TableOutcome::kDegraded:
+        ++n_degraded;
+        if (!t.status.ok() || t.result.degraded_columns <= 0) {
+          Violate(&out, seed, sc.tables[i] + ": kDegraded inconsistent");
+        }
+        break;
+      case pipeline::TableOutcome::kShed:
+        ++n_shed;
+        if (code != StatusCode::kUnavailable) {
+          Violate(&out, seed, sc.tables[i] + ": kShed without kUnavailable");
+        }
+        break;
+      case pipeline::TableOutcome::kExpired:
+        ++n_expired;
+        if (code != StatusCode::kDeadlineExceeded &&
+            code != StatusCode::kCancelled) {
+          Violate(&out, seed,
+                  sc.tables[i] + ": kExpired with unexpected code " +
+                      t.status.ToString());
+        }
+        break;
+      case pipeline::TableOutcome::kFailed:
+        ++n_failed;
+        if (t.status.ok()) {
+          Violate(&out, seed, sc.tables[i] + ": kFailed with OK status");
+        }
+        break;
+    }
+  }
+
+  // -- Invariant: deterministic entry shedding of the input-order tail.
+  const auto& adm = sc.pipeline_options.admission;
+  const int64_t expect_shed =
+      adm.enabled ? std::max<int64_t>(
+                        0, static_cast<int64_t>(sc.tables.size()) -
+                               (adm.max_inflight_tables + adm.max_queued_tables))
+                  : 0;
+  if (n_shed != expect_shed) {
+    Violate(&out, seed,
+            "shed " + std::to_string(n_shed) + " tables, expected " +
+                std::to_string(expect_shed));
+  }
+  for (size_t i = 0; i < batch.tables.size(); ++i) {
+    const bool should_shed =
+        expect_shed > 0 &&
+        i >= sc.tables.size() - static_cast<size_t>(expect_shed);
+    if (should_shed !=
+        (batch.tables[i].outcome == pipeline::TableOutcome::kShed)) {
+      Violate(&out, seed, sc.tables[i] + ": shed set is not the input tail");
+    }
+  }
+
+  // -- Invariant: pre-expired deadline parks every admitted table without
+  //    completing any of them.
+  if (sc.deadline_mode == DeadlineMode::kPreExpired) {
+    for (size_t i = 0; i < batch.tables.size(); ++i) {
+      const auto o = batch.tables[i].outcome;
+      if (o != pipeline::TableOutcome::kExpired &&
+          o != pipeline::TableOutcome::kShed) {
+        Violate(&out, seed,
+                sc.tables[i] + ": pre-expired run produced outcome " +
+                    pipeline::TableOutcomeName(o));
+      }
+    }
+  }
+
+  // -- Invariant: admission bounds concurrency.
+  if (adm.enabled && sc.pipeline_options.pipelined &&
+      ps.max_tables_in_flight > std::max(1, adm.max_inflight_tables)) {
+    Violate(&out, seed,
+            "max_tables_in_flight " + std::to_string(ps.max_tables_in_flight) +
+                " exceeds admission cap " +
+                std::to_string(adm.max_inflight_tables));
+  }
+
+  // -- Invariant: the global registry moved by exactly this run's stats.
+  const int64_t expect_delta[6] = {rz.shed_tables,    rz.expired_tables,
+                                   rz.degraded_tables, rz.failed_tables,
+                                   rz.retries,         rz.stage_retries};
+  for (int i = 0; i < 6; ++i) {
+    const int64_t delta = reg.GetCounter(kCounterNames[i])->Value() - before[i];
+    if (delta != expect_delta[i]) {
+      Violate(&out, seed,
+              std::string(kCounterNames[i]) + " moved by " +
+                  std::to_string(delta) + ", ResilienceStats says " +
+                  std::to_string(expect_delta[i]));
+    }
+  }
+  if (rz.shed_tables != n_shed || rz.expired_tables != n_expired ||
+      rz.degraded_tables != n_degraded || rz.failed_tables != n_failed) {
+    Violate(&out, seed, "ResilienceStats outcome tallies disagree with batch");
+  }
+
+  // -- Outcome digest for replay comparison (bit-exact float formatting).
+  std::string& d = out.digest;
+  char buf[64];
+  for (size_t i = 0; i < batch.tables.size(); ++i) {
+    const auto& t = batch.tables[i];
+    d += t.result.table_name.empty() ? sc.tables[i] : t.result.table_name;
+    d += '|';
+    d += pipeline::TableOutcomeName(t.outcome);
+    d += '|';
+    d += t.status.ToString();
+    d += '|';
+    for (const auto& col : t.result.columns) {
+      d += col.column_name + ":" + core::ProvenanceName(col.provenance) +
+           (col.went_to_p2 ? ":p2:" : ":p1:");
+      for (int ty : col.admitted_types) d += std::to_string(ty) + ",";
+      d += '[';
+      for (float p : col.probabilities) {
+        std::snprintf(buf, sizeof(buf), "%a;", static_cast<double>(p));
+        d += buf;
+      }
+      d += ']';
+    }
+    d += '\n';
+  }
+  const auto fs = injector->stats();
+  std::snprintf(buf, sizeof(buf), "faults=%lld/%lld trunc=%lld\n",
+                static_cast<long long>(fs.faults()),
+                static_cast<long long>(fs.decisions),
+                static_cast<long long>(fs.deadline_truncated));
+  d += buf;
+  std::snprintf(
+      buf, sizeof(buf), "rz=%lld,%lld,%lld,%lld,%lld,%lld\n",
+      static_cast<long long>(rz.retries),
+      static_cast<long long>(rz.stage_retries),
+      static_cast<long long>(rz.degraded_columns),
+      static_cast<long long>(rz.failed_columns),
+      static_cast<long long>(rz.shed_tables),
+      static_cast<long long>(rz.expired_tables));
+  d += buf;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Overload sweep (real time scale) — EXPERIMENTS.md "latency under overload"
+
+int RunOverloadSweep(const Env& env) {
+  obs::SetMetricsEnabled(true);
+  std::printf("load_factor tables deadline_ms complete degraded expired shed "
+              "admitted_p99_ms batch_ms\n");
+  for (int load : {1, 2, 4, 8}) {
+    clouddb::CostModel cost;  // real sleeping: time_scale = 1
+    clouddb::SimulatedDatabase db(cost);
+    TASTE_CHECK(db.IngestDataset(env.dataset).ok());
+    core::TasteOptions topt;
+    topt.resilience.enabled = true;
+    topt.resilience.degraded_admit_threshold = 0.5;
+    core::TasteDetector detector(env.model.get(), env.tokenizer.get(), topt);
+
+    pipeline::PipelineOptions popt;
+    popt.prep_threads = 2;
+    popt.infer_threads = 2;
+    popt.deadline_ms = 100.0;
+    popt.admission.enabled = true;
+    popt.admission.max_inflight_tables = 4;
+    popt.admission.max_queued_tables = 8;
+    pipeline::PipelineExecutor exec(&detector, &db, popt);
+
+    // Offered load = load x the infer capacity's comfortable batch (2
+    // workers ~ 2 tables in flight): repeat the table list as needed.
+    std::vector<std::string> targets;
+    const int want = 2 * load;
+    for (int i = 0; i < want; ++i) {
+      targets.push_back(env.table_names[i % env.table_names.size()]);
+    }
+
+    obs::Histogram* h =
+        obs::Registry::Global().GetHistogram("taste_admitted_table_ms");
+    h->Reset();
+    pipeline::BatchResult batch = exec.RunBatch(targets);
+    const auto& rz = exec.resilience_stats();
+    int64_t complete = 0;
+    for (const auto& t : batch.tables) {
+      if (t.outcome == pipeline::TableOutcome::kComplete) ++complete;
+    }
+    std::printf("%-11d %-6zu %-11.0f %-8lld %-8lld %-7lld %-4lld %-15.1f "
+                "%.1f\n",
+                load, targets.size(), popt.deadline_ms,
+                static_cast<long long>(complete),
+                static_cast<long long>(rz.degraded_tables),
+                static_cast<long long>(rz.expired_tables),
+                static_cast<long long>(rz.shed_tables),
+                h->snapshot().Quantile(0.99), exec.stats().wall_ms);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int seeds = 200;
+  uint64_t start_seed = 1;
+  int tables = 10;
+  bool verbose = false;
+  bool overload = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seeds") {
+      seeds = std::atoi(value());
+    } else if (arg == "--start-seed") {
+      start_seed = static_cast<uint64_t>(std::atoll(value()));
+    } else if (arg == "--tables") {
+      tables = std::atoi(value());
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else if (arg == "--overload") {
+      overload = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: chaos_soak [--seeds N] [--start-seed S] "
+                   "[--tables N] [--verbose] [--overload]\n");
+      return 2;
+    }
+  }
+  SetLogLevel(LogLevel::kWarn);
+  Env env = Env::Make(tables);
+  if (overload) return RunOverloadSweep(env);
+
+  obs::SetMetricsEnabled(true);
+
+  // Watchdog: every run must make progress within the window or the
+  // process aborts loudly (the "no hang" invariant).
+  std::atomic<int64_t> epoch{0};
+  std::atomic<bool> stop{false};
+  std::thread watchdog([&] {
+    int64_t last = -1;
+    auto last_change = std::chrono::steady_clock::now();
+    while (!stop.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      const int64_t cur = epoch.load();
+      const auto now = std::chrono::steady_clock::now();
+      if (cur != last) {
+        last = cur;
+        last_change = now;
+      } else if (now - last_change > std::chrono::seconds(120)) {
+        std::fprintf(stderr,
+                     "chaos_soak: WATCHDOG: no progress for 120 s "
+                     "(epoch %lld) — pipeline hang\n",
+                     static_cast<long long>(cur));
+        std::abort();
+      }
+    }
+  });
+
+  int failures = 0;
+  for (int k = 0; k < seeds; ++k) {
+    const uint64_t seed = start_seed + static_cast<uint64_t>(k);
+    Scenario sc = MakeScenario(seed, env);
+    epoch.fetch_add(1);
+    RunOutput first = RunOnce(seed, env, sc);
+    epoch.fetch_add(1);
+    RunOutput replay = RunOnce(seed, env, sc);
+    if (first.digest != replay.digest) {
+      first.violations.push_back(
+          "seed " + std::to_string(seed) +
+          ": replay digest differs (nondeterministic outcome)");
+    }
+    for (const auto& v : first.violations) {
+      std::fprintf(stderr, "chaos_soak: VIOLATION: %s\n", v.c_str());
+    }
+    for (const auto& v : replay.violations) {
+      std::fprintf(stderr, "chaos_soak: VIOLATION (replay): %s\n", v.c_str());
+    }
+    if (!first.violations.empty() || !replay.violations.empty()) ++failures;
+    if (verbose) {
+      std::fprintf(stderr, "seed %llu ok (%zu tables)\n",
+                   static_cast<unsigned long long>(seed), sc.tables.size());
+    }
+  }
+  stop.store(true);
+  watchdog.join();
+
+  if (failures > 0) {
+    std::fprintf(stderr, "chaos_soak: %d/%d seeds FAILED\n", failures, seeds);
+    return 1;
+  }
+  std::printf("chaos_soak: %d seeds green (start %llu)\n", seeds,
+              static_cast<unsigned long long>(start_seed));
+  return 0;
+}

@@ -15,6 +15,15 @@
 //     --list                 list the staged test tables and exit
 //     --metrics-out FILE     run via the pipelined executor and write the
 //                            unified metrics + trace-span JSON to FILE
+//     --deadline-ms X        per-table latency budget (anchored at batch
+//                            entry); expired tables degrade to metadata-only
+//                            after P1 or park with kDeadlineExceeded
+//     --max-inflight N       admission control: at most N tables in flight
+//                            and N queued; the rest are shed (kUnavailable)
+//
+// Exit codes: 0 = every table completed (possibly degraded), 1 = at least
+// one table failed, 2 = bad usage, 3 = at least one table was shed by
+// admission control (and none failed outright).
 
 #include <cstdio>
 #include <cstring>
@@ -42,6 +51,8 @@ struct CliOptions {
   bool json = false;
   bool list = false;
   std::string metrics_out;
+  double deadline_ms = 0.0;
+  int max_inflight = 0;
 };
 
 bool ParseArgs(int argc, char** argv, CliOptions* out) {
@@ -82,6 +93,18 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
       const char* v = need_value("--metrics-out");
       if (v == nullptr) return false;
       out->metrics_out = v;
+    } else if (arg == "--deadline-ms") {
+      const char* v = need_value("--deadline-ms");
+      if (v == nullptr) return false;
+      out->deadline_ms = std::atof(v);
+    } else if (arg == "--max-inflight") {
+      const char* v = need_value("--max-inflight");
+      if (v == nullptr) return false;
+      out->max_inflight = std::atoi(v);
+      if (out->max_inflight <= 0) {
+        std::fprintf(stderr, "--max-inflight must be > 0\n");
+        return false;
+      }
     } else if (arg == "--help" || arg == "-h") {
       return false;
     } else {
@@ -105,7 +128,7 @@ void PrintUsage() {
       stderr,
       "taste_cli [--profile wiki|git] [--table NAME] [--alpha X] [--beta Y]\n"
       "          [--no-p2] [--sample] [--json] [--list]\n"
-      "          [--metrics-out FILE]\n");
+      "          [--metrics-out FILE] [--deadline-ms X] [--max-inflight N]\n");
 }
 
 void PrintText(const core::TableDetectionResult& r,
@@ -185,32 +208,74 @@ int main(int argc, char** argv) {
   }
 
   std::vector<core::TableDetectionResult> results;
-  if (!cli.metrics_out.empty()) {
-    // Observability mode: run the batch through the pipelined executor so
-    // the metrics document carries per-stage latency histograms and
-    // nested trace spans alongside cache/db/retry counters.
-    obs::SetMetricsEnabled(true);
-    obs::SetTracingEnabled(true);
-    pipeline::PipelineExecutor exec(&detector, db->get(), {});
+  int exit_code = 0;
+  const bool serving_knobs = cli.deadline_ms != 0.0 || cli.max_inflight > 0;
+  if (!cli.metrics_out.empty() || serving_knobs) {
+    // Observability / serving mode: run the batch through the pipelined
+    // executor so the metrics document carries per-stage latency histograms
+    // and nested trace spans alongside cache/db/retry counters, and so the
+    // deadline/admission knobs apply.
+    if (!cli.metrics_out.empty()) {
+      obs::SetMetricsEnabled(true);
+      obs::SetTracingEnabled(true);
+    }
+    pipeline::PipelineOptions popt;
+    popt.deadline_ms = cli.deadline_ms;
+    if (cli.max_inflight > 0) {
+      popt.admission.enabled = true;
+      popt.admission.max_inflight_tables = cli.max_inflight;
+      popt.admission.max_queued_tables = cli.max_inflight;
+    }
+    pipeline::PipelineExecutor exec(&detector, db->get(), popt);
     pipeline::BatchResult batch = exec.RunBatch(targets);
+    bool any_failed = false;
     for (size_t i = 0; i < batch.tables.size(); ++i) {
-      if (!batch.tables[i].status.ok()) {
-        std::fprintf(stderr, "detection failed for %s: %s\n",
-                     targets[i].c_str(),
-                     batch.tables[i].status.ToString().c_str());
+      auto& t = batch.tables[i];
+      switch (t.outcome) {
+        case pipeline::TableOutcome::kComplete:
+        case pipeline::TableOutcome::kDegraded:
+          results.push_back(std::move(t.result));
+          break;
+        case pipeline::TableOutcome::kShed:
+        case pipeline::TableOutcome::kExpired:
+          std::fprintf(stderr, "table %s %s: %s\n", targets[i].c_str(),
+                       pipeline::TableOutcomeName(t.outcome),
+                       t.status.ToString().c_str());
+          break;
+        case pipeline::TableOutcome::kFailed:
+          std::fprintf(stderr, "detection failed for %s: %s\n",
+                       targets[i].c_str(), t.status.ToString().c_str());
+          any_failed = true;
+          break;
+      }
+    }
+    const auto& rz = exec.resilience_stats();
+    if (rz.shed_tables + rz.expired_tables + rz.degraded_tables > 0) {
+      std::fprintf(stderr,
+                   "serving outcomes: %lld shed, %lld expired, %lld "
+                   "degraded (of %d tables)\n",
+                   static_cast<long long>(rz.shed_tables),
+                   static_cast<long long>(rz.expired_tables),
+                   static_cast<long long>(rz.degraded_tables),
+                   exec.stats().tables_processed);
+    }
+    if (!cli.metrics_out.empty()) {
+      const auto spans = obs::DrainSpans();
+      if (!obs::WriteMetricsFile(cli.metrics_out,
+                                 obs::Registry::Global().snapshot(),
+                                 &spans)) {
+        std::fprintf(stderr, "failed to write %s\n", cli.metrics_out.c_str());
         return 1;
       }
-      results.push_back(std::move(batch.tables[i].result));
+      std::fprintf(stderr, "wrote metrics to %s (%d tables, %.1f ms wall)\n",
+                   cli.metrics_out.c_str(), exec.stats().tables_processed,
+                   exec.stats().wall_ms);
     }
-    const auto spans = obs::DrainSpans();
-    if (!obs::WriteMetricsFile(cli.metrics_out,
-                               obs::Registry::Global().snapshot(), &spans)) {
-      std::fprintf(stderr, "failed to write %s\n", cli.metrics_out.c_str());
-      return 1;
+    if (any_failed) {
+      exit_code = 1;
+    } else if (rz.shed_tables > 0) {
+      exit_code = 3;  // load was shed; distinct from hard failure
     }
-    std::fprintf(stderr, "wrote metrics to %s (%d tables, %.1f ms wall)\n",
-                 cli.metrics_out.c_str(), exec.stats().tables_processed,
-                 exec.stats().wall_ms);
   } else {
     for (const auto& name : targets) {
       auto res = detector.DetectTable(conn.get(), name);
@@ -236,5 +301,5 @@ int main(int argc, char** argv) {
                 static_cast<long long>(snap.scanned_cells),
                 snap.simulated_io_ms);
   }
-  return 0;
+  return exit_code;
 }
