@@ -1,0 +1,175 @@
+#include "core/p2_batcher.h"
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace taste::core {
+
+namespace {
+
+/// Registry handles, resolved once (registry lookups take a mutex).
+struct BatcherMetrics {
+  obs::Counter* batches;
+  obs::Counter* items;
+  obs::Counter* expired;
+  obs::Histogram* batch_size;
+
+  static BatcherMetrics& Get() {
+    static BatcherMetrics m = [] {
+      obs::Registry& r = obs::Registry::Global();
+      BatcherMetrics x;
+      x.batches = r.GetCounter("taste_p2_batches_total");
+      x.items = r.GetCounter("taste_p2_batch_items_total");
+      x.expired = r.GetCounter("taste_p2_batch_expired_total");
+      x.batch_size = r.GetHistogram("taste_p2_batch_size",
+                                    {1, 2, 3, 4, 6, 8, 12, 16, 24, 32});
+      return x;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
+
+P2MicroBatcher::P2MicroBatcher(const model::AdtdModel* model, Options options)
+    : model_(model), options_(options) {
+  TASTE_CHECK(model_ != nullptr);
+  TASTE_CHECK(options_.max_items >= 1);
+  BatcherMetrics::Get();  // register the metric families eagerly
+}
+
+Result<tensor::Tensor> P2MicroBatcher::Run(
+    const model::EncodedContent& content, const model::EncodedMetadata& meta,
+    const model::AdtdModel::MetadataEncoding& enc, const CancelToken* cancel,
+    tensor::ExecContext* ctx) {
+  if (options_.window_us <= 0 || options_.max_items <= 1) {
+    // Coalescing disabled: run alone, still through the packed entry point
+    // so the serving path exercises one code path either way.
+    if (CancelledNow(cancel)) return cancel->ToStatus("P2 batch");
+    std::vector<tensor::Tensor> out =
+        model_->ForwardContentBatch({{&content, &meta, &enc}}, ctx);
+    if (obs::MetricsEnabled()) {
+      BatcherMetrics& m = BatcherMetrics::Get();
+      m.batches->Inc();
+      m.items->Inc();
+      m.batch_size->Observe(1.0);
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.batches;
+    ++stats_.items;
+    return out[0];
+  }
+
+  Request req;
+  req.item = {&content, &meta, &enc};
+  req.cancel = cancel;
+
+  std::unique_lock<std::mutex> lock(mu_);
+  queue_.push_back(&req);
+  cv_.notify_all();  // a collecting leader may want to flush early
+  while (!req.done) {
+    if (!leader_active_) {
+      leader_active_ = true;
+      LeadBatch(lock, ctx);
+      leader_active_ = false;
+      cv_.notify_all();
+      continue;  // our request may have been in the batch we just led
+    }
+    cv_.wait(lock);
+  }
+  if (req.cancelled) {
+    return req.cancel != nullptr ? req.cancel->ToStatus("P2 batch queue")
+                                 : Status::Cancelled("P2 batch queue");
+  }
+  return req.logits;
+}
+
+void P2MicroBatcher::LeadBatch(std::unique_lock<std::mutex>& lock,
+                               tensor::ExecContext* ctx) {
+  using Clock = std::chrono::steady_clock;
+  // Collect until the queue fills a batch, the window closes, or the queue
+  // goes quiet. Only a bounded set of infer workers can contribute, so once
+  // a quiet interval (a fraction of the window) passes with no new arrival
+  // there is nobody left to wait for and sleeping out the rest of the
+  // window would be pure added latency. The wait is additionally capped by
+  // the tightest remaining deadline among queued requests, so a chunk whose
+  // budget is nearly gone forces a prompt flush instead of idling out the
+  // rest of its budget here.
+  const Clock::time_point window_end =
+      Clock::now() + std::chrono::microseconds(options_.window_us);
+  const std::chrono::microseconds quiet(
+      std::max<int64_t>(1, options_.window_us / 8));
+  size_t seen_size = queue_.size();
+  while (static_cast<int>(queue_.size()) < options_.max_items) {
+    Clock::time_point flush_at = std::min(window_end, Clock::now() + quiet);
+    for (const Request* r : queue_) {
+      if (r->cancel == nullptr || r->cancel->deadline().IsInfinite()) continue;
+      const double remaining_us =
+          r->cancel->deadline().RemainingMillis() * 1000.0;
+      Clock::time_point latest =
+          Clock::now() +
+          std::chrono::microseconds(static_cast<int64_t>(remaining_us));
+      flush_at = std::min(flush_at, latest);
+    }
+    if (cv_.wait_until(lock, flush_at) == std::cv_status::timeout) {
+      if (Clock::now() >= window_end) break;
+      if (queue_.size() == seen_size) break;  // quiet: no growth, flush now
+      seen_size = queue_.size();
+    }
+  }
+
+  // Drain up to max_items, skipping requests whose token fired while they
+  // sat in the queue: they are answered with their cancellation status and
+  // the executor's expire/degrade routing takes over.
+  std::vector<Request*> batch;
+  std::vector<model::AdtdModel::P2BatchItem> items;
+  while (!queue_.empty() &&
+         static_cast<int>(batch.size()) < options_.max_items) {
+    Request* r = queue_.front();
+    queue_.pop_front();
+    if (CancelledNow(r->cancel)) {
+      r->cancelled = true;
+      r->done = true;
+      ++stats_.expired_in_queue;
+      if (obs::MetricsEnabled()) BatcherMetrics::Get().expired->Inc();
+      continue;
+    }
+    batch.push_back(r);
+    items.push_back(r->item);
+  }
+  if (batch.empty()) {
+    cv_.notify_all();  // cancelled waiters need to observe done
+    return;
+  }
+
+  lock.unlock();
+  // The packed forward runs under the leader's context; which thread leads
+  // does not affect the bytes (ForwardContentBatch is byte-identical per
+  // item for any batch composition and any context).
+  std::vector<tensor::Tensor> logits = model_->ForwardContentBatch(items, ctx);
+  lock.lock();
+
+  for (size_t i = 0; i < batch.size(); ++i) {
+    batch[i]->logits = std::move(logits[i]);
+    batch[i]->done = true;
+  }
+  ++stats_.batches;
+  stats_.items += static_cast<int64_t>(batch.size());
+  if (obs::MetricsEnabled()) {
+    BatcherMetrics& m = BatcherMetrics::Get();
+    m.batches->Inc();
+    m.items->Inc(static_cast<int64_t>(batch.size()));
+    m.batch_size->Observe(static_cast<double>(batch.size()));
+  }
+  cv_.notify_all();
+}
+
+P2MicroBatcher::Stats P2MicroBatcher::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace taste::core

@@ -1,0 +1,106 @@
+// Cross-table micro-batching for P2 content-tower inference.
+//
+// The pipelined executor runs P2 inference on several worker threads, each
+// holding one column-chunk at a time. Chunks are small (a handful of
+// uncertain columns, tens of content tokens), so each ForwardContent call
+// wastes the blocked-GEMM kernels on tiny matrices. The micro-batcher
+// coalesces concurrent P2 requests — from *different* tables — into one
+// AdtdModel::ForwardContentBatch call, amortizing per-op overhead over a
+// larger packed GEMM (Orca/Clipper-style adaptive batching, see PAPERS.md).
+//
+// Scheme: leader/follower, no dedicated thread. The first worker to arrive
+// becomes the leader; it waits up to the batching window for more arrivals
+// (never longer than the tightest remaining deadline among queued
+// requests), flushing early once the queue goes quiet — with a bounded
+// worker pool, an interval with no new arrival means nobody is coming and
+// further waiting is pure latency. It drains up to max_items, runs the
+// batched forward under its own
+// ExecContext, and hands each follower its logits slice. Followers block in
+// Run() until fulfilled. A request whose CancelToken fires while queued is
+// excluded from the forward and returns its token's status, so the
+// executor's existing expire/degrade routing applies — an expiring chunk is
+// flushed or degraded, never stranded in the batcher.
+//
+// Determinism: batch composition depends on thread timing, but the batched
+// forward is byte-identical per item to the sequential ForwardContent
+// (tests/batching_diff_test.cc), so detection outputs do not depend on how
+// requests happened to coalesce — chaos_soak replays stay byte-identical
+// with batching enabled.
+
+#ifndef TASTE_CORE_P2_BATCHER_H_
+#define TASTE_CORE_P2_BATCHER_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "common/deadline.h"
+#include "model/adtd.h"
+#include "tensor/exec_context.h"
+
+namespace taste::core {
+
+/// Coalesces concurrent P2 content forwards into packed batch forwards.
+/// Thread-safe; one instance is shared by all P2 infer workers of an
+/// executor run.
+class P2MicroBatcher {
+ public:
+  struct Options {
+    /// How long the leader waits for more requests before flushing, in
+    /// microseconds. 0 disables coalescing (every request runs alone
+    /// through the packed path).
+    int window_us = 200;
+    /// Max items packed into one forward. Bounds padding waste and keeps
+    /// the window's latency cost per item small.
+    int max_items = 8;
+  };
+
+  struct Stats {
+    int64_t batches = 0;        // forwards run
+    int64_t items = 0;          // requests served through a forward
+    int64_t expired_in_queue = 0;  // requests cancelled while queued
+  };
+
+  P2MicroBatcher(const model::AdtdModel* model, Options options);
+
+  /// Runs one content forward through the coalescing queue. Blocks until
+  /// the logits are ready or `cancel` fires while queued. The referenced
+  /// encodings must stay alive for the duration of the call. `ctx` is used
+  /// when this thread ends up leading a batch; the result is byte-identical
+  /// either way.
+  Result<tensor::Tensor> Run(const model::EncodedContent& content,
+                             const model::EncodedMetadata& meta,
+                             const model::AdtdModel::MetadataEncoding& enc,
+                             const CancelToken* cancel,
+                             tensor::ExecContext* ctx);
+
+  Stats stats() const;
+  const Options& options() const { return options_; }
+
+ private:
+  struct Request {
+    model::AdtdModel::P2BatchItem item;
+    const CancelToken* cancel = nullptr;
+    bool done = false;
+    bool cancelled = false;
+    tensor::Tensor logits;
+  };
+
+  /// Drains up to max_items live requests, runs the packed forward, and
+  /// fulfills them. Called with `lock` held; returns with it held.
+  void LeadBatch(std::unique_lock<std::mutex>& lock,
+                 tensor::ExecContext* ctx);
+
+  const model::AdtdModel* model_;
+  Options options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Request*> queue_;  // not owned; each lives on its caller's stack
+  bool leader_active_ = false;
+  Stats stats_;
+};
+
+}  // namespace taste::core
+
+#endif  // TASTE_CORE_P2_BATCHER_H_

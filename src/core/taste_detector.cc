@@ -3,6 +3,7 @@
 #include <map>
 
 #include "common/string_util.h"
+#include "core/p2_batcher.h"
 #include "obs/trace.h"
 #include "tensor/ops.h"
 
@@ -40,7 +41,8 @@ TasteDetector::TasteDetector(const AdtdModel* model,
       options_(options),
       input_config_(ApplyOverrides(model->config().input, options)),
       encoder_(tokenizer, input_config_),
-      cache_(std::make_unique<model::LatentCache>(options.cache_capacity)) {
+      cache_(std::make_unique<model::LatentCache>(
+          options.cache_capacity, std::max(1, options.cache_shards))) {
   TASTE_CHECK(model_ != nullptr && tokenizer_ != nullptr);
   TASTE_CHECK_MSG(options_.alpha >= 0 && options_.alpha <= options_.beta &&
                       options_.beta <= 1.0,
@@ -287,7 +289,31 @@ Status TasteDetector::PrepareP2(clouddb::Connection* conn, Job* job) const {
   return first_error;
 }
 
-Status TasteDetector::InferP2(Job* job, tensor::ExecContext* ctx) const {
+void TasteDetector::ApplyContentProbs(const EncodedContent& content,
+                                      const std::vector<float>& probs,
+                                      int result_offset, Job* job) const {
+  const int num_types = model_->config().num_types;
+  // A^c = A2^c for uncertain columns.
+  for (size_t k = 0; k < content.scanned.size(); ++k) {
+    int local = content.scanned[k];
+    ColumnPrediction& pred =
+        job->result.columns[static_cast<size_t>(result_offset + local)];
+    pred.went_to_p2 = true;
+    pred.admitted_types.clear();
+    pred.probabilities.assign(
+        probs.begin() + static_cast<int64_t>(k) * num_types,
+        probs.begin() + static_cast<int64_t>(k + 1) * num_types);
+    for (int s = 0; s < num_types; ++s) {
+      if (pred.probabilities[static_cast<size_t>(s)] >=
+          options_.p2_admit_threshold) {
+        pred.admitted_types.push_back(s);
+      }
+    }
+  }
+}
+
+Status TasteDetector::InferP2(Job* job, tensor::ExecContext* ctx,
+                              P2MicroBatcher* batcher) const {
   TASTE_SPAN("detector.p2_infer");
   TASTE_CHECK(job != nullptr);
   if (!job->needs_p2) return Status::OK();
@@ -298,7 +324,6 @@ Status TasteDetector::InferP2(Job* job, tensor::ExecContext* ctx) const {
   tensor::ScopedCancelToken cancel_scope(tensor::ExecContext::Current(),
                                          job->cancel);
   tensor::NoGradGuard no_grad;
-  const int num_types = model_->config().num_types;
   int result_offset = 0;
   for (size_t i = 0; i < job->chunks.size(); ++i) {
     const EncodedMetadata& chunk = job->chunks[i];
@@ -325,31 +350,26 @@ Status TasteDetector::InferP2(Job* job, tensor::ExecContext* ctx) const {
           return job->cancel->ToStatus("P2 inference for " +
                                        job->table_name);
         }
-        tensor::Tensor logits = model_->ForwardContent(content, chunk, enc);
+        tensor::Tensor logits;
+        if (batcher != nullptr) {
+          // Cross-table micro-batching: the forward may run coalesced with
+          // other workers' chunks (byte-identical to running alone). A
+          // token firing while queued surfaces here as its Status.
+          auto batched = batcher->Run(content, chunk, enc, job->cancel, ctx);
+          if (!batched.ok()) return batched.status();
+          logits = std::move(*batched);
+        } else {
+          logits = model_->ForwardContent(content, chunk, enc);
+        }
         if (CancelledNow(job->cancel)) {
-          // The cross-attention forward may have bailed between layers —
-          // discard the (potentially partial) logits.
+          // The cross-attention forward may have bailed between layers
+          // (unbatched) — and either way an expired table must not keep
+          // absorbing fresh predictions. Discard the logits.
           return job->cancel->ToStatus("P2 inference for " +
                                        job->table_name);
         }
         std::vector<float> probs = tensor::SigmoidValues(logits);
-        // A^c = A2^c for uncertain columns.
-        for (size_t k = 0; k < content.scanned.size(); ++k) {
-          int local = content.scanned[k];
-          ColumnPrediction& pred =
-              job->result.columns[static_cast<size_t>(result_offset + local)];
-          pred.went_to_p2 = true;
-          pred.admitted_types.clear();
-          pred.probabilities.assign(
-              probs.begin() + static_cast<int64_t>(k) * num_types,
-              probs.begin() + static_cast<int64_t>(k + 1) * num_types);
-          for (int s = 0; s < num_types; ++s) {
-            if (pred.probabilities[static_cast<size_t>(s)] >=
-                options_.p2_admit_threshold) {
-              pred.admitted_types.push_back(s);
-            }
-          }
-        }
+        ApplyContentProbs(content, probs, result_offset, job);
       }
     }
     result_offset += chunk.num_columns;

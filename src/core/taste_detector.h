@@ -33,6 +33,8 @@
 
 namespace taste::core {
 
+class P2MicroBatcher;
+
 /// Fault-tolerance behaviour of the serving path (DESIGN.md §5).
 /// Disabled by default: with `enabled == false` the detector is
 /// byte-identical to the historical happy-path implementation.
@@ -69,6 +71,11 @@ struct TasteOptions {
   /// P2 admission threshold on the content classifier's probabilities.
   double p2_admit_threshold = 0.5;
   size_t cache_capacity = 4096;
+  /// Lock shards of the latent cache (see model/latent_cache.h). 1 keeps
+  /// the historical single-mutex behaviour; pipeline deployments set this
+  /// to ~the number of infer workers so P1/P2 stages stop serializing on
+  /// one cache mutex.
+  int cache_shards = 1;
   /// Serving-time overrides of the model's input configuration (paper
   /// Sec. 6.8 varies l and n at detection time); 0 keeps the model default.
   int override_cells_per_column = 0;     // n
@@ -130,8 +137,12 @@ class TasteDetector {
   /// S1 of P2: scan content of uncertain columns only.
   Status PrepareP2(clouddb::Connection* conn, Job* job) const;
   /// S2 of P2: content-tower inference over cached metadata latents and
-  /// final A^c merge.
-  Status InferP2(Job* job, tensor::ExecContext* ctx = nullptr) const;
+  /// final A^c merge. With `batcher` set, each content forward is routed
+  /// through the cross-table micro-batcher (core/p2_batcher.h) instead of
+  /// running alone; results are byte-identical either way, so this only
+  /// changes throughput, never output.
+  Status InferP2(Job* job, tensor::ExecContext* ctx = nullptr,
+                 P2MicroBatcher* batcher = nullptr) const;
 
   /// Deadline-expiry degrade: serves every uncertain column that has no P2
   /// prediction yet from its P1 metadata-only probabilities (provenance
@@ -162,6 +173,7 @@ class TasteDetector {
 
   const TasteOptions& options() const { return options_; }
   model::LatentCache& cache() const { return *cache_; }
+  const model::AdtdModel& model() const { return *model_; }
 
   /// Per-table circuit breakers (present iff resilience is enabled with
   /// use_breaker). Exposed so executors can report breaker trips.
@@ -172,6 +184,12 @@ class TasteDetector {
   /// Applies the alpha/beta rules to one chunk's P1 probabilities.
   void ClassifyP1Chunk(const model::EncodedMetadata& chunk,
                        const std::vector<float>& probs, Job* job) const;
+  /// Writes one content batch's sigmoid probabilities into the job result
+  /// (A^c = A2^c admission) — shared by the sequential and micro-batched
+  /// InferP2 paths. `result_offset` is the chunk's first column index.
+  void ApplyContentProbs(const model::EncodedContent& content,
+                         const std::vector<float>& probs, int result_offset,
+                         Job* job) const;
   /// Marks one chunk's uncertain columns as degraded-to-P1 (or failed) in
   /// the job result. `result_offset` is the chunk's first column index.
   void DegradeChunk(size_t chunk_index, int result_offset,

@@ -10,6 +10,7 @@
 #include <unordered_map>
 
 #include "common/stopwatch.h"
+#include "core/p2_batcher.h"
 #include "obs/export.h"
 #include "tensor/exec_context.h"
 
@@ -429,6 +430,17 @@ void PipelineExecutor::RunPipelined(
     return slot.get();
   };
 
+  // Cross-table P2 micro-batching: one coalescing queue shared by all TP2
+  // workers (nullopt = off, legacy per-chunk dispatch). Declared before the
+  // pools so every worker task outlives it sees a live batcher.
+  std::optional<core::P2MicroBatcher> p2_batcher;
+  if (options_.batch_window_us > 0) {
+    core::P2MicroBatcher::Options bopt;
+    bopt.window_us = options_.batch_window_us;
+    bopt.max_items = options_.max_batch_items;
+    p2_batcher.emplace(&detector_->model(), bopt);
+  }
+
   // max_extra_queued = 0: TrySubmit admits a stage only when a worker slot
   // is free, so the dispatch gate is exactly Algorithm 1's "pool not full".
   ThreadPool tp1(static_cast<size_t>(options_.prep_threads),
@@ -528,7 +540,8 @@ void PipelineExecutor::RunPipelined(
           break;
         }
         case Stage::kP2Infer:
-          status = detector_->InferP2(&st.job, infer_context());
+          status = detector_->InferP2(&st.job, infer_context(),
+                                      p2_batcher ? &*p2_batcher : nullptr);
           break;
         case Stage::kDone:
           break;

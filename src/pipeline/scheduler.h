@@ -94,6 +94,15 @@ struct PipelineOptions {
   const CancelToken* cancel = nullptr;
   /// Admission control / load shedding (off by default).
   AdmissionPolicy admission;
+  /// Cross-table P2 micro-batching (core/p2_batcher.h): when > 0, P2
+  /// content forwards from concurrent infer workers coalesce for up to
+  /// this many microseconds into one packed batch forward. Outputs are
+  /// byte-identical to the unbatched path; only throughput changes. The
+  /// wait never exceeds a queued table's remaining deadline, so deadline
+  /// propagation holds. 0 (default) = off, exact legacy dispatch.
+  int batch_window_us = 0;
+  /// Max column-chunks per coalesced P2 forward.
+  int max_batch_items = 8;
 };
 
 /// Timing/throughput of one Run()/RunBatch().

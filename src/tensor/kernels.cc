@@ -73,20 +73,34 @@ void PackB(float* __restrict dst, const float* b, int64_t p0, int64_t kb,
 }
 
 /// C-tile update from packed panels: C[.. , ..] += pa * pb where pa is
-/// (mb x kb) and pb is (kb x nb). The accumulators are seeded from C and
-/// updated in increasing-p order, so each element's floating-point
+/// (mb_pad x kb) with mb_pad a multiple of kMr — rows at and past `live`
+/// are zero-filled padding whose results are discarded; only the first
+/// `live` rows of C are read or written. The accumulators are seeded from
+/// C and updated in increasing-p order, so each element's floating-point
 /// summation order is exactly the naive kernel's.
+///
+/// There is deliberately NO scalar row-remainder path: every row — padding
+/// included — flows through the one kMr-band accumulation loop, so a row's
+/// bits depend only on its own A-row, the B panel, and the k/n blocking,
+/// never on where the row sits inside M. (A per-loop-shape remainder would
+/// let the compiler contract mul+add differently there, making row bytes
+/// shift when rows are concatenated — exactly what the cross-table P2
+/// batcher's byte-identity guarantee forbids.)
 void MicroTile(const float* __restrict pa, const float* __restrict pb,
-               float* __restrict c, int64_t ldc, int64_t mb, int64_t nb,
-               int64_t kb) {
-  int64_t i = 0;
-  for (; i + kMr <= mb; i += kMr) {
+               float* __restrict c, int64_t ldc, int64_t mb_pad, int64_t nb,
+               int64_t kb, int64_t live) {
+  for (int64_t i = 0; i < mb_pad; i += kMr) {
+    const int64_t band_live = std::min(kMr, live - i);
     int64_t j = 0;
     for (; j + kNr <= nb; j += kNr) {
       float acc[kMr][kNr];
       for (int64_t r = 0; r < kMr; ++r) {
-        const float* crow = c + (i + r) * ldc + j;
-        for (int64_t t = 0; t < kNr; ++t) acc[r][t] = crow[t];
+        if (r < band_live) {
+          const float* crow = c + (i + r) * ldc + j;
+          for (int64_t t = 0; t < kNr; ++t) acc[r][t] = crow[t];
+        } else {
+          for (int64_t t = 0; t < kNr; ++t) acc[r][t] = 0.0f;
+        }
       }
       const float* a0 = pa + (i + 0) * kb;
       const float* a1 = pa + (i + 1) * kb;
@@ -102,28 +116,20 @@ void MicroTile(const float* __restrict pa, const float* __restrict pb,
           acc[3][t] += av3 * brow[t];
         }
       }
-      for (int64_t r = 0; r < kMr; ++r) {
+      for (int64_t r = 0; r < band_live; ++r) {
         float* crow = c + (i + r) * ldc + j;
         for (int64_t t = 0; t < kNr; ++t) crow[t] = acc[r][t];
       }
     }
-    // Column remainder of the 4-row band.
+    // Column remainder of the band: one scalar chain per element, identical
+    // for every row position.
     for (; j < nb; ++j) {
-      for (int64_t r = 0; r < kMr; ++r) {
+      for (int64_t r = 0; r < band_live; ++r) {
         const float* arow = pa + (i + r) * kb;
         float s = c[(i + r) * ldc + j];
         for (int64_t p = 0; p < kb; ++p) s += arow[p] * pb[p * nb + j];
         c[(i + r) * ldc + j] = s;
       }
-    }
-  }
-  // Row remainder.
-  for (; i < mb; ++i) {
-    const float* arow = pa + i * kb;
-    for (int64_t j = 0; j < nb; ++j) {
-      float s = c[i * ldc + j];
-      for (int64_t p = 0; p < kb; ++p) s += arow[p] * pb[p * nb + j];
-      c[i * ldc + j] = s;
     }
   }
 }
@@ -152,8 +158,13 @@ void GemmBlockedRows(const float* a, const float* b, float* c, int64_t m,
       PackB(s.b.data(), b, p0, kb, j0, nb, n, k, trans_b);
       for (int64_t i0 = r0; i0 < r1; i0 += kMc) {
         const int64_t mb = std::min(kMc, r1 - i0);
+        const int64_t mb_pad = (mb + kMr - 1) / kMr * kMr;
         PackA(s.a.data(), a, i0, mb, p0, kb, m, k, trans_a);
-        MicroTile(s.a.data(), s.b.data(), c + i0 * n + j0, n, mb, nb, kb);
+        // Zero-fill the padding rows so the micro kernel can treat every
+        // band as full; their (discarded) products are exact zeros.
+        std::fill(s.a.data() + mb * kb, s.a.data() + mb_pad * kb, 0.0f);
+        MicroTile(s.a.data(), s.b.data(), c + i0 * n + j0, n, mb_pad, nb, kb,
+                  mb);
       }
     }
   }

@@ -12,11 +12,19 @@
 // count — so the serial blocked kernel and every parallel partitioning
 // produce BITWISE identical results to each other. That self-consistency is
 // what makes pipeline output byte-identical whatever ExecContext (pooled or
-// heap, serial or intra-op parallel) is in effect. Parity with the naive
+// heap, serial or intra-op parallel) is in effect. Stronger still, a C
+// row's bits depend only on its own op(A) row and op(B) — NOT on m or on
+// where the row sits inside M. The packed A panel is zero-padded to a whole
+// number of register bands so every row, at every offset, runs the exact
+// same micro-kernel instruction sequence; concatenating extra rows above or
+// below leaves existing rows bitwise unchanged. The cross-table P2
+// micro-batcher's byte-identity guarantee rests on this row-stability (all
+// other forward ops are row-wise by construction). Parity with the naive
 // GemmAccRef is 1e-5 relative, not bitwise: the reference's rounding
 // differs by accumulation seeding (transposed variants) and by how the
 // compiler contracts mul+add to FMA in each loop shape. kernels_test
-// checks exactly this split.
+// checks exactly this split, and batching_diff_test is the end-to-end
+// proof of the row-stability clause.
 
 #ifndef TASTE_TENSOR_KERNELS_H_
 #define TASTE_TENSOR_KERNELS_H_

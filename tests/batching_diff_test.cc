@@ -1,0 +1,266 @@
+// Differential test rig for cross-table P2 micro-batching: the batched
+// content-tower forward (AdtdModel::ForwardContentBatch, and the
+// P2MicroBatcher / PipelineExecutor layers above it) must be BYTE-identical
+// to the sequential per-chunk ForwardContent across randomized table mixes,
+// batch sizes, item orders (padding widths vary with each item's content
+// sequence length), and cache hit/miss interleavings. The guarantee rests
+// on the kernel determinism contract (tensor/kernels.h: every output
+// element accumulates in fixed k-order from only its own row/column) and
+// exact softmax masking (-1e9 underflows to 0 after exp) — this rig is the
+// executable proof.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/fpu.h"
+#include "core/p2_batcher.h"
+#include "core/taste_detector.h"
+#include "data/table_generator.h"
+#include "pipeline/scheduler.h"
+
+namespace taste::core {
+namespace {
+
+// Pin the FPU environment of the test thread; worker threads are armed by
+// the tensor library on their first op.
+FlushDenormalsScope pin_fpu;
+
+struct Env {
+  data::Dataset dataset;
+  std::unique_ptr<text::WordPieceTokenizer> tokenizer;
+  std::unique_ptr<model::AdtdModel> model;
+  std::unique_ptr<clouddb::SimulatedDatabase> db;
+  std::vector<std::string> table_names;
+
+  static Env Make(int tables) {
+    Env e;
+    e.dataset = data::GenerateDataset(data::DatasetProfile::WikiLike(tables));
+    text::WordPieceTrainer trainer({.vocab_size = 400});
+    for (const auto& d : data::BuildCorpusDocuments(e.dataset)) {
+      trainer.AddDocument(d);
+    }
+    e.tokenizer = std::make_unique<text::WordPieceTokenizer>(trainer.Train());
+    model::AdtdConfig cfg = model::AdtdConfig::Tiny(
+        e.tokenizer->vocab().size(),
+        data::SemanticTypeRegistry::Default().size());
+    Rng rng(11);
+    e.model = std::make_unique<model::AdtdModel>(cfg, rng);
+    e.db = std::make_unique<clouddb::SimulatedDatabase>(clouddb::CostModel{});
+    TASTE_CHECK(e.db->IngestDataset(e.dataset).ok());
+    for (const auto& t : e.dataset.tables) e.table_names.push_back(t.name);
+    return e;
+  }
+};
+
+/// One P2 work item harvested from a real detector job, plus the reference
+/// logits the sequential path produced for it.
+struct Item {
+  model::AdtdModel::P2BatchItem batch_item;
+  tensor::Tensor want;  // sequential ForwardContent logits
+};
+
+/// Runs P1 prep/infer + P2 prep for every table (the untrained Tiny model
+/// leaves every column uncertain, so all tables enter P2) and harvests all
+/// (content, meta, latents) triples. Jobs are kept alive in `jobs` so the
+/// pointers in the returned items stay valid.
+std::vector<Item> HarvestItems(
+    const Env& e, const TasteDetector& det,
+    std::vector<std::unique_ptr<TasteDetector::Job>>* jobs) {
+  auto conn = e.db->Connect();
+  std::vector<Item> items;
+  for (const auto& name : e.table_names) {
+    auto job = std::make_unique<TasteDetector::Job>();
+    TASTE_CHECK(det.PrepareP1(conn.get(), name, job.get()).ok());
+    TASTE_CHECK(det.InferP1(job.get()).ok());
+    TASTE_CHECK(det.PrepareP2(conn.get(), job.get()).ok());
+    for (size_t i = 0; i < job->chunks.size(); ++i) {
+      for (const auto& content : job->contents[i]) {
+        if (content.scanned.empty()) continue;
+        Item it;
+        it.batch_item = {&content, &job->chunks[i], &job->encodings[i]};
+        it.want = det.model().ForwardContent(content, job->chunks[i],
+                                             job->encodings[i]);
+        items.push_back(std::move(it));
+      }
+    }
+    jobs->push_back(std::move(job));
+  }
+  TASTE_CHECK(!items.empty());
+  return items;
+}
+
+::testing::AssertionResult BytesEqual(const tensor::Tensor& want,
+                                      const tensor::Tensor& got) {
+  if (want.dim(0) != got.dim(0) || want.dim(1) != got.dim(1)) {
+    return ::testing::AssertionFailure()
+           << "shape (" << want.dim(0) << "," << want.dim(1) << ") vs ("
+           << got.dim(0) << "," << got.dim(1) << ")";
+  }
+  if (std::memcmp(want.data(), got.data(),
+                  static_cast<size_t>(want.numel()) * sizeof(float)) != 0) {
+    for (int64_t i = 0; i < want.numel(); ++i) {
+      if (want.data()[i] != got.data()[i]) {
+        return ::testing::AssertionFailure()
+               << "first byte-diff at flat index " << i << ": "
+               << want.data()[i] << " vs " << got.data()[i];
+      }
+    }
+    return ::testing::AssertionFailure() << "memcmp diff (sign of zero?)";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+TEST(BatchingDiffTest, SingleItemBatchMatchesSequential) {
+  Env e = Env::Make(4);
+  TasteDetector det(e.model.get(), e.tokenizer.get(), {});
+  std::vector<std::unique_ptr<TasteDetector::Job>> jobs;
+  auto items = HarvestItems(e, det, &jobs);
+  for (const Item& it : items) {
+    auto out = det.model().ForwardContentBatch({it.batch_item});
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_TRUE(BytesEqual(it.want, out[0]));
+  }
+}
+
+TEST(BatchingDiffTest, RandomizedMixesByteIdenticalAcross50Seeds) {
+  // >= 50 randomized batch compositions: random size (1..8), random item
+  // mix across tables (duplicates allowed — the same chunk may be in
+  // flight twice under retries), random order. Padding varies per draw
+  // because items have different content sequence lengths. Every item's
+  // slice must equal its sequential logits bit for bit.
+  Env e = Env::Make(6);
+  TasteDetector det(e.model.get(), e.tokenizer.get(), {});
+  std::vector<std::unique_ptr<TasteDetector::Job>> jobs;
+  auto items = HarvestItems(e, det, &jobs);
+  ASSERT_GE(items.size(), 4u);
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    Rng rng(seed * 7919);
+    const size_t batch_size = 1 + rng.NextU64() % 8;
+    std::vector<const Item*> picked;
+    std::vector<model::AdtdModel::P2BatchItem> batch;
+    for (size_t k = 0; k < batch_size; ++k) {
+      const Item& it = items[rng.NextU64() % items.size()];
+      picked.push_back(&it);
+      batch.push_back(it.batch_item);
+    }
+    auto out = det.model().ForwardContentBatch(batch);
+    ASSERT_EQ(out.size(), batch.size());
+    for (size_t k = 0; k < batch.size(); ++k) {
+      EXPECT_TRUE(BytesEqual(picked[k]->want, out[k]))
+          << "seed " << seed << " slot " << k;
+    }
+  }
+}
+
+TEST(BatchingDiffTest, CacheHitAndMissLatentsProduceSameBytes) {
+  // The latents an item attends over may come from the latent cache (hit),
+  // the job's own copy, or a metadata-tower recompute (miss after
+  // eviction). All three hold bitwise-equal tensors, so the batched
+  // forward must not care which one is plugged in.
+  Env e = Env::Make(3);
+  TasteDetector det(e.model.get(), e.tokenizer.get(), {});
+  std::vector<std::unique_ptr<TasteDetector::Job>> jobs;
+  auto items = HarvestItems(e, det, &jobs);
+  const Item& it = items.front();
+
+  // Recompute (cache-miss path) and cached-copy variants of the latents.
+  model::AdtdModel::MetadataEncoding recomputed =
+      det.model().ForwardMetadata(*it.batch_item.meta);
+  model::AdtdModel::P2BatchItem miss_item = it.batch_item;
+  miss_item.meta_encoding = &recomputed;
+
+  // Interleave hit- and miss-latent items in one batch.
+  auto out = det.model().ForwardContentBatch(
+      {it.batch_item, miss_item, it.batch_item});
+  ASSERT_EQ(out.size(), 3u);
+  for (const auto& logits : out) EXPECT_TRUE(BytesEqual(it.want, logits));
+}
+
+TEST(BatchingDiffTest, MicroBatcherCoalescedResultsMatchSequential) {
+  // Drive the leader/follower batcher from several threads at once; every
+  // returned logits tensor must equal its item's sequential reference
+  // regardless of how requests coalesced.
+  Env e = Env::Make(6);
+  TasteDetector det(e.model.get(), e.tokenizer.get(), {});
+  std::vector<std::unique_ptr<TasteDetector::Job>> jobs;
+  auto items = HarvestItems(e, det, &jobs);
+
+  P2MicroBatcher batcher(&det.model(),
+                         {.window_us = 2000, .max_items = 4});
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 6;
+  std::vector<std::thread> threads;
+  std::vector<int> failures(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(1000 + static_cast<uint64_t>(t));
+      for (int k = 0; k < kPerThread; ++k) {
+        const Item& it = items[rng.NextU64() % items.size()];
+        auto got = batcher.Run(*it.batch_item.content, *it.batch_item.meta,
+                               *it.batch_item.meta_encoding,
+                               /*cancel=*/nullptr, /*ctx=*/nullptr);
+        if (!got.ok() || !BytesEqual(it.want, *got)) ++failures[t];
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(failures[t], 0) << "thread " << t;
+  // Every request was served by some batch; coalescing must not lose or
+  // duplicate items.
+  EXPECT_EQ(batcher.stats().items, kThreads * kPerThread);
+  EXPECT_GE(batcher.stats().batches, 1);
+  EXPECT_EQ(batcher.stats().expired_in_queue, 0);
+}
+
+TEST(BatchingDiffTest, MicroBatcherHonorsExpiredToken) {
+  Env e = Env::Make(2);
+  TasteDetector det(e.model.get(), e.tokenizer.get(), {});
+  std::vector<std::unique_ptr<TasteDetector::Job>> jobs;
+  auto items = HarvestItems(e, det, &jobs);
+  const Item& it = items.front();
+  P2MicroBatcher batcher(&det.model(), {.window_us = 1000, .max_items = 4});
+  CancelToken fired(Deadline::AfterMillis(-1.0));
+  auto got = batcher.Run(*it.batch_item.content, *it.batch_item.meta,
+                         *it.batch_item.meta_encoding, &fired, nullptr);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(batcher.stats().expired_in_queue, 1);
+}
+
+TEST(BatchingDiffTest, ExecutorWithBatchingByteIdenticalToSequential) {
+  // End to end: the pipelined executor with the micro-batcher armed must
+  // produce bit-for-bit the probabilities of direct sequential detection,
+  // whatever batches its four infer workers happened to form.
+  Env e = Env::Make(8);
+  TasteDetector det(e.model.get(), e.tokenizer.get(), {.cache_shards = 4});
+  pipeline::PipelineOptions popt;
+  popt.infer_threads = 4;
+  popt.batch_window_us = 1000;
+  popt.max_batch_items = 8;
+  pipeline::PipelineExecutor exec(&det, e.db.get(), popt);
+  auto got = exec.Run(e.table_names);
+  ASSERT_TRUE(got.ok());
+  auto conn = e.db->Connect();
+  for (size_t i = 0; i < e.table_names.size(); ++i) {
+    auto want = det.DetectTable(conn.get(), e.table_names[i]);
+    ASSERT_TRUE(want.ok());
+    ASSERT_EQ(want->columns.size(), (*got)[i].columns.size());
+    for (size_t c = 0; c < want->columns.size(); ++c) {
+      const auto& w = want->columns[c];
+      const auto& g = (*got)[i].columns[c];
+      EXPECT_EQ(w.admitted_types, g.admitted_types);
+      ASSERT_EQ(w.probabilities.size(), g.probabilities.size());
+      for (size_t p = 0; p < w.probabilities.size(); ++p) {
+        EXPECT_EQ(w.probabilities[p], g.probabilities[p])
+            << e.table_names[i] << " col " << c << " prob " << p;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace taste::core

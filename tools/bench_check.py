@@ -8,7 +8,12 @@ and exits non-zero when either
   * any GEMM shape's blocked-kernel GFLOP/s dropped by more than the
     threshold (default 25%), or
   * either end-to-end wall time (sequential or pipelined) grew by more
-    than the threshold.
+    than the threshold, or
+  * a P2 micro-batching row's batched_ms grew by more than the threshold
+    against the same batch size in the baseline, or
+  * the batched-serving run (p2_serving) slowed down by more than the
+    threshold against baseline, or fell below the absolute sanity floor
+    that catches a batcher stuck sleeping out full windows.
 
 It also sanity-checks the artifact's embedded "metrics" section (present
 since the observability layer landed): the document must be valid JSON and
@@ -84,6 +89,61 @@ def check_end_to_end(baseline, fresh, threshold, failures):
                 f"({b:.1f} -> {c:.1f} ms, threshold {threshold:.0%})")
 
 
+def check_p2_batching(baseline, fresh, threshold, failures):
+    # Packed-batch sweeps: compare batched_ms row by row (same batch size).
+    # Speedup ratios are too noisy to gate directly on a shared runner; the
+    # absolute batched time against baseline is the stable signal.
+    for section in ("p2_batch", "p2_batch_small"):
+        base_rows = {r["batch_size"]: r for r in baseline.get(section, [])}
+        fresh_rows = {r["batch_size"]: r for r in fresh.get(section, [])}
+        if base_rows and not fresh_rows:
+            failures.append(f"{section} section missing from fresh run")
+            continue
+        for bsize, base in sorted(base_rows.items()):
+            cur = fresh_rows.get(bsize)
+            if cur is None or base["batched_ms"] <= 0:
+                continue
+            growth = (cur["batched_ms"] - base["batched_ms"]) / base["batched_ms"]
+            verdict = "FAIL" if growth > threshold else "ok"
+            print(f"  {section}/B={bsize:<3} batched {base['batched_ms']:8.3f}"
+                  f" -> {cur['batched_ms']:8.3f} ms ({growth:+6.1%}) {verdict}")
+            if growth > threshold:
+                failures.append(
+                    f"{section} B={bsize}: batched forward regressed "
+                    f"{growth:.1%} (threshold {threshold:.0%})")
+
+
+def check_p2_serving(baseline, fresh, threshold, failures):
+    base = baseline.get("p2_serving", {})
+    cur = fresh.get("p2_serving", {})
+    if base and not cur:
+        failures.append("p2_serving section missing from fresh run")
+        return
+    if not cur:
+        return
+    b, c = base.get("batching_on_wall_ms", 0), cur.get("batching_on_wall_ms", 0)
+    if b > 0 and c > 0:
+        growth = (c - b) / b
+        verdict = "FAIL" if growth > threshold else "ok"
+        print(f"  p2_serving/batching_on    {b:8.1f} -> {c:8.1f} ms "
+              f"({growth:+6.1%}) {verdict}")
+        if growth > threshold:
+            failures.append(
+                f"p2_serving: batched-serving wall regressed {growth:.1%} "
+                f"({b:.1f} -> {c:.1f} ms, threshold {threshold:.0%})")
+    # Absolute floor, baseline-independent: batching must never cost more
+    # than ~30% of the unbatched run. A batcher that sleeps out its full
+    # window on every flush (the failure mode the quiet-interval flush
+    # exists to prevent) lands far below this.
+    speedup = cur.get("speedup", 0)
+    print(f"  p2_serving/speedup        {speedup:.2f}x "
+          f"({'FAIL' if speedup < 0.7 else 'ok'}, floor 0.70x)")
+    if speedup < 0.7:
+        failures.append(
+            f"p2_serving: batching-on speedup {speedup:.2f}x below the "
+            f"0.70x sanity floor — batcher likely idling out windows")
+
+
 def check_metrics_section(fresh, failures):
     metrics = fresh.get("metrics")
     if metrics is None:
@@ -99,9 +159,11 @@ def check_metrics_section(fresh, failures):
         return
     tables = fresh.get("end_to_end", {}).get("tables", 0)
     for name, h in sorted(stage_hists.items()):
-        # Two end-to-end runs (sequential + pipelined); P2 stages can be
-        # skipped per table, so the count is bounded, not exact.
-        if not 0 < h.get("count", 0) <= 2 * tables:
+        # Eight full-table runs feed the shared registry before the
+        # snapshot: sequential + pipelined end-to-end, then two serving
+        # configs (batching off/on) at three repetitions each. P2 stages
+        # can be skipped per table, so the count is bounded, not exact.
+        if not 0 < h.get("count", 0) <= 8 * tables:
             failures.append(
                 f"{name}: implausible observation count {h.get('count')} "
                 f"for {tables}-table runs")
@@ -128,6 +190,8 @@ def main():
           f"threshold={args.threshold:.0%}")
     check_gemm(baseline, fresh, args.threshold, failures)
     check_end_to_end(baseline, fresh, args.threshold, failures)
+    check_p2_batching(baseline, fresh, args.threshold, failures)
+    check_p2_serving(baseline, fresh, args.threshold, failures)
     check_metrics_section(fresh, failures)
 
     if failures:

@@ -27,8 +27,17 @@
 // every decision is a pure function of the seed regardless of thread
 // interleaving.
 //
+// --cache-churn additionally squeezes the latent cache to a handful of
+// entries (eviction storms on every P2 chunk), shards it randomly, and arms
+// the cross-table P2 micro-batcher. WHICH requests coalesce into a batch is
+// timing-dependent — but the batched forward is byte-identical per item
+// (see tensor/kernels.h row-stability), so the replay digest must STILL
+// match bit for bit. A digest mismatch in this mode means the
+// batch-composition-independence guarantee broke.
+//
 // Usage:
 //   chaos_soak [--seeds N] [--start-seed S] [--tables N] [--verbose]
+//              [--cache-churn]
 //   chaos_soak --overload   latency-under-overload sweep (real time scale)
 //
 // Exit code 0 = all seeds green; 1 = an invariant failed (details on
@@ -119,7 +128,7 @@ struct Scenario {
   DeadlineMode deadline_mode = DeadlineMode::kNone;
 };
 
-Scenario MakeScenario(uint64_t seed, const Env& env) {
+Scenario MakeScenario(uint64_t seed, const Env& env, bool cache_churn) {
   SplitMix64 rng(seed * 0x100000001B3ull + 0x9E3779B9ull);
   Scenario sc;
 
@@ -172,6 +181,18 @@ Scenario MakeScenario(uint64_t seed, const Env& env) {
   } else if (u < 0.5) {
     sc.deadline_mode = DeadlineMode::kGenerous;
     popt.deadline_ms = 10000.0;  // never fires within a chaos run
+  }
+  if (cache_churn) {
+    // Eviction storms: a cache of 1-4 entries across 1-8 shards churns on
+    // every P2 chunk, and the micro-batcher coalesces concurrent forwards.
+    // Batch composition is timing-dependent; the digest must not be.
+    topt.enable_p2 = true;  // churn needs P2 traffic
+    topt.cache_capacity = static_cast<size_t>(rng.Range(1, 4));
+    topt.cache_shards = rng.Range(1, 8);
+    popt.pipelined = true;
+    popt.infer_threads = rng.Range(2, 4);
+    popt.batch_window_us = rng.Range(100, 1500);
+    popt.max_batch_items = rng.Range(2, 8);
   }
   return sc;
 }
@@ -432,6 +453,7 @@ int main(int argc, char** argv) {
   int tables = 10;
   bool verbose = false;
   bool overload = false;
+  bool cache_churn = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&]() -> const char* {
@@ -451,10 +473,12 @@ int main(int argc, char** argv) {
       verbose = true;
     } else if (arg == "--overload") {
       overload = true;
+    } else if (arg == "--cache-churn") {
+      cache_churn = true;
     } else {
       std::fprintf(stderr,
                    "usage: chaos_soak [--seeds N] [--start-seed S] "
-                   "[--tables N] [--verbose] [--overload]\n");
+                   "[--tables N] [--verbose] [--overload] [--cache-churn]\n");
       return 2;
     }
   }
@@ -491,7 +515,7 @@ int main(int argc, char** argv) {
   int failures = 0;
   for (int k = 0; k < seeds; ++k) {
     const uint64_t seed = start_seed + static_cast<uint64_t>(k);
-    Scenario sc = MakeScenario(seed, env);
+    Scenario sc = MakeScenario(seed, env, cache_churn);
     epoch.fetch_add(1);
     RunOutput first = RunOnce(seed, env, sc);
     epoch.fetch_add(1);

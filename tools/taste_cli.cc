@@ -20,6 +20,10 @@
 //                            after P1 or park with kDeadlineExceeded
 //     --max-inflight N       admission control: at most N tables in flight
 //                            and N queued; the rest are shed (kUnavailable)
+//     --cache-shards N       split the latent cache into N locked shards
+//     --batch-window-us N    coalesce concurrent P2 forwards for up to N us
+//                            into one packed batch forward (serving knob;
+//                            output is byte-identical to unbatched)
 //
 // Exit codes: 0 = every table completed (possibly degraded), 1 = at least
 // one table failed, 2 = bad usage, 3 = at least one table was shed by
@@ -53,6 +57,8 @@ struct CliOptions {
   std::string metrics_out;
   double deadline_ms = 0.0;
   int max_inflight = 0;
+  int cache_shards = 1;
+  int batch_window_us = 0;
 };
 
 bool ParseArgs(int argc, char** argv, CliOptions* out) {
@@ -105,6 +111,22 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
         std::fprintf(stderr, "--max-inflight must be > 0\n");
         return false;
       }
+    } else if (arg == "--cache-shards") {
+      const char* v = need_value("--cache-shards");
+      if (v == nullptr) return false;
+      out->cache_shards = std::atoi(v);
+      if (out->cache_shards < 1) {
+        std::fprintf(stderr, "--cache-shards must be >= 1\n");
+        return false;
+      }
+    } else if (arg == "--batch-window-us") {
+      const char* v = need_value("--batch-window-us");
+      if (v == nullptr) return false;
+      out->batch_window_us = std::atoi(v);
+      if (out->batch_window_us < 0) {
+        std::fprintf(stderr, "--batch-window-us must be >= 0\n");
+        return false;
+      }
     } else if (arg == "--help" || arg == "-h") {
       return false;
     } else {
@@ -128,7 +150,8 @@ void PrintUsage() {
       stderr,
       "taste_cli [--profile wiki|git] [--table NAME] [--alpha X] [--beta Y]\n"
       "          [--no-p2] [--sample] [--json] [--list]\n"
-      "          [--metrics-out FILE] [--deadline-ms X] [--max-inflight N]\n");
+      "          [--metrics-out FILE] [--deadline-ms X] [--max-inflight N]\n"
+      "          [--cache-shards N] [--batch-window-us N]\n");
 }
 
 void PrintText(const core::TableDetectionResult& r,
@@ -194,6 +217,7 @@ int main(int argc, char** argv) {
   topt.beta = cli.beta;
   topt.enable_p2 = !cli.no_p2;
   topt.random_sample = cli.sample;
+  topt.cache_shards = cli.cache_shards;
   core::TasteDetector detector(stack->adtd.get(), stack->tokenizer.get(),
                                topt);
   const auto& registry = data::SemanticTypeRegistry::Default();
@@ -209,7 +233,8 @@ int main(int argc, char** argv) {
 
   std::vector<core::TableDetectionResult> results;
   int exit_code = 0;
-  const bool serving_knobs = cli.deadline_ms != 0.0 || cli.max_inflight > 0;
+  const bool serving_knobs = cli.deadline_ms != 0.0 || cli.max_inflight > 0 ||
+                             cli.batch_window_us > 0;
   if (!cli.metrics_out.empty() || serving_knobs) {
     // Observability / serving mode: run the batch through the pipelined
     // executor so the metrics document carries per-stage latency histograms
@@ -221,6 +246,7 @@ int main(int argc, char** argv) {
     }
     pipeline::PipelineOptions popt;
     popt.deadline_ms = cli.deadline_ms;
+    popt.batch_window_us = cli.batch_window_us;
     if (cli.max_inflight > 0) {
       popt.admission.enabled = true;
       popt.admission.max_inflight_tables = cli.max_inflight;
