@@ -21,6 +21,7 @@
 #include "core/taste_detector.h"
 #include "data/table_generator.h"
 #include "model/adtd.h"
+#include "serve/router.h"
 #include "tensor/kernels.h"
 #include "tensor/ops.h"
 #include "text/wordpiece.h"
@@ -455,6 +456,80 @@ void WriteSubstrateJson() {
         "on %.1f ms (%.2fx)\n",
         off_ms, on_ms, off_ms / on_ms);
   }
+  // Multi-process serving tier (DESIGN.md §10): the same batch scattered
+  // across forked replica workers by the supervising router. Runs here, in
+  // main() before benchmark::Initialize, so fork happens at a known-safe
+  // point. Each replica count forks fresh workers (cold latent caches —
+  // comparable across rows); the parent detector never runs a table itself,
+  // so every row starts from the same image. The failover row re-runs at
+  // full strength with a crash injected into the owner of the first table
+  // and reports how long the supervisor took to restore the replica.
+  {
+    core::TasteOptions mp_topt;
+    core::TasteDetector mp_det(f.model.get(), f.tokenizer.get(), mp_topt);
+    serve::WorkerEnv env;
+    env.detector = &mp_det;
+    env.db = f.db.get();
+
+    std::printf("multi-process serving (replicas x %zu tables):\n",
+                tables.size());
+    json.BeginObject("p2_serving_mp");
+    json.Field("tables", static_cast<int64_t>(tables.size()));
+    json.BeginArray("rows");
+    double wall1 = 0.0, wall4 = 0.0;
+    for (const int replicas : {1, 2, 4}) {
+      serve::RouterOptions ropt;
+      ropt.supervisor.replicas = replicas;
+      double best = 0.0;
+      for (int rep = 0; rep < 3; ++rep) {
+        serve::Router router(env, ropt);
+        TASTE_CHECK(router.Start().ok());
+        pipeline::BatchResult batch = router.RunBatch(tables);
+        for (const auto& t : batch.tables) {
+          TASTE_CHECK(t.outcome == pipeline::TableOutcome::kComplete);
+        }
+        const double wall = router.stats().wall_ms;
+        router.Shutdown();
+        if (rep == 0 || wall < best) best = wall;
+      }
+      if (replicas == 1) wall1 = best;
+      if (replicas == 4) wall4 = best;
+      const double tps = 1000.0 * static_cast<double>(tables.size()) / best;
+      json.BeginObject();
+      json.Field("replicas", static_cast<int64_t>(replicas));
+      json.Field("wall_ms", best);
+      json.Field("tables_per_s", tps);
+      json.EndObject();
+      std::printf("  replicas=%d  wall %8.1f ms  %7.1f tables/s\n", replicas,
+                  best, tps);
+    }
+    json.EndArray();
+    json.Field("scaling_1_to_4", wall1 / wall4);
+
+    serve::ConsistentHashRing ring(4, 64);
+    serve::WorkerEnv crash_env = env;
+    crash_env.crash_table = tables[0];
+    crash_env.crash_replica =
+        ring.NodeFor(tables[0], [](int) { return true; });
+    serve::RouterOptions ropt;
+    ropt.supervisor.replicas = 4;
+    serve::Router router(crash_env, ropt);
+    TASTE_CHECK(router.Start().ok());
+    pipeline::BatchResult batch = router.RunBatch(tables);
+    for (const auto& t : batch.tables) {
+      TASTE_CHECK(t.outcome == pipeline::TableOutcome::kComplete);
+    }
+    TASTE_CHECK(router.MaintainUntilAllUp(5000.0));
+    const auto& rec = router.supervisor().recovery_times_ms();
+    TASTE_CHECK(!rec.empty());
+    const double recovery_ms = rec.front();
+    router.Shutdown();
+    json.Field("failover_recovery_ms", recovery_ms);
+    json.EndObject();
+    std::printf("  scaling 1->4: %.2fx;  kill->respawn recovery %.1f ms\n",
+                wall1 / wall4, recovery_ms);
+  }
+
   // The unified-observability view of the same two runs: stage latency
   // histograms, cache and db counters, per-op kernel timings. This is the
   // machine-readable surface tools/bench_check.py sanity-checks.

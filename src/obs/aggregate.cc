@@ -1,0 +1,62 @@
+#include "obs/aggregate.h"
+
+#include <cstddef>
+
+namespace taste::obs {
+
+namespace {
+
+bool HasLabel(const std::string& name) {
+  return name.find('{') != std::string::npos;
+}
+
+void MergeHistogram(const Histogram::Snapshot& from, Histogram::Snapshot* into) {
+  if (into->bounds.empty() && into->counts.empty()) {
+    *into = from;
+    return;
+  }
+  if (from.bounds != into->bounds || from.counts.size() != into->counts.size()) {
+    // Incompatible bucket layouts cannot be added bucket-wise; keep the
+    // first layout and fold only the scalar totals so count/sum stay
+    // accurate fleet-wide.
+    into->count += from.count;
+    into->sum += from.sum;
+    return;
+  }
+  for (size_t i = 0; i < from.counts.size(); ++i) {
+    into->counts[i] += from.counts[i];
+  }
+  into->count += from.count;
+  into->sum += from.sum;
+}
+
+}  // namespace
+
+Registry::Snapshot AggregateSnapshots(
+    const std::string& label_key, const std::vector<LabeledSnapshot>& parts) {
+  Registry::Snapshot out;
+  for (const auto& part : parts) {
+    for (const auto& [name, v] : part.snap.counters) {
+      out.counters[name] += v;
+      if (!HasLabel(name)) {
+        out.counters[LabeledName(name, label_key, part.label)] += v;
+      }
+    }
+    for (const auto& [name, v] : part.snap.gauges) {
+      out.gauges[name] += v;
+      if (!HasLabel(name)) {
+        out.gauges[LabeledName(name, label_key, part.label)] += v;
+      }
+    }
+    for (const auto& [name, h] : part.snap.histograms) {
+      MergeHistogram(h, &out.histograms[name]);
+      if (!HasLabel(name)) {
+        MergeHistogram(h,
+                       &out.histograms[LabeledName(name, label_key, part.label)]);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace taste::obs

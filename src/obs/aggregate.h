@@ -1,0 +1,45 @@
+// Cross-process metrics aggregation for the multi-process serving tier
+// (DESIGN.md §10).
+//
+// Each replica worker owns a private copy-on-write metrics registry; the
+// router scrapes their serialized snapshots over the wire and merges them
+// with its own into one fleet-level view:
+//
+//   * every series is SUMMED across parts under its own name (counters and
+//     gauges add; histograms with identical bucket bounds add bucket-wise),
+//     so "taste_worker_tables_total" reads as fleet throughput;
+//   * unlabeled base series additionally fan out as per-part labeled
+//     series — base{replica="0"}, base{replica="router"} — so a single
+//     misbehaving replica is visible in the same scrape. Series that
+//     already carry a label (the registry's one-label convention,
+//     LabeledName) are summed only; nesting labels would break exporters.
+//
+// Aggregation is pure snapshot arithmetic: no registry handles cross
+// processes and the result is itself an ordinary Registry::Snapshot that
+// feeds the existing exporters (obs/export.h) unchanged.
+
+#ifndef TASTE_OBS_AGGREGATE_H_
+#define TASTE_OBS_AGGREGATE_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace taste::obs {
+
+/// One scrape participant: the label value identifying it ("0", "1",
+/// "router") and its registry snapshot.
+struct LabeledSnapshot {
+  std::string label;
+  Registry::Snapshot snap;
+};
+
+/// Merges `parts` into one snapshot: summed base series plus per-part
+/// labeled series under `label_key` (see file comment for the rules).
+Registry::Snapshot AggregateSnapshots(const std::string& label_key,
+                                      const std::vector<LabeledSnapshot>& parts);
+
+}  // namespace taste::obs
+
+#endif  // TASTE_OBS_AGGREGATE_H_

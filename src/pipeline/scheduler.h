@@ -131,6 +131,23 @@ struct ResilienceStats {
   int64_t shed_tables = 0;       // rejected by admission control
   int64_t expired_tables = 0;    // deadline fired before P1 finished
   int64_t degraded_tables = 0;   // finished OK with >= 1 degraded column
+
+  /// Field-wise accumulation, used by the multi-process router to fold the
+  /// per-replica legs of a scattered batch into one batch-level view.
+  void Merge(const ResilienceStats& other) {
+    retries += other.retries;
+    stage_retries += other.stage_retries;
+    connect_retries += other.connect_retries;
+    breaker_trips += other.breaker_trips;
+    breaker_short_circuits += other.breaker_short_circuits;
+    degraded_columns += other.degraded_columns;
+    failed_columns += other.failed_columns;
+    failed_tables += other.failed_tables;
+    deadline_misses += other.deadline_misses;
+    shed_tables += other.shed_tables;
+    expired_tables += other.expired_tables;
+    degraded_tables += other.degraded_tables;
+  }
 };
 
 /// The single terminal state every table of a batch reaches exactly once.

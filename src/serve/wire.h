@@ -1,0 +1,180 @@
+// Wire protocol of the multi-process serving tier (DESIGN.md §10).
+//
+// The router and its replica workers talk over connected Unix-domain
+// stream sockets with a compact length-prefixed frame protocol — no
+// third-party RPC, no text parsing on the hot path:
+//
+//   [u32 payload length][u8 frame type][payload bytes]
+//
+// All integers are little-endian; floats travel as raw IEEE-754 bit
+// patterns so a detection result deserializes BYTE-IDENTICAL to what the
+// worker computed — the property the failover re-dispatch idempotency
+// guarantee (and chaos_soak --replica-kill) is proven against.
+//
+// Deadline propagation follows common/deadline.h semantics: a request
+// carries the *remaining* budget in milliseconds, measured by the sender at
+// encode time; the receiver re-anchors it on its own steady clock
+// (Deadline::AfterMillis). Absolute time points never cross the process
+// boundary, so clock skew between processes cannot stretch a budget.
+//
+// Blocking ReadFrame/WriteFrame (worker side) handle partial reads and
+// EINTR; the router side feeds a FrameBuffer from nonblocking reads inside
+// its poll loop. A dead peer surfaces as Status (kUnavailable), never as a
+// signal — binaries ignore SIGPIPE process-wide.
+
+#ifndef TASTE_SERVE_WIRE_H_
+#define TASTE_SERVE_WIRE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "pipeline/scheduler.h"
+
+namespace taste::serve {
+
+enum class FrameType : uint8_t {
+  kDetectRequest = 1,   // router -> worker: table names + remaining budget
+  kDetectResponse = 2,  // worker -> router: per-table results + stats
+  kHeartbeat = 3,       // router -> worker: liveness probe (u64 sequence)
+  kHeartbeatAck = 4,    // worker -> router: echo of the probe sequence
+  kScrapeRequest = 5,   // router -> worker: metrics snapshot request
+  kScrapeResponse = 6,  // worker -> router: serialized registry snapshot
+  kShutdown = 7,        // router -> worker: drain and exit cleanly
+};
+
+const char* FrameTypeName(FrameType t);
+
+/// Upper bound on a frame payload; a larger length prefix means a corrupt
+/// or hostile stream and fails decoding instead of allocating wildly.
+inline constexpr uint32_t kMaxFramePayload = 64u << 20;
+
+struct Frame {
+  FrameType type = FrameType::kHeartbeat;
+  std::string payload;
+};
+
+// -- Blocking stream I/O (worker side) ---------------------------------------
+
+/// Writes one frame, restarting on EINTR. A closed/reset peer returns
+/// kUnavailable (EPIPE/ECONNRESET; SIGPIPE must be ignored process-wide).
+Status WriteFrame(int fd, FrameType type, const std::string& payload);
+
+/// Reads exactly one frame, blocking. Clean EOF between frames returns
+/// kUnavailable with message "peer closed"; EOF inside a frame is kIOError.
+Result<Frame> ReadFrame(int fd);
+
+// -- Incremental framing (router side, nonblocking fds) ----------------------
+
+/// Accumulates raw bytes from nonblocking reads and yields complete frames.
+class FrameBuffer {
+ public:
+  void Append(const char* data, size_t n) { buf_.append(data, n); }
+
+  /// Extracts the next complete frame into `out`. Returns OK and true when
+  /// one was extracted, OK and false when more bytes are needed, and an
+  /// error Status on a malformed prefix (oversized payload).
+  Result<bool> Next(Frame* out);
+
+  size_t buffered() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+};
+
+// -- Primitive (de)serialization ---------------------------------------------
+
+/// Appends little-endian primitives to a byte string.
+class WireWriter {
+ public:
+  void U8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v) { AppendLe(&v, sizeof(v)); }
+  void U64(uint64_t v) { AppendLe(&v, sizeof(v)); }
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void F64(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    U64(bits);
+  }
+  /// Raw IEEE-754 bits — bit-exact round trip, NaN payloads included.
+  void F32(float v) {
+    uint32_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    U32(bits);
+  }
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    out_.append(s);
+  }
+
+  std::string Take() { return std::move(out_); }
+  const std::string& data() const { return out_; }
+
+ private:
+  void AppendLe(const void* p, size_t n);
+
+  std::string out_;
+};
+
+/// Bounds-checked little-endian reader; every getter returns false once the
+/// payload is exhausted (check ok() at the end of a decode).
+class WireReader {
+ public:
+  explicit WireReader(const std::string& data) : data_(data) {}
+
+  bool U8(uint8_t* v);
+  bool U32(uint32_t* v);
+  bool U64(uint64_t* v);
+  bool I64(int64_t* v) { return U64(reinterpret_cast<uint64_t*>(v)); }
+  bool F64(double* v);
+  bool F32(float* v);
+  bool Str(std::string* s);
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  bool Take(void* out, size_t n);
+
+  const std::string& data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// -- Message payloads --------------------------------------------------------
+
+/// One scatter leg: the tables a replica should detect, under a budget.
+struct DetectRequest {
+  uint64_t request_id = 0;
+  /// Remaining budget at encode time; 0 = no deadline (mirrors
+  /// PipelineOptions::deadline_ms, including < 0 = already expired).
+  double deadline_remaining_ms = 0.0;
+  std::vector<std::string> tables;
+};
+
+std::string EncodeDetectRequest(const DetectRequest& req);
+Result<DetectRequest> DecodeDetectRequest(const std::string& payload);
+
+/// The gather leg: per-table terminal results in request order, plus the
+/// worker executor's resilience accounting for the leg.
+struct DetectResponse {
+  uint64_t request_id = 0;
+  double wall_ms = 0.0;
+  pipeline::ResilienceStats stats;
+  std::vector<pipeline::TableRunResult> tables;
+};
+
+std::string EncodeDetectResponse(const DetectResponse& resp);
+Result<DetectResponse> DecodeDetectResponse(const std::string& payload);
+
+/// Registry snapshot for per-replica scrape aggregation (obs/aggregate.h).
+std::string EncodeMetricsSnapshot(const obs::Registry::Snapshot& snap);
+Result<obs::Registry::Snapshot> DecodeMetricsSnapshot(
+    const std::string& payload);
+
+}  // namespace taste::serve
+
+#endif  // TASTE_SERVE_WIRE_H_

@@ -1,0 +1,112 @@
+#include "serve/worker.h"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+#include "serve/wire.h"
+
+namespace taste::serve {
+
+namespace {
+
+/// Handles one detect request: re-anchors the wire deadline on the local
+/// steady clock, runs the batch, serializes the results.
+DetectResponse HandleDetect(const WorkerEnv& env, const DetectRequest& req) {
+  pipeline::PipelineOptions popt = env.pipeline_options;
+  // Deadline propagation (common/deadline.h semantics): the wire carries
+  // the REMAINING budget; AfterMillis re-anchors it here, so skew between
+  // router and worker clocks cannot stretch it. A non-positive remainder
+  // arrives pre-expired, exactly like deadline_ms < 0.
+  popt.deadline_ms = req.deadline_remaining_ms;
+  popt.cancel = nullptr;  // never inherit a pointer across the wire
+
+  pipeline::PipelineExecutor exec(env.detector, env.db, popt);
+  pipeline::BatchResult batch = exec.RunBatch(req.tables);
+
+  DetectResponse resp;
+  resp.request_id = req.request_id;
+  resp.wall_ms = exec.stats().wall_ms;
+  resp.stats = exec.resilience_stats();
+  resp.tables = std::move(batch.tables);
+  return resp;
+}
+
+}  // namespace
+
+int WorkerMain(int fd, const WorkerEnv& env, int replica_id) {
+  // A router that dies mid-read must surface as EPIPE on our next write,
+  // not kill the worker with SIGPIPE.
+  ::signal(SIGPIPE, SIG_IGN);
+  TASTE_CHECK(env.detector != nullptr && env.db != nullptr);
+
+  obs::Counter* requests =
+      obs::Registry::Global().GetCounter("taste_worker_requests_total");
+  obs::Counter* tables =
+      obs::Registry::Global().GetCounter("taste_worker_tables_total");
+
+  for (;;) {
+    auto frame = ReadFrame(fd);
+    if (!frame.ok()) {
+      // Clean hangup (router exited / closed us out of the ring) is a
+      // normal shutdown; anything else is a protocol failure worth a log.
+      if (frame.status().code() != StatusCode::kUnavailable) {
+        TASTE_LOG(Warn) << "worker " << replica_id << ": read error: "
+                        << frame.status().ToString();
+        return 1;
+      }
+      return 0;
+    }
+    switch (frame->type) {
+      case FrameType::kHeartbeat: {
+        const Status st = WriteFrame(fd, FrameType::kHeartbeatAck,
+                                     frame->payload);
+        if (!st.ok()) return st.code() == StatusCode::kUnavailable ? 0 : 1;
+        break;
+      }
+      case FrameType::kDetectRequest: {
+        auto req = DecodeDetectRequest(frame->payload);
+        if (!req.ok()) {
+          TASTE_LOG(Warn) << "worker " << replica_id
+                          << ": bad detect request: "
+                          << req.status().ToString();
+          return 1;
+        }
+        if (replica_id == env.crash_replica && !env.crash_table.empty() &&
+            std::find(req->tables.begin(), req->tables.end(),
+                      env.crash_table) != req->tables.end()) {
+          // Injected crash: die exactly like a SIGKILL'd worker would —
+          // no response, no flush, socket torn down by the kernel.
+          _exit(kCrashExitCode);
+        }
+        requests->Inc();
+        tables->Inc(static_cast<int64_t>(req->tables.size()));
+        DetectResponse resp = HandleDetect(env, *req);
+        const Status st =
+            WriteFrame(fd, FrameType::kDetectResponse,
+                       EncodeDetectResponse(resp));
+        if (!st.ok()) return st.code() == StatusCode::kUnavailable ? 0 : 1;
+        break;
+      }
+      case FrameType::kScrapeRequest: {
+        const Status st = WriteFrame(
+            fd, FrameType::kScrapeResponse,
+            EncodeMetricsSnapshot(obs::Registry::Global().snapshot()));
+        if (!st.ok()) return st.code() == StatusCode::kUnavailable ? 0 : 1;
+        break;
+      }
+      case FrameType::kShutdown:
+        return 0;
+      default:
+        TASTE_LOG(Warn) << "worker " << replica_id
+                        << ": unexpected frame type "
+                        << static_cast<int>(frame->type);
+        return 1;
+    }
+  }
+}
+
+}  // namespace taste::serve

@@ -1,0 +1,59 @@
+// The replica worker: one process wrapping a PipelineExecutor behind the
+// wire protocol (DESIGN.md §10).
+//
+// The supervisor fork()s workers *after* the model, tokenizer, database and
+// detector are built, so every replica shares those pages copy-on-write:
+// spawn (and therefore respawn after a crash) costs a fork, not a model
+// load, and every replica computes with bit-identical weights — the
+// foundation of the failover idempotency guarantee. The standalone
+// `taste_worker` binary wraps the same loop around a self-built environment
+// for manual protocol testing.
+//
+// The worker is single-threaded at the protocol layer: it reads one frame
+// at a time and answers it before reading the next (inference itself may
+// fan out across the executor's thread pools). Heartbeats are therefore
+// answered only between requests — which is exactly what the router's
+// liveness logic assumes: heartbeat timeouts are armed while a replica is
+// idle, and a replica busy with a request is instead covered by SIGCHLD /
+// socket-EOF crash detection plus the request deadline.
+
+#ifndef TASTE_SERVE_WORKER_H_
+#define TASTE_SERVE_WORKER_H_
+
+#include <string>
+
+#include "clouddb/database.h"
+#include "core/taste_detector.h"
+#include "pipeline/scheduler.h"
+
+namespace taste::serve {
+
+/// Everything a replica needs, borrowed from the forking process (all
+/// pointers must outlive the worker; after fork they point into the
+/// worker's copy-on-write image).
+struct WorkerEnv {
+  const core::TasteDetector* detector = nullptr;
+  clouddb::SimulatedDatabase* db = nullptr;
+  /// Per-request executors are built from these options; the request's
+  /// deadline (re-anchored from the wire) overrides deadline_ms.
+  pipeline::PipelineOptions pipeline_options;
+
+  /// Deterministic crash injection for the chaos harness and tests: the
+  /// replica whose id equals `crash_replica` calls _exit(kCrashExitCode)
+  /// the moment a detect request containing `crash_table` arrives —
+  /// a reproducible "worker dies mid-request" without wall-clock races.
+  int crash_replica = -1;
+  std::string crash_table;
+};
+
+/// Exit code of an injected crash (distinguishable from clean exit 0).
+inline constexpr int kCrashExitCode = 42;
+
+/// Serves the wire protocol on `fd` until the peer closes or sends
+/// kShutdown. Returns the process exit code. Ignores SIGPIPE process-wide
+/// (a dead router surfaces as an EPIPE Status, not a killed worker).
+int WorkerMain(int fd, const WorkerEnv& env, int replica_id);
+
+}  // namespace taste::serve
+
+#endif  // TASTE_SERVE_WORKER_H_

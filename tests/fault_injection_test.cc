@@ -108,6 +108,80 @@ TEST(RetryCallTest, BackoffBudgetDeadline) {
   EXPECT_TRUE(obs.deadline_miss);
 }
 
+TEST(RetryPolicyTest, JitterStaysInBoundsAndSpreadsAcrossSalts) {
+  RetryPolicy p;
+  p.initial_backoff_ms = 10;
+  p.max_backoff_ms = 80;
+  p.backoff_multiplier = 2.0;
+  p.jitter_fraction = 0.2;
+  // The multi-process supervisor salts the respawn backoff with the
+  // replica id; many concurrent loops must each stay inside the jitter
+  // band yet not collapse onto a handful of values (thundering herd).
+  for (int attempt = 2; attempt <= 5; ++attempt) {
+    const double base = std::min(10.0 * (1 << (attempt - 2)), 80.0);
+    double lo = 1e300, hi = -1e300;
+    for (uint64_t salt = 0; salt < 512; ++salt) {
+      const double b = p.BackoffMillis(attempt, salt);
+      EXPECT_GE(b, base * 0.8) << "attempt " << attempt << " salt " << salt;
+      EXPECT_LT(b, base * 1.2 + 1e-9)
+          << "attempt " << attempt << " salt " << salt;
+      EXPECT_EQ(b, p.BackoffMillis(attempt, salt));  // pure function
+      lo = std::min(lo, b);
+      hi = std::max(hi, b);
+    }
+    // 512 salts must fill most of the [0.8, 1.2) band, not cluster.
+    EXPECT_GT(hi - lo, base * 0.2) << "attempt " << attempt;
+  }
+  // Zero jitter degenerates to the exact capped exponential.
+  p.jitter_fraction = 0.0;
+  EXPECT_EQ(p.BackoffMillis(2, 1), p.BackoffMillis(2, 99));
+  EXPECT_EQ(p.BackoffMillis(2, 1), 10.0);
+}
+
+TEST(RetryCallTest, BudgetExpiringMidBackoffNeverSleepsPastBudget) {
+  RetryPolicy p;
+  p.max_attempts = 50;
+  p.initial_backoff_ms = 40;
+  p.backoff_multiplier = 2.0;
+  p.jitter_fraction = 0.0;
+  p.per_call_backoff_budget_ms = 100;  // 40 fits, 40+80 would overshoot
+  double slept = 0.0;
+  int calls = 0;
+  RetryObservation obs;
+  Status st = RetryCall(
+      p, /*salt=*/11, [&](double ms) { slept += ms; },
+      [&] {
+        ++calls;
+        return Status::IOError("down");
+      },
+      &obs);
+  EXPECT_FALSE(st.ok());
+  // The second backoff (80 ms) would cross the 100 ms budget: the call
+  // must give up BEFORE sleeping it, not after.
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(slept, 40.0);
+  EXPECT_LE(slept, p.per_call_backoff_budget_ms);
+  EXPECT_DOUBLE_EQ(obs.backoff_ms, 40.0);
+  EXPECT_TRUE(obs.deadline_miss);
+
+  // A budget smaller than the first backoff: zero sleeping, one retry's
+  // worth of attempts never happens.
+  p.per_call_backoff_budget_ms = 10;
+  slept = 0.0;
+  calls = 0;
+  st = RetryCall(
+      p, 11, [&](double ms) { slept += ms; },
+      [&] {
+        ++calls;
+        return Status::IOError("down");
+      },
+      &obs);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(slept, 0.0);
+  EXPECT_TRUE(obs.deadline_miss);
+}
+
 // ---------------------------------------------------------------------------
 // CircuitBreaker
 

@@ -1,0 +1,533 @@
+// Tests for the crash-fault-tolerant multi-process serving tier: the wire
+// protocol's bit-exact round trips, consistent-hash placement, supervised
+// fork/respawn lifecycle, heartbeat liveness, and — the headline invariant —
+// that scatter/gather across replicas (including forced mid-request crashes
+// with failover re-dispatch) produces results BYTE-IDENTICAL to a
+// single-process PipelineExecutor run.
+//
+// Everything here forks real processes; the suite carries the `unit` label
+// (TSan instruments fork poorly, and the tsan CI job runs only tsan-heavy).
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/taste_detector.h"
+#include "data/table_generator.h"
+#include "model/adtd.h"
+#include "obs/aggregate.h"
+#include "pipeline/scheduler.h"
+#include "serve/router.h"
+#include "serve/supervisor.h"
+#include "serve/wire.h"
+#include "serve/worker.h"
+#include "text/wordpiece.h"
+
+namespace taste {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Wire protocol
+
+TEST(WireTest, DetectRequestRoundTrip) {
+  serve::DetectRequest req;
+  req.request_id = 0xDEADBEEFCAFEull;
+  req.deadline_remaining_ms = 123.456;
+  req.tables = {"users", "事件", "", std::string("a\0b", 3)};
+  auto back = serve::DecodeDetectRequest(serve::EncodeDetectRequest(req));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->request_id, req.request_id);
+  EXPECT_EQ(back->deadline_remaining_ms, req.deadline_remaining_ms);
+  EXPECT_EQ(back->tables, req.tables);
+}
+
+TEST(WireTest, DetectResponseRoundTripIsBitExact) {
+  serve::DetectResponse resp;
+  resp.request_id = 7;
+  resp.wall_ms = 0.125;
+  resp.stats.retries = 3;
+  resp.stats.degraded_tables = 1;
+
+  pipeline::TableRunResult t;
+  t.status = Status::DeadlineExceeded("deadline exceeded: p1 prep");
+  t.outcome = pipeline::TableOutcome::kExpired;
+  t.result.table_name = "events";
+  t.result.columns_scanned = 4;
+  t.result.total_columns = 5;
+  core::ColumnPrediction col;
+  col.column_name = "ip_address";
+  col.ordinal = 3;
+  col.went_to_p2 = true;
+  col.provenance = core::ResultProvenance::kDegradedMetadataOnly;
+  col.admitted_types = {1, 9, 12};
+  // Values a lossy (text) encoding would mangle: denormal, NaN payload,
+  // signed zero, and an odd mantissa.
+  col.probabilities = {std::numeric_limits<float>::denorm_min(),
+                       std::nanf("0x5ca1e"), -0.0f, 0.30000001192092896f};
+  t.result.columns.push_back(col);
+  resp.tables.push_back(t);
+
+  auto back = serve::DecodeDetectResponse(serve::EncodeDetectResponse(resp));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->request_id, resp.request_id);
+  EXPECT_EQ(back->stats.retries, 3);
+  ASSERT_EQ(back->tables.size(), 1u);
+  const auto& bt = back->tables[0];
+  EXPECT_EQ(bt.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(bt.status.ToString(), t.status.ToString());
+  EXPECT_EQ(bt.outcome, pipeline::TableOutcome::kExpired);
+  ASSERT_EQ(bt.result.columns.size(), 1u);
+  const auto& bc = bt.result.columns[0];
+  EXPECT_EQ(bc.admitted_types, col.admitted_types);
+  EXPECT_EQ(bc.provenance, col.provenance);
+  ASSERT_EQ(bc.probabilities.size(), col.probabilities.size());
+  // memcmp, not ==: NaN != NaN but its bits must survive the wire.
+  EXPECT_EQ(std::memcmp(bc.probabilities.data(), col.probabilities.data(),
+                        col.probabilities.size() * sizeof(float)),
+            0);
+}
+
+TEST(WireTest, FrameBufferReassemblesSplitFrames) {
+  std::string stream;
+  auto append_frame = [&stream](serve::FrameType t, const std::string& p) {
+    const uint32_t len = static_cast<uint32_t>(p.size());
+    for (int i = 0; i < 4; ++i) {
+      stream.push_back(static_cast<char>((len >> (8 * i)) & 0xFF));
+    }
+    stream.push_back(static_cast<char>(t));
+    stream += p;
+  };
+  append_frame(serve::FrameType::kHeartbeat, "12345678");
+  append_frame(serve::FrameType::kDetectResponse, std::string(1000, 'x'));
+
+  serve::FrameBuffer fb;
+  serve::Frame frame;
+  // Feed one byte at a time; frames must pop exactly at their boundaries.
+  int got = 0;
+  for (char c : stream) {
+    fb.Append(&c, 1);
+    auto r = fb.Next(&frame);
+    ASSERT_TRUE(r.ok());
+    if (*r) {
+      ++got;
+      if (got == 1) {
+        EXPECT_EQ(frame.type, serve::FrameType::kHeartbeat);
+        EXPECT_EQ(frame.payload, "12345678");
+      } else {
+        EXPECT_EQ(frame.type, serve::FrameType::kDetectResponse);
+        EXPECT_EQ(frame.payload.size(), 1000u);
+      }
+    }
+  }
+  EXPECT_EQ(got, 2);
+  EXPECT_EQ(fb.buffered(), 0u);
+}
+
+TEST(WireTest, OversizedFramePrefixIsRejected) {
+  serve::FrameBuffer fb;
+  const char bad[5] = {'\xFF', '\xFF', '\xFF', '\xFF', 1};
+  fb.Append(bad, sizeof(bad));
+  serve::Frame frame;
+  auto r = fb.Next(&frame);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(WireTest, MetricsSnapshotRoundTrip) {
+  obs::Registry reg;
+  reg.GetCounter("c_total")->Inc(5);
+  reg.GetGauge("g_bytes")->Set(1.5);
+  reg.GetHistogram("h_ms", {1.0, 10.0})->Observe(3.0);
+  auto back = serve::DecodeMetricsSnapshot(
+      serve::EncodeMetricsSnapshot(reg.snapshot()));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->counters.at("c_total"), 5);
+  EXPECT_DOUBLE_EQ(back->gauges.at("g_bytes"), 1.5);
+  const auto& h = back->histograms.at("h_ms");
+  EXPECT_EQ(h.count, 1);
+  EXPECT_DOUBLE_EQ(h.sum, 3.0);
+  ASSERT_EQ(h.bounds.size(), 2u);
+  ASSERT_EQ(h.counts.size(), 3u);
+  EXPECT_EQ(h.counts[1], 1);
+}
+
+// ---------------------------------------------------------------------------
+// Consistent hash ring
+
+TEST(RingTest, PlacementIsDeterministicAndFailoverIsMinimal) {
+  serve::ConsistentHashRing ring(4, 64);
+  serve::ConsistentHashRing ring2(4, 64);
+  auto all = [](int) { return true; };
+  std::vector<int> owners;
+  int spread[4] = {0, 0, 0, 0};
+  for (int i = 0; i < 200; ++i) {
+    const std::string t = "table_" + std::to_string(i);
+    const int o = ring.NodeFor(t, all);
+    ASSERT_GE(o, 0);
+    ASSERT_LT(o, 4);
+    EXPECT_EQ(o, ring2.NodeFor(t, all));  // pure function of the name
+    owners.push_back(o);
+    ++spread[o];
+  }
+  for (int n : spread) EXPECT_GT(n, 0) << "vnode placement left a node empty";
+
+  // Kill node 2: only its tables move; everyone else keeps their owner.
+  auto not2 = [](int id) { return id != 2; };
+  for (int i = 0; i < 200; ++i) {
+    const std::string t = "table_" + std::to_string(i);
+    const int o = ring.NodeFor(t, not2);
+    ASSERT_NE(o, 2);
+    if (owners[static_cast<size_t>(i)] != 2) {
+      EXPECT_EQ(o, owners[static_cast<size_t>(i)]) << t;
+    }
+  }
+  // No acceptable node at all.
+  EXPECT_EQ(ring.NodeFor("x", [](int) { return false; }), -1);
+}
+
+// ---------------------------------------------------------------------------
+// Shared detection environment (built once; the fixture cost is one tiny
+// model + tokenizer, same as the chaos harness startup)
+
+struct ServeEnv {
+  data::Dataset dataset;
+  std::unique_ptr<text::WordPieceTokenizer> tokenizer;
+  std::unique_ptr<model::AdtdModel> model;
+  std::unique_ptr<core::TasteDetector> detector;
+  std::vector<std::string> table_names;
+
+  static const ServeEnv& Get() {
+    static ServeEnv* env = [] {
+      auto* e = new ServeEnv();
+      e->dataset = data::GenerateDataset(data::DatasetProfile::WikiLike(6));
+      text::WordPieceTrainer trainer({.vocab_size = 400});
+      for (const auto& d : data::BuildCorpusDocuments(e->dataset)) {
+        trainer.AddDocument(d);
+      }
+      e->tokenizer =
+          std::make_unique<text::WordPieceTokenizer>(trainer.Train());
+      model::AdtdConfig cfg = model::AdtdConfig::Tiny(
+          e->tokenizer->vocab().size(),
+          data::SemanticTypeRegistry::Default().size());
+      Rng rng(21);
+      e->model = std::make_unique<model::AdtdModel>(cfg, rng);
+      core::TasteOptions topt;  // faults off, defaults everywhere
+      e->detector = std::make_unique<core::TasteDetector>(
+          e->model.get(), e->tokenizer.get(), topt);
+      for (const auto& t : e->dataset.tables) {
+        e->table_names.push_back(t.name);
+      }
+      return e;
+    }();
+    return *env;
+  }
+
+  std::unique_ptr<clouddb::SimulatedDatabase> MakeDb() const {
+    clouddb::CostModel cost;
+    cost.time_scale = 0.0;  // ledger-only I/O costs; no real sleeping
+    auto db = std::make_unique<clouddb::SimulatedDatabase>(cost);
+    EXPECT_TRUE(db->IngestDataset(dataset).ok());
+    return db;
+  }
+};
+
+pipeline::PipelineOptions WorkerPipelineOptions() {
+  pipeline::PipelineOptions popt;
+  popt.prep_threads = 2;
+  popt.infer_threads = 2;
+  return popt;
+}
+
+/// Bit-exact comparison of two batch results (the idempotency oracle).
+void ExpectBatchesIdentical(const pipeline::BatchResult& got,
+                            const pipeline::BatchResult& want) {
+  ASSERT_EQ(got.tables.size(), want.tables.size());
+  for (size_t i = 0; i < want.tables.size(); ++i) {
+    const auto& g = got.tables[i];
+    const auto& w = want.tables[i];
+    EXPECT_EQ(g.outcome, w.outcome) << i;
+    EXPECT_EQ(g.status.ToString(), w.status.ToString()) << i;
+    EXPECT_EQ(g.result.table_name, w.result.table_name);
+    EXPECT_EQ(g.result.columns_scanned, w.result.columns_scanned);
+    EXPECT_EQ(g.result.degraded_columns, w.result.degraded_columns);
+    ASSERT_EQ(g.result.columns.size(), w.result.columns.size()) << i;
+    for (size_t c = 0; c < w.result.columns.size(); ++c) {
+      const auto& gc = g.result.columns[c];
+      const auto& wc = w.result.columns[c];
+      EXPECT_EQ(gc.column_name, wc.column_name);
+      EXPECT_EQ(gc.ordinal, wc.ordinal);
+      EXPECT_EQ(gc.went_to_p2, wc.went_to_p2);
+      EXPECT_EQ(gc.provenance, wc.provenance);
+      EXPECT_EQ(gc.admitted_types, wc.admitted_types);
+      ASSERT_EQ(gc.probabilities.size(), wc.probabilities.size());
+      if (!wc.probabilities.empty()) {
+        EXPECT_EQ(std::memcmp(gc.probabilities.data(), wc.probabilities.data(),
+                              wc.probabilities.size() * sizeof(float)),
+                  0)
+            << g.result.table_name << "." << gc.column_name
+            << ": probabilities differ bitwise";
+      }
+    }
+  }
+}
+
+pipeline::BatchResult OracleRun(const ServeEnv& env,
+                                const std::vector<std::string>& tables) {
+  auto db = env.MakeDb();
+  pipeline::PipelineExecutor exec(env.detector.get(), db.get(),
+                                  WorkerPipelineOptions());
+  return exec.RunBatch(tables);
+}
+
+// ---------------------------------------------------------------------------
+// Router vs. single-process oracle
+
+TEST(RouterTest, ScatterGatherMatchesSingleProcessByteForByte) {
+  const ServeEnv& env = ServeEnv::Get();
+  auto db = env.MakeDb();
+  serve::WorkerEnv wenv;
+  wenv.detector = env.detector.get();
+  wenv.db = db.get();
+  wenv.pipeline_options = WorkerPipelineOptions();
+  serve::RouterOptions ropt;
+  ropt.supervisor.replicas = 3;
+  serve::Router router(wenv, ropt);
+  ASSERT_TRUE(router.Start().ok());
+
+  pipeline::BatchResult got = router.RunBatch(env.table_names);
+  ExpectBatchesIdentical(got, OracleRun(env, env.table_names));
+  EXPECT_EQ(router.stats().replica_deaths, 0);
+  EXPECT_EQ(router.stats().local_fallback_tables, 0);
+  EXPECT_EQ(router.stats().dispatched_tables,
+            static_cast<int64_t>(env.table_names.size()));
+  router.Shutdown();
+}
+
+TEST(RouterTest, InjectedMidRequestCrashFailsOverByteIdentical) {
+  const ServeEnv& env = ServeEnv::Get();
+  auto db = env.MakeDb();
+  serve::WorkerEnv wenv;
+  wenv.detector = env.detector.get();
+  wenv.db = db.get();
+  wenv.pipeline_options = WorkerPipelineOptions();
+  serve::RouterOptions ropt;
+  ropt.supervisor.replicas = 3;
+
+  // Aim the crash at the actual ring owner of a table so the injected
+  // _exit fires deterministically on first dispatch.
+  serve::ConsistentHashRing ring(ropt.supervisor.replicas, ropt.vnodes);
+  const std::string victim_table = env.table_names[1];
+  wenv.crash_replica = ring.NodeFor(victim_table, [](int) { return true; });
+  wenv.crash_table = victim_table;
+
+  serve::Router router(wenv, ropt);
+  ASSERT_TRUE(router.Start().ok());
+  pipeline::BatchResult got = router.RunBatch(env.table_names);
+
+  // Failover must have replayed the dead replica's tables elsewhere, and
+  // the merged output must be indistinguishable from a crash-free run.
+  ExpectBatchesIdentical(got, OracleRun(env, env.table_names));
+  EXPECT_GE(router.stats().replica_deaths, 1);
+  EXPECT_GE(router.stats().redispatched_tables, 1);
+  // The fleet recovers to full strength within the respawn backoff budget.
+  EXPECT_TRUE(router.MaintainUntilAllUp(5000.0));
+  EXPECT_GE(router.supervisor().total_respawns(), 1);
+  router.Shutdown();
+}
+
+TEST(RouterTest, ExhaustedReplicaSetFallsBackLocally) {
+  const ServeEnv& env = ServeEnv::Get();
+  auto db = env.MakeDb();
+  serve::WorkerEnv wenv;
+  wenv.detector = env.detector.get();
+  wenv.db = db.get();
+  wenv.pipeline_options = WorkerPipelineOptions();
+  serve::RouterOptions ropt;
+  ropt.supervisor.replicas = 1;
+  ropt.supervisor.max_respawns = 0;  // first death parks the only replica
+  wenv.crash_replica = 0;
+  wenv.crash_table = env.table_names[0];
+
+  serve::Router router(wenv, ropt);
+  ASSERT_TRUE(router.Start().ok());
+  pipeline::BatchResult got = router.RunBatch(env.table_names);
+
+  // The whole batch degraded to the router's local executor — and is still
+  // byte-identical, because fallback shares detector, database, options.
+  ExpectBatchesIdentical(got, OracleRun(env, env.table_names));
+  EXPECT_GE(router.stats().local_fallback_tables,
+            static_cast<int64_t>(env.table_names.size()));
+  EXPECT_EQ(router.supervisor().alive_count(), 0);
+  // A parked replica never respawns: Maintain reaches "full strength"
+  // (nothing left pending) with the fleet still at zero live replicas.
+  EXPECT_TRUE(router.MaintainUntilAllUp(50.0));
+  EXPECT_EQ(router.supervisor().replica(0)->state,
+            serve::ReplicaState::kParked);
+  EXPECT_EQ(router.supervisor().alive_count(), 0);
+  router.Shutdown();
+}
+
+TEST(RouterTest, PreExpiredDeadlinePropagatesToWorkers) {
+  const ServeEnv& env = ServeEnv::Get();
+  auto db = env.MakeDb();
+  serve::WorkerEnv wenv;
+  wenv.detector = env.detector.get();
+  wenv.db = db.get();
+  wenv.pipeline_options = WorkerPipelineOptions();
+  wenv.pipeline_options.deadline_ms = -1.0;  // expired before work starts
+  serve::RouterOptions ropt;
+  ropt.supervisor.replicas = 2;
+  serve::Router router(wenv, ropt);
+  ASSERT_TRUE(router.Start().ok());
+
+  pipeline::BatchResult got = router.RunBatch(env.table_names);
+  ASSERT_EQ(got.tables.size(), env.table_names.size());
+  for (const auto& t : got.tables) {
+    EXPECT_EQ(t.outcome, pipeline::TableOutcome::kExpired)
+        << pipeline::TableOutcomeName(t.outcome);
+    EXPECT_EQ(t.status.code(), StatusCode::kDeadlineExceeded);
+  }
+  router.Shutdown();
+}
+
+TEST(RouterTest, ScrapeAggregatesReplicaRegistries) {
+  const ServeEnv& env = ServeEnv::Get();
+  auto db = env.MakeDb();
+  serve::WorkerEnv wenv;
+  wenv.detector = env.detector.get();
+  wenv.db = db.get();
+  wenv.pipeline_options = WorkerPipelineOptions();
+  serve::RouterOptions ropt;
+  ropt.supervisor.replicas = 2;
+  serve::Router router(wenv, ropt);
+  ASSERT_TRUE(router.Start().ok());
+  (void)router.RunBatch(env.table_names);
+
+  auto snap = router.Scrape();
+  ASSERT_TRUE(snap.ok());
+  // The fleet served every table exactly once between the two replicas.
+  EXPECT_EQ(snap->counters.at("taste_worker_tables_total"),
+            static_cast<int64_t>(env.table_names.size()));
+  // Per-replica series exist alongside the summed base series.
+  int per_replica = 0;
+  for (const auto& [name, v] : snap->counters) {
+    if (name.rfind("taste_worker_tables_total{replica=", 0) == 0) {
+      ++per_replica;
+    }
+  }
+  EXPECT_EQ(per_replica, 2);
+  router.Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Supervisor lifecycle
+
+TEST(SupervisorTest, SigkillIsDetectedAndRespawnedWithBackoff) {
+  const ServeEnv& env = ServeEnv::Get();
+  auto db = env.MakeDb();
+  serve::WorkerEnv wenv;
+  wenv.detector = env.detector.get();
+  wenv.db = db.get();
+  wenv.pipeline_options = WorkerPipelineOptions();
+  serve::SupervisorOptions sopt;
+  sopt.replicas = 2;
+  serve::Supervisor sup(wenv, sopt);
+  ASSERT_TRUE(sup.Start().ok());
+  ASSERT_EQ(sup.alive_count(), 2);
+
+  const pid_t victim = sup.replica(0)->pid;
+  ASSERT_EQ(::kill(victim, SIGKILL), 0);
+  // SIGCHLD -> self-pipe -> reap. Give the kernel a beat.
+  std::vector<int> died;
+  for (int spin = 0; spin < 200 && died.empty(); ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    died = sup.ReapDead();
+  }
+  ASSERT_EQ(died, std::vector<int>{0});
+  EXPECT_EQ(sup.alive_count(), 1);
+  EXPECT_EQ(sup.replica(0)->state, serve::ReplicaState::kDead);
+
+  // Respawn honours the deterministic backoff, then brings the replica up.
+  std::vector<int> up;
+  for (int spin = 0; spin < 400 && up.empty(); ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    up = sup.RespawnEligible();
+  }
+  ASSERT_EQ(up, std::vector<int>{0});
+  EXPECT_EQ(sup.alive_count(), 2);
+  EXPECT_EQ(sup.total_respawns(), 1);
+  ASSERT_EQ(sup.recovery_times_ms().size(), 1u);
+  EXPECT_GT(sup.recovery_times_ms()[0], 0.0);
+  sup.Shutdown();
+}
+
+TEST(SupervisorTest, HeartbeatTimeoutCondemnsWedgedReplica) {
+  const ServeEnv& env = ServeEnv::Get();
+  auto db = env.MakeDb();
+  serve::WorkerEnv wenv;
+  wenv.detector = env.detector.get();
+  wenv.db = db.get();
+  wenv.pipeline_options = WorkerPipelineOptions();
+  serve::SupervisorOptions sopt;
+  sopt.replicas = 1;
+  sopt.heartbeat_interval_ms = 10.0;
+  sopt.heartbeat_miss_limit = 2;
+  serve::Supervisor sup(wenv, sopt);
+  ASSERT_TRUE(sup.Start().ok());
+
+  // SIGSTOP wedges the worker without killing it: the process is alive
+  // (no SIGCHLD, thanks to SA_NOCLDSTOP) but will never answer a probe —
+  // exactly the failure mode only heartbeats can catch.
+  ASSERT_EQ(::kill(sup.replica(0)->pid, SIGSTOP), 0);
+
+  std::vector<int> condemned;
+  for (int spin = 0; spin < 500 && condemned.empty(); ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    condemned = sup.ProbeIdle({0});
+  }
+  ASSERT_EQ(condemned, std::vector<int>{0});
+  EXPECT_EQ(sup.alive_count(), 0);
+  EXPECT_GE(sup.replica(0)->deaths, 1);
+  sup.Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Metrics aggregation (pure snapshot arithmetic)
+
+TEST(AggregateTest, SumsBaseSeriesAndFansOutPerPartLabels) {
+  obs::Registry a, b;
+  a.GetCounter("req_total")->Inc(3);
+  b.GetCounter("req_total")->Inc(4);
+  a.GetGauge("bytes")->Set(10.0);
+  b.GetGauge("bytes")->Set(5.0);
+  a.GetHistogram("lat_ms", {1.0, 10.0})->Observe(0.5);
+  b.GetHistogram("lat_ms", {1.0, 10.0})->Observe(5.0);
+  // Already-labeled series sum under their own name but never nest labels.
+  a.GetCounter("stage_ms{stage=\"p1\"}")->Inc(1);
+  b.GetCounter("stage_ms{stage=\"p1\"}")->Inc(2);
+
+  auto merged = obs::AggregateSnapshots(
+      "replica", {{"0", a.snapshot()}, {"1", b.snapshot()}});
+  EXPECT_EQ(merged.counters.at("req_total"), 7);
+  EXPECT_EQ(merged.counters.at("req_total{replica=\"0\"}"), 3);
+  EXPECT_EQ(merged.counters.at("req_total{replica=\"1\"}"), 4);
+  EXPECT_DOUBLE_EQ(merged.gauges.at("bytes"), 15.0);
+  EXPECT_EQ(merged.histograms.at("lat_ms").count, 2);
+  EXPECT_DOUBLE_EQ(merged.histograms.at("lat_ms").sum, 5.5);
+  EXPECT_EQ(merged.histograms.at("lat_ms").counts[0], 1);
+  EXPECT_EQ(merged.histograms.at("lat_ms").counts[1], 1);
+  EXPECT_EQ(merged.counters.at("stage_ms{stage=\"p1\"}"), 3);
+  EXPECT_EQ(merged.counters.count("stage_ms{stage=\"p1\"}{replica=\"0\"}"),
+            0u);
+}
+
+}  // namespace
+}  // namespace taste

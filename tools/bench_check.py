@@ -13,7 +13,12 @@ and exits non-zero when either
     against the same batch size in the baseline, or
   * the batched-serving run (p2_serving) slowed down by more than the
     threshold against baseline, or fell below the absolute sanity floor
-    that catches a batcher stuck sleeping out full windows.
+    that catches a batcher stuck sleeping out full windows, or
+  * the multi-process serving tier (p2_serving_mp) slowed down beyond the
+    threshold at any replica count, its 1->4 replica scaling fell below
+    the floor (1.5x with >=4 hardware threads; a 0.70x no-collapse floor
+    on starved runners, where process scaling is physically unavailable),
+    or kill->respawn recovery left the bounded window.
 
 It also sanity-checks the artifact's embedded "metrics" section (present
 since the observability layer landed): the document must be valid JSON and
@@ -144,6 +149,57 @@ def check_p2_serving(baseline, fresh, threshold, failures):
             f"0.70x sanity floor — batcher likely idling out windows")
 
 
+def check_p2_serving_mp(baseline, fresh, threshold, failures):
+    base = baseline.get("p2_serving_mp", {})
+    cur = fresh.get("p2_serving_mp", {})
+    if base and not cur:
+        failures.append("p2_serving_mp section missing from fresh run")
+        return
+    if not cur:
+        return
+    base_rows = {r["replicas"]: r for r in base.get("rows", [])}
+    for row in cur.get("rows", []):
+        b = base_rows.get(row["replicas"], {}).get("wall_ms", 0)
+        c = row.get("wall_ms", 0)
+        if b <= 0 or c <= 0:
+            continue
+        growth = (c - b) / b
+        verdict = "FAIL" if growth > threshold else "ok"
+        print(f"  p2_serving_mp/replicas={row['replicas']:<2} "
+              f"{b:8.1f} -> {c:8.1f} ms ({growth:+6.1%}) {verdict}")
+        if growth > threshold:
+            failures.append(
+                f"p2_serving_mp replicas={row['replicas']}: wall regressed "
+                f"{growth:.1%} ({b:.1f} -> {c:.1f} ms, "
+                f"threshold {threshold:.0%})")
+    # Scaling floor, baseline-independent. Scattering a batch across worker
+    # PROCESSES needs cores to scale: with >=4 hardware threads going 1->4
+    # replicas must buy at least 1.5x throughput. On a starved runner the
+    # requirement degrades to a no-collapse floor (mirroring p2_serving's
+    # 0.70x): fork + wire + gather overhead must never eat 30% of the
+    # single-replica wall.
+    hw = fresh.get("hardware_threads", 1)
+    floor = 1.5 if hw >= 4 else 0.70
+    scaling = cur.get("scaling_1_to_4", 0)
+    verdict = "FAIL" if scaling < floor else "ok"
+    print(f"  p2_serving_mp/scaling_1_to_4 {scaling:.2f}x "
+          f"({verdict}, floor {floor:.2f}x at {hw} hardware threads)")
+    if scaling < floor:
+        failures.append(
+            f"p2_serving_mp: 1->4 replica scaling {scaling:.2f}x below the "
+            f"{floor:.2f}x floor ({hw} hardware threads)")
+    # The bench injects one crash and asserts the supervisor restored the
+    # replica; recovery time must exist and stay inside the bench's own
+    # 5-second MaintainUntilAllUp budget.
+    rec = cur.get("failover_recovery_ms", -1.0)
+    verdict = "FAIL" if not 0 <= rec <= 5000 else "ok"
+    print(f"  p2_serving_mp/failover_recovery {rec:.1f} ms ({verdict})")
+    if not 0 <= rec <= 5000:
+        failures.append(
+            f"p2_serving_mp: kill->respawn recovery {rec:.1f} ms outside "
+            f"[0, 5000]")
+
+
 def check_metrics_section(fresh, failures):
     metrics = fresh.get("metrics")
     if metrics is None:
@@ -192,6 +248,7 @@ def main():
     check_end_to_end(baseline, fresh, args.threshold, failures)
     check_p2_batching(baseline, fresh, args.threshold, failures)
     check_p2_serving(baseline, fresh, args.threshold, failures)
+    check_p2_serving_mp(baseline, fresh, args.threshold, failures)
     check_metrics_section(fresh, failures)
 
     if failures:

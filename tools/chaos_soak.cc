@@ -55,6 +55,8 @@
 #include <thread>
 #include <vector>
 
+#include <signal.h>
+
 #include "clouddb/fault_injector.h"
 #include "common/logging.h"
 #include "core/taste_detector.h"
@@ -62,6 +64,7 @@
 #include "model/adtd.h"
 #include "obs/metrics.h"
 #include "pipeline/scheduler.h"
+#include "serve/router.h"
 #include "text/wordpiece.h"
 
 using namespace taste;
@@ -204,6 +207,36 @@ struct RunOutput {
   std::string digest;
   std::vector<std::string> violations;
 };
+
+/// Bit-exact digest of a batch outcome (results, statuses, provenance,
+/// probabilities with %a float formatting). Shared by the single-process
+/// replay check and the multi-process byte-identity check.
+void AppendBatchDigest(const pipeline::BatchResult& batch,
+                       const std::vector<std::string>& requested,
+                       std::string* d) {
+  char buf[64];
+  for (size_t i = 0; i < batch.tables.size(); ++i) {
+    const auto& t = batch.tables[i];
+    *d += t.result.table_name.empty() ? requested[i] : t.result.table_name;
+    *d += '|';
+    *d += pipeline::TableOutcomeName(t.outcome);
+    *d += '|';
+    *d += t.status.ToString();
+    *d += '|';
+    for (const auto& col : t.result.columns) {
+      *d += col.column_name + ":" + core::ProvenanceName(col.provenance) +
+            (col.went_to_p2 ? ":p2:" : ":p1:");
+      for (int ty : col.admitted_types) *d += std::to_string(ty) + ",";
+      *d += '[';
+      for (float p : col.probabilities) {
+        std::snprintf(buf, sizeof(buf), "%a;", static_cast<double>(p));
+        *d += buf;
+      }
+      *d += ']';
+    }
+    *d += '\n';
+  }
+}
 
 void Violate(RunOutput* out, uint64_t seed, const std::string& what) {
   out->violations.push_back("seed " + std::to_string(seed) + ": " + what);
@@ -352,27 +385,7 @@ RunOutput RunOnce(uint64_t seed, const Env& env, const Scenario& sc) {
   // -- Outcome digest for replay comparison (bit-exact float formatting).
   std::string& d = out.digest;
   char buf[64];
-  for (size_t i = 0; i < batch.tables.size(); ++i) {
-    const auto& t = batch.tables[i];
-    d += t.result.table_name.empty() ? sc.tables[i] : t.result.table_name;
-    d += '|';
-    d += pipeline::TableOutcomeName(t.outcome);
-    d += '|';
-    d += t.status.ToString();
-    d += '|';
-    for (const auto& col : t.result.columns) {
-      d += col.column_name + ":" + core::ProvenanceName(col.provenance) +
-           (col.went_to_p2 ? ":p2:" : ":p1:");
-      for (int ty : col.admitted_types) d += std::to_string(ty) + ",";
-      d += '[';
-      for (float p : col.probabilities) {
-        std::snprintf(buf, sizeof(buf), "%a;", static_cast<double>(p));
-        d += buf;
-      }
-      d += ']';
-    }
-    d += '\n';
-  }
+  AppendBatchDigest(batch, sc.tables, &d);
   const auto fs = injector->stats();
   std::snprintf(buf, sizeof(buf), "faults=%lld/%lld trunc=%lld\n",
                 static_cast<long long>(fs.faults()),
@@ -445,15 +458,194 @@ int RunOverloadSweep(const Env& env) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// --replica-kill: kill/respawn chaos against the multi-process serving tier
+//
+// Each seed builds a faults-OFF scenario, computes the single-process
+// oracle digest, then runs the same batch through a serve::Router with
+//   (a) a deterministic injected crash — the ring owner of one chosen
+//       table calls _exit() the moment that table's request arrives, and
+//   (b) a wall-clock killer thread SIGKILLing 1-2 random live workers
+//       mid-run (timing-dependent WHICH work gets re-dispatched — the
+//       merged output must not depend on it).
+// Invariants: the merged router batch is BYTE-IDENTICAL to the oracle
+// digest; >= 1 replica death was observed and every orphaned table was
+// re-dispatched or locally recovered; the fleet returns to full strength
+// within a bounded recovery window.
+
+struct ReplicaKillScenario {
+  std::vector<std::string> tables;
+  core::TasteOptions detector_options;
+  pipeline::PipelineOptions pipeline_options;
+  int replicas = 2;
+  int extra_kills = 1;       // wall-clock SIGKILLs on top of the injection
+  double kill_delay_ms = 0;  // delay before the first wall-clock kill
+};
+
+ReplicaKillScenario MakeReplicaKillScenario(uint64_t seed, const Env& env) {
+  SplitMix64 rng(seed * 0x9E3779B97F4A7C15ull + 0xC4A5ull);
+  ReplicaKillScenario sc;
+  const int total = static_cast<int>(env.table_names.size());
+  const int count = rng.Range(3, std::min(8, total));
+  const int start = rng.Range(0, total - 1);
+  for (int k = 0; k < count; ++k) {
+    sc.tables.push_back(env.table_names[(start + k) % total]);
+  }
+  // Faults OFF and no admission/deadline pressure: detection must be a
+  // pure function of (table, weights, options), which is what makes the
+  // byte-identity assertion meaningful.
+  sc.detector_options.enable_p2 = rng.Unit() < 0.9;
+  pipeline::PipelineOptions& popt = sc.pipeline_options;
+  popt.pipelined = rng.Unit() < 0.8;
+  popt.prep_threads = rng.Range(1, 3);
+  popt.infer_threads = rng.Range(1, 3);
+  // Generous deadline half the time: it must never fire, but its remaining
+  // budget rides every wire frame, exercising propagation.
+  popt.deadline_ms = rng.Unit() < 0.5 ? 10000.0 : 0.0;
+  sc.replicas = rng.Range(2, 4);
+  sc.extra_kills = rng.Range(1, 2);
+  sc.kill_delay_ms = rng.Unit() * 20.0;
+  return sc;
+}
+
+int RunReplicaKill(const Env& env, int seeds, uint64_t start_seed,
+                   bool verbose) {
+  obs::SetMetricsEnabled(true);
+  int failures = 0;
+  for (int k = 0; k < seeds; ++k) {
+    const uint64_t seed = start_seed + static_cast<uint64_t>(k);
+    const ReplicaKillScenario sc = MakeReplicaKillScenario(seed, env);
+    std::vector<std::string> violations;
+    auto violate = [&](const std::string& what) {
+      violations.push_back("seed " + std::to_string(seed) + ": " + what);
+    };
+
+    // Single-process oracle (fresh db + detector, same options).
+    std::string oracle_digest;
+    {
+      clouddb::CostModel cost;
+      cost.time_scale = 0.0;
+      clouddb::SimulatedDatabase db(cost);
+      TASTE_CHECK(db.IngestDataset(env.dataset).ok());
+      core::TasteDetector detector(env.model.get(), env.tokenizer.get(),
+                                   sc.detector_options);
+      pipeline::PipelineExecutor exec(&detector, &db, sc.pipeline_options);
+      pipeline::BatchResult batch = exec.RunBatch(sc.tables);
+      AppendBatchDigest(batch, sc.tables, &oracle_digest);
+    }
+
+    // Multi-process run under kill/respawn chaos.
+    clouddb::CostModel cost;
+    cost.time_scale = 0.0;
+    clouddb::SimulatedDatabase db(cost);
+    TASTE_CHECK(db.IngestDataset(env.dataset).ok());
+    core::TasteDetector detector(env.model.get(), env.tokenizer.get(),
+                                 sc.detector_options);
+    serve::WorkerEnv wenv;
+    wenv.detector = &detector;
+    wenv.db = &db;
+    wenv.pipeline_options = sc.pipeline_options;
+    serve::RouterOptions ropt;
+    ropt.supervisor.replicas = sc.replicas;
+    // Deterministic mid-request crash: the ring owner of the first table
+    // dies the moment its leg arrives.
+    serve::ConsistentHashRing ring(sc.replicas, ropt.vnodes);
+    wenv.crash_table = sc.tables[0];
+    wenv.crash_replica =
+        ring.NodeFor(wenv.crash_table, [](int) { return true; });
+
+    serve::Router router(wenv, ropt);
+    TASTE_CHECK(router.Start().ok());
+
+    // Wall-clock killer: SIGKILL random live workers mid-run. Pids are
+    // read racily on purpose — a stale pid just means the victim already
+    // died, which is chaos working as intended.
+    SplitMix64 krng(seed ^ 0x5EED5ull);
+    std::atomic<bool> killer_stop{false};
+    std::thread killer([&] {
+      for (int kill_i = 0; kill_i < sc.extra_kills; ++kill_i) {
+        const double delay = sc.kill_delay_ms + krng.Unit() * 15.0;
+        const auto until = std::chrono::steady_clock::now() +
+                           std::chrono::duration<double, std::milli>(delay);
+        while (std::chrono::steady_clock::now() < until) {
+          if (killer_stop.load()) return;
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        const int victim = krng.Range(0, sc.replicas - 1);
+        const serve::Replica* r = router.supervisor().replica(victim);
+        const pid_t pid = r != nullptr ? r->pid : -1;
+        if (pid > 0) ::kill(pid, SIGKILL);
+      }
+    });
+
+    pipeline::BatchResult batch = router.RunBatch(sc.tables);
+    killer_stop.store(true);
+    killer.join();
+
+    std::string digest;
+    AppendBatchDigest(batch, sc.tables, &digest);
+    if (digest != oracle_digest) {
+      violate("multi-process batch is NOT byte-identical to the "
+              "single-process oracle");
+      if (verbose) {
+        std::fprintf(stderr, "--- oracle ---\n%s--- router ---\n%s",
+                     oracle_digest.c_str(), digest.c_str());
+      }
+    }
+    if (router.stats().replica_deaths < 1) {
+      violate("no replica death observed despite injected crash");
+    }
+    // Every orphaned table must have been recovered somewhere.
+    if (router.stats().redispatched_tables +
+            router.stats().local_fallback_tables <
+        1) {
+      violate("crash produced no failover re-dispatch or local fallback");
+    }
+    // Bounded recovery: full strength within the respawn backoff budget.
+    if (!router.MaintainUntilAllUp(5000.0)) {
+      violate("fleet did not return to full strength within 5 s");
+    }
+    router.Shutdown();
+
+    for (const auto& v : violations) {
+      std::fprintf(stderr, "chaos_soak: VIOLATION: %s\n", v.c_str());
+    }
+    if (!violations.empty()) ++failures;
+    if (verbose && violations.empty()) {
+      std::fprintf(stderr,
+                   "seed %llu ok (%zu tables, %d replicas, deaths=%lld, "
+                   "redispatched=%lld, fallback=%lld)\n",
+                   static_cast<unsigned long long>(seed), sc.tables.size(),
+                   sc.replicas,
+                   static_cast<long long>(router.stats().replica_deaths),
+                   static_cast<long long>(router.stats().redispatched_tables),
+                   static_cast<long long>(
+                       router.stats().local_fallback_tables));
+    }
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "chaos_soak: replica-kill %d/%d seeds FAILED\n",
+                 failures, seeds);
+    return 1;
+  }
+  std::printf("chaos_soak: replica-kill %d seeds green (start %llu)\n", seeds,
+              static_cast<unsigned long long>(start_seed));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // A replica worker (or router) whose peer died mid-write must see an
+  // EPIPE Status, not die of SIGPIPE.
+  ::signal(SIGPIPE, SIG_IGN);
   int seeds = 200;
   uint64_t start_seed = 1;
   int tables = 10;
   bool verbose = false;
   bool overload = false;
   bool cache_churn = false;
+  bool replica_kill = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&]() -> const char* {
@@ -475,16 +667,20 @@ int main(int argc, char** argv) {
       overload = true;
     } else if (arg == "--cache-churn") {
       cache_churn = true;
+    } else if (arg == "--replica-kill") {
+      replica_kill = true;
     } else {
       std::fprintf(stderr,
                    "usage: chaos_soak [--seeds N] [--start-seed S] "
-                   "[--tables N] [--verbose] [--overload] [--cache-churn]\n");
+                   "[--tables N] [--verbose] [--overload] [--cache-churn] "
+                   "[--replica-kill]\n");
       return 2;
     }
   }
   SetLogLevel(LogLevel::kWarn);
   Env env = Env::Make(tables);
   if (overload) return RunOverloadSweep(env);
+  if (replica_kill) return RunReplicaKill(env, seeds, start_seed, verbose);
 
   obs::SetMetricsEnabled(true);
 

@@ -24,16 +24,24 @@
 //     --batch-window-us N    coalesce concurrent P2 forwards for up to N us
 //                            into one packed batch forward (serving knob;
 //                            output is byte-identical to unbatched)
+//     --replicas N           fork N supervised worker processes and route
+//                            the batch through the multi-process serving
+//                            tier (crash failover + respawn; DESIGN.md §10);
+//                            output is byte-identical to single-process
 //
 // Exit codes: 0 = every table completed (possibly degraded), 1 = at least
 // one table failed, 2 = bad usage, 3 = at least one table was shed by
 // admission control (and none failed outright).
 
+#include <signal.h>
+
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "core/result_json.h"
+#include "serve/router.h"
 #include "core/taste_detector.h"
 #include "obs/export.h"
 #include "pipeline/scheduler.h"
@@ -59,6 +67,7 @@ struct CliOptions {
   int max_inflight = 0;
   int cache_shards = 1;
   int batch_window_us = 0;
+  int replicas = 0;
 };
 
 bool ParseArgs(int argc, char** argv, CliOptions* out) {
@@ -127,6 +136,14 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
         std::fprintf(stderr, "--batch-window-us must be >= 0\n");
         return false;
       }
+    } else if (arg == "--replicas") {
+      const char* v = need_value("--replicas");
+      if (v == nullptr) return false;
+      out->replicas = std::atoi(v);
+      if (out->replicas < 1 || out->replicas > 64) {
+        std::fprintf(stderr, "--replicas must be in [1, 64]\n");
+        return false;
+      }
     } else if (arg == "--help" || arg == "-h") {
       return false;
     } else {
@@ -151,7 +168,7 @@ void PrintUsage() {
       "taste_cli [--profile wiki|git] [--table NAME] [--alpha X] [--beta Y]\n"
       "          [--no-p2] [--sample] [--json] [--list]\n"
       "          [--metrics-out FILE] [--deadline-ms X] [--max-inflight N]\n"
-      "          [--cache-shards N] [--batch-window-us N]\n");
+      "          [--cache-shards N] [--batch-window-us N] [--replicas N]\n");
 }
 
 void PrintText(const core::TableDetectionResult& r,
@@ -173,6 +190,9 @@ void PrintText(const core::TableDetectionResult& r,
 }  // namespace
 
 int main(int argc, char** argv) {
+  // With --replicas a worker can die between our poll and our write; the
+  // failed write must surface as a Status, not kill the router.
+  ::signal(SIGPIPE, SIG_IGN);
   CliOptions cli;
   if (!ParseArgs(argc, argv, &cli)) {
     PrintUsage();
@@ -234,7 +254,7 @@ int main(int argc, char** argv) {
   std::vector<core::TableDetectionResult> results;
   int exit_code = 0;
   const bool serving_knobs = cli.deadline_ms != 0.0 || cli.max_inflight > 0 ||
-                             cli.batch_window_us > 0;
+                             cli.batch_window_us > 0 || cli.replicas > 0;
   if (!cli.metrics_out.empty() || serving_knobs) {
     // Observability / serving mode: run the batch through the pipelined
     // executor so the metrics document carries per-stage latency histograms
@@ -252,8 +272,31 @@ int main(int argc, char** argv) {
       popt.admission.max_inflight_tables = cli.max_inflight;
       popt.admission.max_queued_tables = cli.max_inflight;
     }
-    pipeline::PipelineExecutor exec(&detector, db->get(), popt);
-    pipeline::BatchResult batch = exec.RunBatch(targets);
+    // With --replicas the batch is scattered across forked worker
+    // processes instead; faults off, the merged result is byte-identical
+    // to the single-process executor's.
+    std::unique_ptr<serve::Router> router;
+    std::unique_ptr<pipeline::PipelineExecutor> exec;
+    pipeline::BatchResult batch;
+    if (cli.replicas > 0) {
+      serve::WorkerEnv env;
+      env.detector = &detector;
+      env.db = db->get();
+      env.pipeline_options = popt;
+      serve::RouterOptions ropt;
+      ropt.supervisor.replicas = cli.replicas;
+      router = std::make_unique<serve::Router>(env, ropt);
+      if (Status st = router->Start(); !st.ok()) {
+        std::fprintf(stderr, "replica startup failed: %s\n",
+                     st.ToString().c_str());
+        return 1;
+      }
+      batch = router->RunBatch(targets);
+    } else {
+      exec = std::make_unique<pipeline::PipelineExecutor>(&detector,
+                                                          db->get(), popt);
+      batch = exec->RunBatch(targets);
+    }
     bool any_failed = false;
     for (size_t i = 0; i < batch.tables.size(); ++i) {
       auto& t = batch.tables[i];
@@ -275,28 +318,53 @@ int main(int argc, char** argv) {
           break;
       }
     }
-    const auto& rz = exec.resilience_stats();
+    const pipeline::ResilienceStats& rz =
+        router ? router->stats().resilience : exec->resilience_stats();
     if (rz.shed_tables + rz.expired_tables + rz.degraded_tables > 0) {
       std::fprintf(stderr,
                    "serving outcomes: %lld shed, %lld expired, %lld "
-                   "degraded (of %d tables)\n",
+                   "degraded (of %zu tables)\n",
                    static_cast<long long>(rz.shed_tables),
                    static_cast<long long>(rz.expired_tables),
                    static_cast<long long>(rz.degraded_tables),
-                   exec.stats().tables_processed);
+                   targets.size());
+    }
+    if (router != nullptr && router->stats().replica_deaths > 0) {
+      std::fprintf(stderr,
+                   "replica tier: %lld deaths, %lld tables re-dispatched, "
+                   "%lld ran locally\n",
+                   static_cast<long long>(router->stats().replica_deaths),
+                   static_cast<long long>(router->stats().redispatched_tables),
+                   static_cast<long long>(
+                       router->stats().local_fallback_tables));
     }
     if (!cli.metrics_out.empty()) {
+      // Single-process: the global registry. Multi-process: the replicas'
+      // registries scraped over the wire and aggregated with the router's
+      // own (summed base series + per-replica labeled series).
+      obs::Registry::Snapshot snap;
+      if (router != nullptr) {
+        auto scraped = router->Scrape();
+        if (!scraped.ok()) {
+          std::fprintf(stderr, "replica scrape failed: %s\n",
+                       scraped.status().ToString().c_str());
+          return 1;
+        }
+        snap = std::move(*scraped);
+      } else {
+        snap = obs::Registry::Global().snapshot();
+      }
       const auto spans = obs::DrainSpans();
-      if (!obs::WriteMetricsFile(cli.metrics_out,
-                                 obs::Registry::Global().snapshot(),
-                                 &spans)) {
+      if (!obs::WriteMetricsFile(cli.metrics_out, snap, &spans)) {
         std::fprintf(stderr, "failed to write %s\n", cli.metrics_out.c_str());
         return 1;
       }
-      std::fprintf(stderr, "wrote metrics to %s (%d tables, %.1f ms wall)\n",
-                   cli.metrics_out.c_str(), exec.stats().tables_processed,
-                   exec.stats().wall_ms);
+      const double wall =
+          router ? router->stats().wall_ms : exec->stats().wall_ms;
+      std::fprintf(stderr, "wrote metrics to %s (%zu tables, %.1f ms wall)\n",
+                   cli.metrics_out.c_str(), targets.size(), wall);
     }
+    if (router != nullptr) router->Shutdown();
     if (any_failed) {
       exit_code = 1;
     } else if (rz.shed_tables > 0) {

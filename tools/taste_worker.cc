@@ -1,0 +1,150 @@
+// taste_worker — standalone replica worker speaking the serve/ wire
+// protocol (DESIGN.md §10).
+//
+// The production supervisor fork()s replicas from the router's own image
+// (copy-on-write model sharing; see serve/worker.h), so this binary is NOT
+// on the serving path. It exists for protocol debugging and manual
+// experiments: it builds a self-contained detection environment (generated
+// dataset, trained tokenizer, tiny untrained model — the chaos harness
+// recipe) and then serves WorkerMain on either an inherited descriptor or
+// a Unix-domain socket it binds itself:
+//
+//   taste_worker --fd N [--tables N] [--seed S] [--replica-id K]
+//   taste_worker --socket /tmp/taste.sock [--tables N] [--seed S]
+//
+// With --socket it accepts exactly one connection, serves it until the
+// peer hangs up or sends a shutdown frame, and exits with WorkerMain's
+// code. Exit code 2 = bad usage / setup failure.
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "common/logging.h"
+#include "core/taste_detector.h"
+#include "data/table_generator.h"
+#include "model/adtd.h"
+#include "serve/worker.h"
+#include "text/wordpiece.h"
+
+using namespace taste;
+
+namespace {
+
+int ServeSocketPath(const std::string& path, const serve::WorkerEnv& env,
+                    int replica_id) {
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::perror("taste_worker: socket");
+    return 2;
+  }
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "taste_worker: socket path too long\n");
+    return 2;
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  ::unlink(path.c_str());
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(listener, 1) != 0) {
+    std::perror("taste_worker: bind/listen");
+    ::close(listener);
+    return 2;
+  }
+  std::fprintf(stderr, "taste_worker: listening on %s\n", path.c_str());
+  const int conn = ::accept(listener, nullptr, nullptr);
+  ::close(listener);
+  if (conn < 0) {
+    std::perror("taste_worker: accept");
+    return 2;
+  }
+  const int rc = serve::WorkerMain(conn, env, replica_id);
+  ::close(conn);
+  ::unlink(path.c_str());
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // A router that dies mid-read must surface as an EPIPE Status on our
+  // next write, never as SIGPIPE killing the worker.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  int fd = -1;
+  std::string socket_path;
+  int tables = 6;
+  uint64_t seed = 21;
+  int replica_id = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--fd") {
+      fd = std::atoi(value());
+    } else if (arg == "--socket") {
+      socket_path = value();
+    } else if (arg == "--tables") {
+      tables = std::atoi(value());
+    } else if (arg == "--seed") {
+      seed = static_cast<uint64_t>(std::atoll(value()));
+    } else if (arg == "--replica-id") {
+      replica_id = std::atoi(value());
+    } else {
+      std::fprintf(stderr,
+                   "usage: taste_worker (--fd N | --socket PATH) "
+                   "[--tables N] [--seed S] [--replica-id K]\n");
+      return 2;
+    }
+  }
+  if (fd < 0 && socket_path.empty()) {
+    std::fprintf(stderr, "taste_worker: need --fd or --socket\n");
+    return 2;
+  }
+  SetLogLevel(LogLevel::kWarn);
+
+  // Self-contained environment, chaos-harness recipe: deterministic given
+  // --tables/--seed, so two workers with the same flags serve identical
+  // detections.
+  data::Dataset dataset =
+      data::GenerateDataset(data::DatasetProfile::WikiLike(tables));
+  text::WordPieceTrainer trainer({.vocab_size = 400});
+  for (const auto& d : data::BuildCorpusDocuments(dataset)) {
+    trainer.AddDocument(d);
+  }
+  auto tokenizer = std::make_unique<text::WordPieceTokenizer>(trainer.Train());
+  model::AdtdConfig cfg = model::AdtdConfig::Tiny(
+      tokenizer->vocab().size(), data::SemanticTypeRegistry::Default().size());
+  Rng rng(seed);
+  auto model = std::make_unique<model::AdtdModel>(cfg, rng);
+  clouddb::CostModel cost;
+  cost.time_scale = 0.0;
+  clouddb::SimulatedDatabase db(cost);
+  if (!db.IngestDataset(dataset).ok()) {
+    std::fprintf(stderr, "taste_worker: dataset ingest failed\n");
+    return 2;
+  }
+  core::TasteOptions topt;
+  core::TasteDetector detector(model.get(), tokenizer.get(), topt);
+
+  serve::WorkerEnv env;
+  env.detector = &detector;
+  env.db = &db;
+
+  if (!socket_path.empty()) return ServeSocketPath(socket_path, env, replica_id);
+  return serve::WorkerMain(fd, env, replica_id);
+}
