@@ -18,6 +18,7 @@
 #include "clouddb/database.h"
 #include "obs/export.h"
 #include "common/thread_pool.h"
+#include "core/cost_model.h"
 #include "core/taste_detector.h"
 #include "data/table_generator.h"
 #include "model/adtd.h"
@@ -337,7 +338,7 @@ void WriteSubstrateJson() {
   // tests/batching_diff_test.cc), so the only question is throughput. The
   // model-level sweep isolates the packed-GEMM amortization (one B-panel
   // pack serves every batched row); the serving rows measure the same knob
-  // end to end through the micro-batcher at 4 infer workers.
+  // end to end through the serving scheduler at 4 infer workers.
   {
     struct Chunk {
       model::EncodedMetadata em;
@@ -371,6 +372,9 @@ void WriteSubstrateJson() {
       }
       return chunks;
     };
+    // (total_tokens, batched_ms) pairs harvested from the sweeps below;
+    // feeds the serving cost model's least-squares calibration.
+    std::vector<std::pair<int64_t, double>> cost_samples;
     auto sweep = [&](const char* key,
                      const std::vector<std::unique_ptr<Chunk>>& chunks) {
       std::printf("P2 micro-batching %s (packed batch vs sequential):\n", key);
@@ -395,6 +399,11 @@ void WriteSubstrateJson() {
               benchmark::DoNotOptimize(f.model->ForwardContentBatch(items));
             },
             reps);
+        int64_t total_tokens = 0;
+        for (const auto& it : items) {
+          total_tokens += static_cast<int64_t>(it.content->token_ids.size());
+        }
+        cost_samples.emplace_back(total_tokens, batch_ms);
         json.BeginObject();
         json.Field("batch_size", static_cast<int64_t>(bsize));
         json.Field("sequential_ms", seq_ms);
@@ -412,15 +421,47 @@ void WriteSubstrateJson() {
     model::InputConfig small = f.model->config().input;
     small.cells_per_column = 2;
     sweep("p2_batch_small", harvest(small, /*l=*/2));
+
+    // Calibrate the serving cost model from the sweep samples and emit the
+    // fit: ms(batch) = overhead_ms + ms_per_token * total_tokens. The
+    // scheduler's defaults (core/cost_model.h) were fit from exactly this
+    // section of a committed BENCH_substrate.json.
+    core::P2CostModel cm;
+    const bool calibrated = cm.Calibrate(cost_samples);
+    json.BeginObject("cost_model");
+    json.Field("calibrated", calibrated);
+    json.Field("samples", static_cast<int64_t>(cost_samples.size()));
+    json.Field("overhead_ms", cm.params().overhead_ms);
+    json.Field("ms_per_token", cm.params().ms_per_token);
+    json.EndObject();
+    std::printf(
+        "cost model fit (%zu samples): overhead %.4f ms + %.5f ms/token%s\n",
+        cost_samples.size(), cm.params().overhead_ms, cm.params().ms_per_token,
+        calibrated ? "" : " (fit failed; defaults kept)");
   }
 
   // Serving level: the pipelined executor at 4 infer workers with the
-  // latent cache sharded + micro-batcher armed, vs the exact legacy
-  // dispatch — identical result bytes either way, wall clock is the whole
-  // story. Uses the small-chunk serving profile (n=2, l=2 overrides):
-  // that is the regime the batcher exists for — lots of short P2 chunks
-  // in flight at once.
+  // latent cache sharded + continuous-batching scheduler armed, vs the
+  // exact legacy dispatch — identical result bytes either way, wall clock
+  // is the whole story. Uses the small-chunk serving profile (n=2, l=2
+  // overrides) over a WIDE-table corpus: cloud tables are wide (paper
+  // Sec. 1), wide tables split into many short P2 chunks, and those chunks
+  // are exactly what the scheduler's group submission packs into shared
+  // forwards. The fixture's 2-8 column corpus stays with the other
+  // sections; serving gets its own 40 wide tables.
   {
+    data::DatasetProfile wide = data::DatasetProfile::WikiLike(40);
+    wide.min_columns = 6;
+    wide.max_columns = 16;
+    wide.seed = 11;
+    data::Dataset wide_ds = data::GenerateDataset(wide);
+    clouddb::CostModel wide_cost;
+    wide_cost.time_scale = 0.0;
+    clouddb::SimulatedDatabase wide_db(wide_cost);
+    TASTE_CHECK(wide_db.IngestDataset(wide_ds).ok());
+    std::vector<std::string> wide_tables;
+    for (const auto& t : wide_ds.tables) wide_tables.push_back(t.name);
+
     json.BeginObject("p2_serving");
     double off_ms = 0.0, on_ms = 0.0;
     for (const bool batching : {false, true}) {
@@ -432,21 +473,25 @@ void WriteSubstrateJson() {
       pipeline::PipelineOptions popt;
       popt.prep_threads = 2;
       popt.infer_threads = 4;
-      popt.batch_window_us = batching ? 200 : 0;
-      popt.max_batch_items = 4;  // match the worker count: a fuller batch
-                                 // can never materialize, only be waited for
+      popt.scheduling.enabled = batching;
+      // Default knobs: group submission means one table can contribute
+      // several chunks to a forward, so batches larger than the worker
+      // count DO materialize.
+      popt.scheduling.max_items = 8;
+      popt.scheduling.max_inflight_batches = 0;  // auto (profitable count)
       // Best of three runs: a single pass on a shared box is dominated by
       // scheduler noise.
       double best = 0.0;
       for (int rep = 0; rep < 3; ++rep) {
-        pipeline::PipelineExecutor exec(&sdet, f.db.get(), popt);
-        TASTE_CHECK(exec.Run(tables).ok());
+        pipeline::PipelineExecutor exec(&sdet, &wide_db, popt);
+        TASTE_CHECK(exec.Run(wide_tables).ok());
         const double wall = exec.stats().wall_ms;
         if (rep == 0 || wall < best) best = wall;
       }
       (batching ? on_ms : off_ms) = best;
     }
     json.Field("infer_threads", static_cast<int64_t>(4));
+    json.Field("tables", static_cast<int64_t>(wide_tables.size()));
     json.Field("batching_off_wall_ms", off_ms);
     json.Field("batching_on_wall_ms", on_ms);
     json.Field("speedup", off_ms / on_ms);

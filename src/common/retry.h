@@ -259,6 +259,16 @@ class BreakerRegistry {
     return slot.get();
   }
 
+  /// Const lookup: the breaker for `key` if one was ever created, else
+  /// null. Used by the serving scheduler's fast-fail gate, which must
+  /// observe breaker state without creating breakers for healthy tables
+  /// (and without consuming Allow() probes).
+  const CircuitBreaker* Find(const std::string& key) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = breakers_.find(key);
+    return it == breakers_.end() ? nullptr : it->second.get();
+  }
+
   /// Sum of trips across all breakers.
   int64_t TotalTrips() const {
     std::lock_guard<std::mutex> lock(mu_);

@@ -1,0 +1,69 @@
+#include "core/cost_model.h"
+
+#include <algorithm>
+
+namespace taste::core {
+
+double P2CostModel::EstimateSequentialMs(
+    const std::vector<int64_t>& item_tokens) const {
+  double ms = 0.0;
+  for (int64_t t : item_tokens) ms += EstimateBatchMs(t);
+  return ms;
+}
+
+double P2CostModel::PredictedSpeedup(
+    const std::vector<int64_t>& item_tokens) const {
+  if (item_tokens.empty()) return 1.0;
+  int64_t total = 0;
+  for (int64_t t : item_tokens) total += t;
+  const double batched = EstimateBatchMs(total);
+  return batched > 0.0 ? EstimateSequentialMs(item_tokens) / batched : 1.0;
+}
+
+int P2CostModel::MaxItemsUnderCap(const std::vector<int64_t>& item_tokens,
+                                  double cap_ms, int max_items) const {
+  const int bound =
+      std::min<int>(std::max(1, max_items),
+                    static_cast<int>(item_tokens.size()));
+  if (cap_ms <= 0.0) return bound;
+  int n = 0;
+  int64_t tokens = 0;
+  while (n < bound) {
+    tokens += item_tokens[static_cast<size_t>(n)];
+    if (n > 0 && EstimateBatchMs(tokens) > cap_ms) break;
+    ++n;  // the first item is always admitted, cap or no cap
+  }
+  return std::max(1, n);
+}
+
+bool P2CostModel::Calibrate(
+    const std::vector<std::pair<int64_t, double>>& samples) {
+  if (samples.size() < 2) return false;
+  // Ordinary least squares for ms = a + b * tokens.
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  const double n = static_cast<double>(samples.size());
+  for (const auto& [tokens, ms] : samples) {
+    const double x = static_cast<double>(tokens);
+    sx += x;
+    sy += ms;
+    sxx += x * x;
+    sxy += x * ms;
+  }
+  const double det = n * sxx - sx * sx;
+  if (det <= 0.0) return false;  // no spread in token counts
+  const double b = (n * sxy - sx * sy) / det;
+  const double a = (sy - b * sx) / n;
+  if (b <= 0.0) return false;  // noise fit; keep the current parameters
+  params_.ms_per_token = b;
+  // A negative intercept means the sweep's smallest batch already hides the
+  // fixed cost inside its token term; clamp at zero rather than carrying a
+  // nonsensical "negative overhead" into scheduling decisions.
+  params_.overhead_ms = std::max(0.0, a);
+  return true;
+}
+
+int P2CostModel::ProfitableInflightBatches(int hardware_threads) {
+  return std::max(1, hardware_threads / 2);
+}
+
+}  // namespace taste::core

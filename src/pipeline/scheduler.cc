@@ -10,7 +10,6 @@
 #include <unordered_map>
 
 #include "common/stopwatch.h"
-#include "core/p2_batcher.h"
 #include "obs/export.h"
 #include "tensor/exec_context.h"
 
@@ -430,15 +429,19 @@ void PipelineExecutor::RunPipelined(
     return slot.get();
   };
 
-  // Cross-table P2 micro-batching: one coalescing queue shared by all TP2
-  // workers (nullopt = off, legacy per-chunk dispatch). Declared before the
-  // pools so every worker task outlives it sees a live batcher.
-  std::optional<core::P2MicroBatcher> p2_batcher;
-  if (options_.batch_window_us > 0) {
-    core::P2MicroBatcher::Options bopt;
-    bopt.window_us = options_.batch_window_us;
-    bopt.max_items = options_.max_batch_items;
-    p2_batcher.emplace(&detector_->model(), bopt);
+  // The continuous-batching serving scheduler: one queue shared by all TP2
+  // workers owns P2 batch formation, deadline shedding, lane priority, and
+  // (when enabled) breaker fast-fail. nullopt = off, legacy per-chunk
+  // dispatch. Declared before the pools so every worker task that outlives
+  // it sees a live scheduler.
+  std::optional<ServingScheduler> p2_scheduler;
+  std::optional<ServingScheduler::LaneClient> p2_client;
+  if (options_.scheduling.enabled) {
+    ServingScheduler::Options sopt;
+    sopt.scheduling = options_.scheduling;
+    sopt.breakers = detector_->breakers();
+    p2_scheduler.emplace(&detector_->model(), std::move(sopt));
+    p2_client.emplace(&*p2_scheduler, options_.lane);
   }
 
   // max_extra_queued = 0: TrySubmit admits a stage only when a worker slot
@@ -541,7 +544,7 @@ void PipelineExecutor::RunPipelined(
         }
         case Stage::kP2Infer:
           status = detector_->InferP2(&st.job, infer_context(),
-                                      p2_batcher ? &*p2_batcher : nullptr);
+                                      p2_client ? &*p2_client : nullptr);
           break;
         case Stage::kDone:
           break;

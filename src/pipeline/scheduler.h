@@ -33,6 +33,7 @@
 #include "common/retry.h"
 #include "common/thread_pool.h"
 #include "core/taste_detector.h"
+#include "pipeline/serving_scheduler.h"
 
 namespace taste::pipeline {
 
@@ -94,15 +95,20 @@ struct PipelineOptions {
   const CancelToken* cancel = nullptr;
   /// Admission control / load shedding (off by default).
   AdmissionPolicy admission;
-  /// Cross-table P2 micro-batching (core/p2_batcher.h): when > 0, P2
-  /// content forwards from concurrent infer workers coalesce for up to
-  /// this many microseconds into one packed batch forward. Outputs are
-  /// byte-identical to the unbatched path; only throughput changes. The
-  /// wait never exceeds a queued table's remaining deadline, so deadline
-  /// propagation holds. 0 (default) = off, exact legacy dispatch.
-  int batch_window_us = 0;
-  /// Max column-chunks per coalesced P2 forward.
-  int max_batch_items = 8;
+  /// The continuous-batching serving scheduler
+  /// (pipeline/serving_scheduler.h): every P2 content forward of a
+  /// pipelined run enters one shared queue that owns deadline shedding,
+  /// breaker fast-fail, lane priority, and cost-model batch sizing.
+  /// Enabled by default — outputs are byte-identical to direct dispatch
+  /// (tests/batching_diff_test.cc), and with no window to sleep out,
+  /// coalescing costs nothing when traffic is sparse. Sequential mode
+  /// (pipelined = false) never uses the scheduler. This replaces the PR 5
+  /// batch_window_us / max_batch_items leader/follower knobs.
+  SchedulingOptions scheduling;
+  /// The priority lane this executor's P2 forwards join: interactive for
+  /// user-facing batches, bulk for backfill re-scans that must not delay
+  /// interactive batch formation.
+  Lane lane = Lane::kInteractive;
 };
 
 /// Timing/throughput of one Run()/RunBatch().

@@ -1,0 +1,315 @@
+#include "pipeline/serving_scheduler.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace taste::pipeline {
+
+namespace {
+
+/// Registry handles, resolved once (registry lookups take a mutex). The
+/// first four families are the P2MicroBatcher's — the scheduler inherits
+/// them verbatim so dashboards and bench_check.py series survive the
+/// migration. `shed` is the pipeline's existing shedding family: a
+/// deadline-expired request dropped before batch formation is load
+/// shedding, and it lands on the same counter the admission layer uses.
+struct SchedulerMetrics {
+  obs::Counter* batches;
+  obs::Counter* items;
+  obs::Counter* expired;
+  obs::Histogram* batch_size;
+  obs::Counter* shed;
+  obs::Counter* fast_fails;
+  obs::Counter* lane_items[2];
+
+  static SchedulerMetrics& Get() {
+    static SchedulerMetrics m = [] {
+      obs::Registry& r = obs::Registry::Global();
+      SchedulerMetrics x;
+      x.batches = r.GetCounter("taste_p2_batches_total");
+      x.items = r.GetCounter("taste_p2_batch_items_total");
+      x.expired = r.GetCounter("taste_p2_batch_expired_total");
+      x.batch_size = r.GetHistogram("taste_p2_batch_size",
+                                    {1, 2, 3, 4, 6, 8, 12, 16, 24, 32});
+      x.shed = r.GetCounter("taste_tables_shed_total");
+      x.fast_fails = r.GetCounter("taste_sched_fast_fail_total");
+      x.lane_items[0] = r.GetCounter(obs::LabeledName(
+          "taste_sched_lane_items_total", "lane", "interactive"));
+      x.lane_items[1] = r.GetCounter(
+          obs::LabeledName("taste_sched_lane_items_total", "lane", "bulk"));
+      return x;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
+
+ServingScheduler::ServingScheduler(const model::AdtdModel* model,
+                                   Options options)
+    : model_(model), options_(std::move(options)) {
+  TASTE_CHECK(model_ != nullptr || options_.forward_fn != nullptr);
+  TASTE_CHECK(options_.scheduling.max_items >= 1);
+  const SchedulingOptions& s = options_.scheduling;
+  max_inflight_ =
+      s.max_inflight_batches > 0
+          ? s.max_inflight_batches
+          : core::P2CostModel::ProfitableInflightBatches(static_cast<int>(
+                std::max(1u, std::thread::hardware_concurrency())));
+  SchedulerMetrics::Get();  // register the metric families eagerly
+}
+
+bool ServingScheduler::BreakerOpen(const std::string& table) const {
+  if (!options_.scheduling.breaker_fast_fail || options_.breakers == nullptr) {
+    return false;
+  }
+  const CircuitBreaker* b = options_.breakers->Find(table);
+  return b != nullptr && b->state() == CircuitBreaker::State::kOpen;
+}
+
+Result<tensor::Tensor> ServingScheduler::Submit(
+    const std::string& table, const model::EncodedContent& content,
+    const model::EncodedMetadata& meta,
+    const model::AdtdModel::MetadataEncoding& enc, const CancelToken* cancel,
+    tensor::ExecContext* ctx, Lane lane) {
+  // Deadline shed BEFORE any queueing or batch formation: an expired
+  // request must never ride (or delay) a packed forward.
+  if (CancelledNow(cancel)) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.expired_in_queue;
+    }
+    if (obs::MetricsEnabled()) {
+      SchedulerMetrics& m = SchedulerMetrics::Get();
+      m.expired->Inc();
+      m.shed->Inc();
+    }
+    return cancel->ToStatus("P2 scheduler admission");
+  }
+  // Breaker fast-fail: O(1) rejection without consuming an Allow() probe
+  // or touching the queue. The caller sees kUnavailable, the same code an
+  // admission-shed table carries.
+  if (BreakerOpen(table)) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.fast_fails;
+    }
+    if (obs::MetricsEnabled()) SchedulerMetrics::Get().fast_fails->Inc();
+    return Status::Unavailable("circuit breaker open for table " + table +
+                               ": P2 forward fast-failed");
+  }
+
+  Request req;
+  req.item = {&content, &meta, &enc};
+  req.cancel = cancel;
+  req.lane = (options_.scheduling.lanes >= 2 && lane == Lane::kBulk)
+                 ? Lane::kBulk
+                 : Lane::kInteractive;
+
+  std::unique_lock<std::mutex> lock(mu_);
+  queues_[static_cast<int>(req.lane)].push_back(&req);
+  while (!req.done) {
+    // Continuous admission: whenever an in-flight slot is free and work is
+    // queued, the first waiter to notice becomes the leader and drains the
+    // queue AS IT IS — no window, no timer. A request that arrived while a
+    // forward was executing is picked up here the moment that forward
+    // retires (its leader notifies on completion).
+    if (active_batches_ < max_inflight_ && !QueueEmpty()) {
+      ++active_batches_;
+      LeadBatch(lock, ctx);
+      --active_batches_;
+      cv_.notify_all();
+      continue;  // our own request may have been in the batch we just led
+    }
+    cv_.wait(lock);
+  }
+  if (req.shed) {
+    lock.unlock();
+    if (obs::MetricsEnabled()) {
+      SchedulerMetrics& m = SchedulerMetrics::Get();
+      m.expired->Inc();
+      m.shed->Inc();
+    }
+    return req.cancel != nullptr
+               ? req.cancel->ToStatus("P2 scheduler queue")
+               : Status::Cancelled("P2 scheduler queue");
+  }
+  return req.logits;
+}
+
+std::vector<Result<tensor::Tensor>> ServingScheduler::SubmitMany(
+    const std::string& table,
+    const std::vector<model::AdtdModel::P2BatchItem>& items,
+    const CancelToken* cancel, tensor::ExecContext* ctx, Lane lane) {
+  std::vector<Result<tensor::Tensor>> out;
+  out.reserve(items.size());
+  if (items.empty()) return out;
+  // Whole-group admission checks mirror Submit's: one fired token or open
+  // breaker rejects every item identically (they share table and token).
+  if (CancelledNow(cancel)) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.expired_in_queue += static_cast<int64_t>(items.size());
+    }
+    if (obs::MetricsEnabled()) {
+      SchedulerMetrics& m = SchedulerMetrics::Get();
+      m.expired->Inc(static_cast<int64_t>(items.size()));
+      m.shed->Inc(static_cast<int64_t>(items.size()));
+    }
+    const Status st = cancel->ToStatus("P2 scheduler admission");
+    for (size_t i = 0; i < items.size(); ++i) out.push_back(st);
+    return out;
+  }
+  if (BreakerOpen(table)) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.fast_fails += static_cast<int64_t>(items.size());
+    }
+    if (obs::MetricsEnabled()) {
+      SchedulerMetrics::Get().fast_fails->Inc(
+          static_cast<int64_t>(items.size()));
+    }
+    const Status st =
+        Status::Unavailable("circuit breaker open for table " + table +
+                            ": P2 forward fast-failed");
+    for (size_t i = 0; i < items.size(); ++i) out.push_back(st);
+    return out;
+  }
+
+  std::vector<Request> reqs(items.size());
+  const Lane tagged = (options_.scheduling.lanes >= 2 && lane == Lane::kBulk)
+                          ? Lane::kBulk
+                          : Lane::kInteractive;
+  std::unique_lock<std::mutex> lock(mu_);
+  // One lock acquisition enqueues the whole group, so the next leader sees
+  // every item at once — THIS is where same-table coalescing comes from.
+  for (size_t i = 0; i < items.size(); ++i) {
+    reqs[i].item = items[i];
+    reqs[i].cancel = cancel;
+    reqs[i].lane = tagged;
+    queues_[static_cast<int>(tagged)].push_back(&reqs[i]);
+  }
+  auto all_done = [&reqs] {
+    for (const Request& r : reqs) {
+      if (!r.done) return false;
+    }
+    return true;
+  };
+  while (!all_done()) {
+    if (active_batches_ < max_inflight_ && !QueueEmpty()) {
+      ++active_batches_;
+      LeadBatch(lock, ctx);
+      --active_batches_;
+      cv_.notify_all();
+      continue;
+    }
+    cv_.wait(lock);
+  }
+  lock.unlock();
+
+  int64_t shed_count = 0;
+  for (Request& req : reqs) {
+    if (req.shed) {
+      ++shed_count;
+      out.push_back(req.cancel != nullptr
+                        ? req.cancel->ToStatus("P2 scheduler queue")
+                        : Status::Cancelled("P2 scheduler queue"));
+    } else {
+      out.push_back(std::move(req.logits));
+    }
+  }
+  if (shed_count > 0 && obs::MetricsEnabled()) {
+    SchedulerMetrics& m = SchedulerMetrics::Get();
+    m.expired->Inc(shed_count);
+    m.shed->Inc(shed_count);
+  }
+  return out;
+}
+
+void ServingScheduler::LeadBatch(std::unique_lock<std::mutex>& lock,
+                                 tensor::ExecContext* ctx) {
+  const SchedulingOptions& opt = options_.scheduling;
+  // Drain the snapshot of the queues, interactive lane strictly first.
+  // Fired tokens are resolved as shed without joining the forward; the
+  // cost model caps how much estimated runtime the batch may accumulate
+  // (head-of-line protection for whoever joins next).
+  std::vector<Request*> batch;
+  std::vector<model::AdtdModel::P2BatchItem> items;
+  int64_t batch_tokens = 0;
+  bool cost_capped = false;
+  for (int lane = 0; lane < 2 && !cost_capped; ++lane) {
+    std::deque<Request*>& q = queues_[lane];
+    while (!q.empty() && static_cast<int>(batch.size()) < opt.max_items) {
+      Request* r = q.front();
+      if (CancelledNow(r->cancel)) {
+        q.pop_front();
+        r->shed = true;
+        r->done = true;
+        ++stats_.expired_in_queue;
+        continue;
+      }
+      const int64_t tokens =
+          static_cast<int64_t>(r->item.content->token_ids.size());
+      if (!batch.empty() && opt.max_batch_cost_ms > 0.0 &&
+          opt.cost_model.EstimateBatchMs(batch_tokens + tokens) >
+              opt.max_batch_cost_ms) {
+        // Admitting this request would make the forward slower than the
+        // cap; leave it (and everything behind it) for the next forward.
+        // The first request always runs — an oversized chunk runs alone.
+        cost_capped = true;
+        break;
+      }
+      q.pop_front();
+      batch_tokens += tokens;
+      batch.push_back(r);
+      items.push_back(r->item);
+    }
+    if (static_cast<int>(batch.size()) >= opt.max_items) break;
+  }
+  if (batch.empty()) {
+    cv_.notify_all();  // shed waiters need to observe done
+    return;
+  }
+
+  lock.unlock();
+  // The packed forward runs under the leader's context; which thread leads
+  // does not affect the bytes (ForwardContentBatch is byte-identical per
+  // item for any batch composition and any context).
+  std::vector<tensor::Tensor> logits =
+      options_.forward_fn ? options_.forward_fn(items, ctx)
+                          : model_->ForwardContentBatch(items, ctx);
+  lock.lock();
+
+  int lane_counts[2] = {0, 0};
+  for (size_t i = 0; i < batch.size(); ++i) {
+    batch[i]->logits = std::move(logits[i]);
+    batch[i]->done = true;
+    ++lane_counts[static_cast<int>(batch[i]->lane)];
+  }
+  ++stats_.batches;
+  stats_.items += static_cast<int64_t>(batch.size());
+  stats_.lane_items[0] += lane_counts[0];
+  stats_.lane_items[1] += lane_counts[1];
+  stats_.max_batch_items = std::max(stats_.max_batch_items,
+                                    static_cast<int64_t>(batch.size()));
+  if (obs::MetricsEnabled()) {
+    SchedulerMetrics& m = SchedulerMetrics::Get();
+    m.batches->Inc();
+    m.items->Inc(static_cast<int64_t>(batch.size()));
+    m.batch_size->Observe(static_cast<double>(batch.size()));
+    for (int l = 0; l < 2; ++l) {
+      if (lane_counts[l] > 0) m.lane_items[l]->Inc(lane_counts[l]);
+    }
+  }
+  cv_.notify_all();
+}
+
+ServingScheduler::Stats ServingScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace taste::pipeline

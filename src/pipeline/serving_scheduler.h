@@ -1,0 +1,250 @@
+// Continuous-batching serving scheduler for P2 content forwards
+// (DESIGN.md §11).
+//
+// One queue owns everything the serving path previously spread across four
+// mechanisms: batch formation (the PR 5 leader/follower window batcher),
+// deadline checks (common/deadline.h CancelToken), circuit-breaker
+// admission (common/retry.h), and lane priority. Every P2 content forward
+// — from the pipelined executor's infer workers, the serve-tier replica
+// workers, or the chaos harness — enters through Submit() and reaches
+// exactly one terminal state:
+//
+//   served     logits byte-identical to AdtdModel::ForwardContent, however
+//              the request happened to coalesce;
+//   shed       its CancelToken had fired (at submit or while queued) —
+//              counted before any batch forms, so an expired request never
+//              rides a packed forward;
+//   fast-fail  its table's circuit breaker was open and fast-fail is
+//              enabled — rejected in O(1) without touching the queue.
+//
+// The batching discipline is CONTINUOUS, not windowed: there is no timer
+// and no quiet-interval heuristic anywhere. A leader drains whatever is
+// queued RIGHT NOW (interactive lane first) and runs the packed forward;
+// requests arriving while that forward is in flight accumulate in the
+// queue and join the NEXT forward the moment the current one retires —
+// zero added latency when the system is idle, natural coalescing exactly
+// when the system is busy. This is what fixes the PR 5 regression: the
+// windowed batcher bought its p50 batch size of 1.3 by sleeping up to
+// 200 us per flush, making batching-on SLOWER than batching-off (0.94x,
+// BENCH_substrate.json); the continuous scheduler never sleeps, so its
+// coalescing is free.
+//
+// The cost model (core/cost_model.h) sizes what the leader may drain: a
+// packed forward's estimated runtime is capped (max_batch_cost_ms) so a
+// bulk backfill chunk cannot weld an interactive request onto a forward
+// that blows its latency budget, and the number of concurrently in-flight
+// packed forwards defaults to the profitable count for the hardware
+// (ProfitableInflightBatches) — 1 on a single-core box, which maximizes
+// coalescing, hardware_threads/2 on real serving hardware.
+//
+// Lane semantics: kInteractive drains strictly before kBulk when a batch
+// forms. Both lanes ride the same packed forwards (a forward in flight
+// serves whoever joined it), so bulk traffic is never starved — it just
+// never delays interactive formation. With Options::lanes == 1 the lane
+// tag is ignored and everything queues as interactive.
+//
+// Determinism contract: WHICH requests coalesce is timing-dependent, but
+// each item's logits are byte-identical to its solo forward
+// (tensor/kernels.h row-stability; proven by tests/batching_diff_test.cc),
+// and shed/fast-fail outcomes are pure functions of token/breaker state.
+// chaos_soak --sched-storm replays therefore stay byte-identical per
+// request under arbitrary interleavings.
+
+#ifndef TASTE_PIPELINE_SERVING_SCHEDULER_H_
+#define TASTE_PIPELINE_SERVING_SCHEDULER_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/deadline.h"
+#include "core/cost_model.h"
+#include "core/taste_detector.h"
+#include "model/adtd.h"
+#include "tensor/exec_context.h"
+
+namespace taste::pipeline {
+
+/// Priority lane of one P2 request. Interactive requests (a user waiting
+/// on a catalog query) form batches before bulk backfill re-scans do.
+enum class Lane { kInteractive = 0, kBulk = 1 };
+
+inline const char* LaneName(Lane lane) {
+  return lane == Lane::kInteractive ? "interactive" : "bulk";
+}
+
+/// Scheduler knobs, embeddable in PipelineOptions. The defaults are the
+/// profitable serving configuration (ISSUE 7 satellite: the old
+/// --batch-window-us default made batching a 0.94x regression; these make
+/// it a win or a wash on every core count).
+struct SchedulingOptions {
+  /// False disables the scheduler entirely: InferP2 dispatches each chunk
+  /// forward directly on its worker thread (the exact pre-batching path).
+  bool enabled = true;
+  /// 2 = interactive + bulk priority lanes; 1 = single FIFO lane.
+  int lanes = 2;
+  /// Packed forwards allowed in flight at once. 0 = auto: the cost model's
+  /// ProfitableInflightBatches(hardware_concurrency).
+  int max_inflight_batches = 0;
+  /// Max items one packed forward may carry.
+  int max_items = 8;
+  /// Head-of-line protection: a leader stops draining once the cost model
+  /// estimates the batch would exceed this runtime. <= 0 = uncapped.
+  double max_batch_cost_ms = 0.0;
+  /// Reject requests for tables whose circuit breaker is currently open,
+  /// without consuming a breaker probe or touching the queue. Off by
+  /// default: a table can trip its breaker between its own P2-prep and
+  /// P2-infer stages (scan faults), and the executor path must keep the
+  /// detector's per-call breaker semantics — degrading such a table, not
+  /// failing it. Serving tiers that want load-shedding semantics (and the
+  /// storm harness) turn this on.
+  bool breaker_fast_fail = false;
+  /// Cost model used for batch sizing and the auto in-flight derivation.
+  core::P2CostModel cost_model;
+};
+
+/// The continuous-batching scheduler. Thread-safe; one instance is shared
+/// by all P2 infer workers of an executor run (or a serving process).
+class ServingScheduler {
+ public:
+  struct Options {
+    SchedulingOptions scheduling;
+    /// Breakers consulted by breaker_fast_fail (not owned; may be null,
+    /// which disables fast-fail regardless of the flag). state() is read
+    /// const — a fast-fail never consumes an Allow() probe, so breaker
+    /// cooldown/half-open bookkeeping stays exactly the detector's.
+    const BreakerRegistry* breakers = nullptr;
+    /// Test seam: overrides the model's ForwardContentBatch. Used by
+    /// serving_scheduler_test to freeze forward timing and record batch
+    /// compositions; production leaves it empty.
+    std::function<std::vector<tensor::Tensor>(
+        const std::vector<model::AdtdModel::P2BatchItem>&,
+        tensor::ExecContext*)>
+        forward_fn;
+  };
+
+  /// Counters. The first three keep the P2MicroBatcher names alive — the
+  /// registry families (taste_p2_batches_total / _batch_items_total /
+  /// _batch_expired_total / taste_p2_batch_size) and bench_check.py series
+  /// predate the scheduler and must not break.
+  struct Stats {
+    int64_t batches = 0;           // packed forwards run
+    int64_t items = 0;             // requests served through a forward
+    int64_t expired_in_queue = 0;  // requests shed on a fired token
+    int64_t fast_fails = 0;        // requests rejected by an open breaker
+    int64_t lane_items[2] = {0, 0};  // served items per lane
+    int64_t max_batch_items = 0;     // largest packed forward formed
+  };
+
+  ServingScheduler(const model::AdtdModel* model, Options options);
+
+  /// Runs one content forward through the scheduler. Blocks until the
+  /// logits are ready, the token fires while queued, or the breaker
+  /// fast-fails the table. The referenced encodings must stay alive for
+  /// the duration of the call. `ctx` is used when this thread ends up
+  /// leading a packed forward; the result bytes are identical either way.
+  Result<tensor::Tensor> Submit(const std::string& table,
+                                const model::EncodedContent& content,
+                                const model::EncodedMetadata& meta,
+                                const model::AdtdModel::MetadataEncoding& enc,
+                                const CancelToken* cancel,
+                                tensor::ExecContext* ctx,
+                                Lane lane = Lane::kInteractive);
+
+  /// Group submission: enqueues ALL of `items` under one lock acquisition,
+  /// then leads/waits until every one of them is terminal. Because the
+  /// whole group is visible to the queue at once, a table's own chunks
+  /// pack into shared forwards even on a single-core box where one-at-a-
+  /// time submission would serialize them (this is what moves the
+  /// taste_p2_batch_size p50 from ~1 to the packed sizes the cost model
+  /// plans for). Per-item semantics — byte-identity, shed, fast-fail —
+  /// are exactly Submit's; results come back in item order.
+  std::vector<Result<tensor::Tensor>> SubmitMany(
+      const std::string& table,
+      const std::vector<model::AdtdModel::P2BatchItem>& items,
+      const CancelToken* cancel, tensor::ExecContext* ctx,
+      Lane lane = Lane::kInteractive);
+
+  /// Adapter binding a lane choice to the core-level P2ForwardService
+  /// seam: the pipeline executor installs one of these on InferP2, so core
+  /// never links against the scheduler. Copyable, trivially cheap.
+  class LaneClient : public core::P2ForwardService {
+   public:
+    LaneClient(ServingScheduler* scheduler, Lane lane)
+        : scheduler_(scheduler), lane_(lane) {}
+    Result<tensor::Tensor> ForwardP2(
+        const std::string& table, const model::EncodedContent& content,
+        const model::EncodedMetadata& meta,
+        const model::AdtdModel::MetadataEncoding& enc,
+        const CancelToken* cancel, tensor::ExecContext* ctx) override {
+      return scheduler_->Submit(table, content, meta, enc, cancel, ctx,
+                                lane_);
+    }
+    std::vector<Result<tensor::Tensor>> ForwardP2Many(
+        const std::string& table,
+        const std::vector<model::AdtdModel::P2BatchItem>& items,
+        const CancelToken* cancel, tensor::ExecContext* ctx) override {
+      return scheduler_->SubmitMany(table, items, cancel, ctx, lane_);
+    }
+
+   private:
+    ServingScheduler* scheduler_;
+    Lane lane_;
+  };
+
+  Stats stats() const;
+  /// Requests currently parked in the lane queues (tests synchronize on
+  /// this before releasing a plugged forward).
+  int queued() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<int>(queues_[0].size() + queues_[1].size());
+  }
+  /// The resolved in-flight cap (auto already applied).
+  int max_inflight_batches() const { return max_inflight_; }
+  const SchedulingOptions& options() const { return options_.scheduling; }
+
+ private:
+  struct Request {
+    model::AdtdModel::P2BatchItem item;
+    const CancelToken* cancel = nullptr;
+    Lane lane = Lane::kInteractive;
+    bool done = false;
+    bool shed = false;  // token fired while queued
+    tensor::Tensor logits;
+  };
+
+  /// True when `table`'s breaker is open (const read; never consumes an
+  /// Allow() probe).
+  bool BreakerOpen(const std::string& table) const;
+
+  /// Drains queue-front requests (interactive first) up to max_items and
+  /// the cost cap, runs the packed forward, and fulfills them. Called with
+  /// `lock` held; returns with it held. Shed requests encountered while
+  /// draining are resolved without joining the forward.
+  void LeadBatch(std::unique_lock<std::mutex>& lock, tensor::ExecContext* ctx);
+
+  /// Live (non-fired) requests currently queued across both lanes. Called
+  /// under mu_.
+  bool QueueEmpty() const {
+    return queues_[0].empty() && queues_[1].empty();
+  }
+
+  const model::AdtdModel* model_;
+  Options options_;
+  int max_inflight_ = 1;  // resolved from scheduling.max_inflight_batches
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  /// Lane queues; [0] = interactive, [1] = bulk. Requests live on their
+  /// callers' stacks (followers block in Submit until fulfilled).
+  std::deque<Request*> queues_[2];
+  int active_batches_ = 0;  // packed forwards currently executing
+  Stats stats_;
+};
+
+}  // namespace taste::pipeline
+
+#endif  // TASTE_PIPELINE_SERVING_SCHEDULER_H_

@@ -203,6 +203,7 @@ std::string EncodeDetectRequest(const DetectRequest& req) {
   WireWriter w;
   w.U64(req.request_id);
   w.F64(req.deadline_remaining_ms);
+  w.U8(req.lane);
   w.U32(static_cast<uint32_t>(req.tables.size()));
   for (const auto& t : req.tables) w.Str(t);
   return w.Take();
@@ -214,6 +215,7 @@ Result<DetectRequest> DecodeDetectRequest(const std::string& payload) {
   uint32_t n = 0;
   r.U64(&req.request_id);
   r.F64(&req.deadline_remaining_ms);
+  r.U8(&req.lane);
   r.U32(&n);
   for (uint32_t i = 0; r.ok() && i < n; ++i) {
     std::string t;

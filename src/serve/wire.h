@@ -152,6 +152,10 @@ struct DetectRequest {
   /// Remaining budget at encode time; 0 = no deadline (mirrors
   /// PipelineOptions::deadline_ms, including < 0 = already expired).
   double deadline_remaining_ms = 0.0;
+  /// Serving-scheduler priority lane of the leg's P2 forwards:
+  /// 0 = interactive, 1 = bulk (pipeline::Lane). Rides every frame so a
+  /// replica schedules a backfill leg's forwards behind interactive ones.
+  uint8_t lane = 0;
   std::vector<std::string> tables;
 };
 

@@ -22,6 +22,9 @@ DetectResponse HandleDetect(const WorkerEnv& env, const DetectRequest& req) {
   // router and worker clocks cannot stretch it. A non-positive remainder
   // arrives pre-expired, exactly like deadline_ms < 0.
   popt.deadline_ms = req.deadline_remaining_ms;
+  // The leg's lane rides the wire: a backfill router's forwards queue as
+  // bulk on this replica's scheduler, behind any interactive legs.
+  popt.lane = req.lane == 1 ? pipeline::Lane::kBulk : pipeline::Lane::kInteractive;
   popt.cancel = nullptr;  // never inherit a pointer across the wire
 
   pipeline::PipelineExecutor exec(env.detector, env.db, popt);

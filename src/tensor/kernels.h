@@ -17,8 +17,8 @@
 // where the row sits inside M. The packed A panel is zero-padded to a whole
 // number of register bands so every row, at every offset, runs the exact
 // same micro-kernel instruction sequence; concatenating extra rows above or
-// below leaves existing rows bitwise unchanged. The cross-table P2
-// micro-batcher's byte-identity guarantee rests on this row-stability (all
+// below leaves existing rows bitwise unchanged. The P2 serving
+// scheduler's byte-identity guarantee rests on this row-stability (all
 // other forward ops are row-wise by construction). Parity with the naive
 // GemmAccRef is 1e-5 relative, not bitwise: the reference's rounding
 // differs by accumulation seeding (transposed variants) and by how the

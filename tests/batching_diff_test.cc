@@ -1,6 +1,6 @@
 // Differential test rig for cross-table P2 micro-batching: the batched
 // content-tower forward (AdtdModel::ForwardContentBatch, and the
-// P2MicroBatcher / PipelineExecutor layers above it) must be BYTE-identical
+// ServingScheduler / PipelineExecutor layers above it) must be BYTE-identical
 // to the sequential per-chunk ForwardContent across randomized table mixes,
 // batch sizes, item orders (padding widths vary with each item's content
 // sequence length), and cache hit/miss interleavings. The guarantee rests
@@ -17,10 +17,10 @@
 #include <vector>
 
 #include "common/fpu.h"
-#include "core/p2_batcher.h"
 #include "core/taste_detector.h"
 #include "data/table_generator.h"
 #include "pipeline/scheduler.h"
+#include "pipeline/serving_scheduler.h"
 
 namespace taste::core {
 namespace {
@@ -156,6 +156,53 @@ TEST(BatchingDiffTest, RandomizedMixesByteIdenticalAcross50Seeds) {
   }
 }
 
+TEST(BatchingDiffTest, SchedulerPathByteIdenticalAcross50Seeds) {
+  // The same 50-seed sweep, but each composition is submitted through the
+  // ServingScheduler by concurrent callers (max_inflight 1, so arrivals
+  // coalesce into shared packed forwards). Whatever batches actually form,
+  // every request's logits must equal its sequential reference bit for bit.
+  Env e = Env::Make(6);
+  TasteDetector det(e.model.get(), e.tokenizer.get(), {});
+  std::vector<std::unique_ptr<TasteDetector::Job>> jobs;
+  auto items = HarvestItems(e, det, &jobs);
+  ASSERT_GE(items.size(), 4u);
+
+  pipeline::ServingScheduler::Options sopt;
+  sopt.scheduling.max_items = 8;
+  sopt.scheduling.max_inflight_batches = 1;
+  pipeline::ServingScheduler sched(&det.model(), sopt);
+  int64_t total = 0;
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    Rng rng(seed * 104729);
+    const size_t n = 1 + rng.NextU64() % 6;
+    std::vector<const Item*> picked;
+    for (size_t k = 0; k < n; ++k) {
+      picked.push_back(&items[rng.NextU64() % items.size()]);
+    }
+    std::vector<std::thread> threads;
+    std::vector<int> failures(n, 0);
+    for (size_t k = 0; k < n; ++k) {
+      threads.emplace_back([&, k] {
+        const Item& it = *picked[k];
+        const pipeline::Lane lane =
+            k % 2 == 0 ? pipeline::Lane::kInteractive : pipeline::Lane::kBulk;
+        auto got = sched.Submit("tbl", *it.batch_item.content,
+                                *it.batch_item.meta,
+                                *it.batch_item.meta_encoding,
+                                /*cancel=*/nullptr, /*ctx=*/nullptr, lane);
+        if (!got.ok() || !BytesEqual(it.want, *got)) ++failures[k];
+      });
+    }
+    for (auto& th : threads) th.join();
+    for (size_t k = 0; k < n; ++k) {
+      EXPECT_EQ(failures[k], 0) << "seed " << seed << " slot " << k;
+    }
+    total += static_cast<int64_t>(n);
+  }
+  EXPECT_EQ(sched.stats().items, total);
+  EXPECT_EQ(sched.stats().expired_in_queue, 0);
+}
+
 TEST(BatchingDiffTest, CacheHitAndMissLatentsProduceSameBytes) {
   // The latents an item attends over may come from the latent cache (hit),
   // the job's own copy, or a metadata-tower recompute (miss after
@@ -180,17 +227,19 @@ TEST(BatchingDiffTest, CacheHitAndMissLatentsProduceSameBytes) {
   for (const auto& logits : out) EXPECT_TRUE(BytesEqual(it.want, logits));
 }
 
-TEST(BatchingDiffTest, MicroBatcherCoalescedResultsMatchSequential) {
-  // Drive the leader/follower batcher from several threads at once; every
-  // returned logits tensor must equal its item's sequential reference
-  // regardless of how requests coalesced.
+TEST(BatchingDiffTest, SchedulerCoalescedResultsMatchSequential) {
+  // Drive the continuous-batching scheduler from several threads at once
+  // across both lanes; every returned logits tensor must equal its item's
+  // sequential reference regardless of how requests coalesced.
   Env e = Env::Make(6);
   TasteDetector det(e.model.get(), e.tokenizer.get(), {});
   std::vector<std::unique_ptr<TasteDetector::Job>> jobs;
   auto items = HarvestItems(e, det, &jobs);
 
-  P2MicroBatcher batcher(&det.model(),
-                         {.window_us = 2000, .max_items = 4});
+  pipeline::ServingScheduler::Options sopt;
+  sopt.scheduling.max_items = 4;
+  sopt.scheduling.max_inflight_batches = 1;  // maximal coalescing
+  pipeline::ServingScheduler sched(&det.model(), sopt);
   constexpr int kThreads = 4;
   constexpr int kPerThread = 6;
   std::vector<std::thread> threads;
@@ -198,11 +247,14 @@ TEST(BatchingDiffTest, MicroBatcherCoalescedResultsMatchSequential) {
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&, t] {
       Rng rng(1000 + static_cast<uint64_t>(t));
+      const pipeline::Lane lane =
+          t % 2 == 0 ? pipeline::Lane::kInteractive : pipeline::Lane::kBulk;
       for (int k = 0; k < kPerThread; ++k) {
         const Item& it = items[rng.NextU64() % items.size()];
-        auto got = batcher.Run(*it.batch_item.content, *it.batch_item.meta,
-                               *it.batch_item.meta_encoding,
-                               /*cancel=*/nullptr, /*ctx=*/nullptr);
+        auto got = sched.Submit("tbl", *it.batch_item.content,
+                                *it.batch_item.meta,
+                                *it.batch_item.meta_encoding,
+                                /*cancel=*/nullptr, /*ctx=*/nullptr, lane);
         if (!got.ok() || !BytesEqual(it.want, *got)) ++failures[t];
       }
     });
@@ -210,37 +262,41 @@ TEST(BatchingDiffTest, MicroBatcherCoalescedResultsMatchSequential) {
   for (auto& th : threads) th.join();
   for (int t = 0; t < kThreads; ++t) EXPECT_EQ(failures[t], 0) << "thread " << t;
   // Every request was served by some batch; coalescing must not lose or
-  // duplicate items.
-  EXPECT_EQ(batcher.stats().items, kThreads * kPerThread);
-  EXPECT_GE(batcher.stats().batches, 1);
-  EXPECT_EQ(batcher.stats().expired_in_queue, 0);
+  // duplicate items (and both lanes rode the same forwards).
+  EXPECT_EQ(sched.stats().items, kThreads * kPerThread);
+  EXPECT_GE(sched.stats().batches, 1);
+  EXPECT_EQ(sched.stats().expired_in_queue, 0);
+  EXPECT_EQ(sched.stats().lane_items[0] + sched.stats().lane_items[1],
+            kThreads * kPerThread);
 }
 
-TEST(BatchingDiffTest, MicroBatcherHonorsExpiredToken) {
+TEST(BatchingDiffTest, SchedulerHonorsExpiredToken) {
   Env e = Env::Make(2);
   TasteDetector det(e.model.get(), e.tokenizer.get(), {});
   std::vector<std::unique_ptr<TasteDetector::Job>> jobs;
   auto items = HarvestItems(e, det, &jobs);
   const Item& it = items.front();
-  P2MicroBatcher batcher(&det.model(), {.window_us = 1000, .max_items = 4});
+  pipeline::ServingScheduler sched(&det.model(), {});
   CancelToken fired(Deadline::AfterMillis(-1.0));
-  auto got = batcher.Run(*it.batch_item.content, *it.batch_item.meta,
-                         *it.batch_item.meta_encoding, &fired, nullptr);
+  auto got = sched.Submit("tbl", *it.batch_item.content, *it.batch_item.meta,
+                          *it.batch_item.meta_encoding, &fired, nullptr);
   ASSERT_FALSE(got.ok());
   EXPECT_EQ(got.status().code(), StatusCode::kDeadlineExceeded);
-  EXPECT_EQ(batcher.stats().expired_in_queue, 1);
+  EXPECT_EQ(sched.stats().expired_in_queue, 1);
+  EXPECT_EQ(sched.stats().batches, 0);  // shed before any batch formed
 }
 
 TEST(BatchingDiffTest, ExecutorWithBatchingByteIdenticalToSequential) {
-  // End to end: the pipelined executor with the micro-batcher armed must
-  // produce bit-for-bit the probabilities of direct sequential detection,
-  // whatever batches its four infer workers happened to form.
+  // End to end: the pipelined executor with the serving scheduler armed
+  // must produce bit-for-bit the probabilities of direct sequential
+  // detection, whatever batches its four infer workers happened to form.
   Env e = Env::Make(8);
   TasteDetector det(e.model.get(), e.tokenizer.get(), {.cache_shards = 4});
   pipeline::PipelineOptions popt;
   popt.infer_threads = 4;
-  popt.batch_window_us = 1000;
-  popt.max_batch_items = 8;
+  popt.scheduling.enabled = true;
+  popt.scheduling.max_items = 8;
+  popt.scheduling.max_inflight_batches = 1;
   pipeline::PipelineExecutor exec(&det, e.db.get(), popt);
   auto got = exec.Run(e.table_names);
   ASSERT_TRUE(got.ok());

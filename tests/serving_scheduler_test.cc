@@ -1,0 +1,375 @@
+// Unit tests of the continuous-batching serving scheduler's CONTROL PLANE:
+// lane priority, deadline shedding before batch formation, breaker-open
+// fast-fail, continuous admission into the in-flight stream, cost-model
+// batch sizing, and the terminal-accounting/metric contracts. The data
+// plane (byte-identity of coalesced forwards against the real model) is
+// covered by tests/batching_diff_test.cc; here the forward is the
+// Options::forward_fn test seam, which freezes timing with latches and
+// records every batch composition the scheduler forms.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/retry.h"
+#include "core/cost_model.h"
+#include "obs/metrics.h"
+#include "pipeline/serving_scheduler.h"
+
+namespace taste::pipeline {
+namespace {
+
+// A request body with a chosen token count (the cost model only reads
+// content->token_ids.size(); the forward is stubbed).
+struct Body {
+  model::EncodedContent content;
+  model::EncodedMetadata meta;
+  model::AdtdModel::MetadataEncoding enc;
+
+  explicit Body(int tokens) { content.token_ids.assign(tokens, 1); }
+};
+
+/// Records every batch the scheduler forms (as content-pointer lists) and
+/// optionally blocks the FIRST forward until Release() — the "plug" that
+/// lets tests pile requests up behind a known in-flight batch.
+class RecordingForward {
+ public:
+  explicit RecordingForward(bool plug_first = false)
+      : plug_first_(plug_first) {}
+
+  std::vector<tensor::Tensor> operator()(
+      const std::vector<model::AdtdModel::P2BatchItem>& items,
+      tensor::ExecContext*) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      std::vector<const model::EncodedContent*> batch;
+      for (const auto& it : items) batch.push_back(it.content);
+      batches_.push_back(std::move(batch));
+      if (plug_first_ && batches_.size() == 1) {
+        first_running_ = true;
+        cv_.notify_all();
+        cv_.wait(lock, [&] { return released_; });
+      }
+    }
+    return std::vector<tensor::Tensor>(items.size(),
+                                       tensor::Tensor::Zeros({1, 1}));
+  }
+
+  /// Blocks until the plugged first forward is executing.
+  void AwaitFirstRunning() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return first_running_; });
+  }
+  void Release() {
+    std::lock_guard<std::mutex> lock(mu_);
+    released_ = true;
+    cv_.notify_all();
+  }
+  std::vector<std::vector<const model::EncodedContent*>> batches() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return batches_;
+  }
+
+ private:
+  const bool plug_first_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool first_running_ = false;
+  bool released_ = false;
+  std::vector<std::vector<const model::EncodedContent*>> batches_;
+};
+
+Result<tensor::Tensor> SubmitBody(ServingScheduler* s, Body* b, Lane lane,
+                                  const CancelToken* cancel = nullptr,
+                                  const std::string& table = "t") {
+  return s->Submit(table, b->content, b->meta, b->enc, cancel,
+                   /*ctx=*/nullptr, lane);
+}
+
+/// Spins until the scheduler has `n` requests parked in its queues.
+void AwaitQueued(const ServingScheduler& s, int n) {
+  while (s.queued() < n) std::this_thread::yield();
+}
+
+TEST(ServingSchedulerTest, InteractiveLaneDrainsBeforeBulkUnderContention) {
+  // Plug the first forward, pile up 2 bulk + 2 interactive requests behind
+  // it, then release. With max_items = 2 the next batch must be BOTH
+  // interactive requests and the one after it both bulk requests — lane
+  // priority decides batch membership, not arrival order (bulk arrives
+  // first here).
+  RecordingForward rec(/*plug_first=*/true);
+  ServingScheduler::Options opt;
+  opt.scheduling.max_items = 2;
+  opt.scheduling.max_inflight_batches = 1;
+  opt.forward_fn = std::ref(rec);
+  ServingScheduler sched(/*model=*/nullptr, opt);
+
+  Body plug(4), bulk1(4), bulk2(4), int1(4), int2(4);
+  std::thread plug_thread(
+      [&] { ASSERT_TRUE(SubmitBody(&sched, &plug, Lane::kInteractive).ok()); });
+  rec.AwaitFirstRunning();
+
+  std::vector<std::thread> waiters;
+  waiters.emplace_back(
+      [&] { ASSERT_TRUE(SubmitBody(&sched, &bulk1, Lane::kBulk).ok()); });
+  waiters.emplace_back(
+      [&] { ASSERT_TRUE(SubmitBody(&sched, &bulk2, Lane::kBulk).ok()); });
+  AwaitQueued(sched, 2);  // both bulk requests parked first
+  waiters.emplace_back(
+      [&] { ASSERT_TRUE(SubmitBody(&sched, &int1, Lane::kInteractive).ok()); });
+  waiters.emplace_back(
+      [&] { ASSERT_TRUE(SubmitBody(&sched, &int2, Lane::kInteractive).ok()); });
+  AwaitQueued(sched, 4);
+  rec.Release();
+  plug_thread.join();
+  for (auto& t : waiters) t.join();
+
+  auto batches = rec.batches();
+  ASSERT_EQ(batches.size(), 3u);
+  ASSERT_EQ(batches[1].size(), 2u);
+  EXPECT_TRUE((batches[1][0] == &int1.content && batches[1][1] == &int2.content) ||
+              (batches[1][0] == &int2.content && batches[1][1] == &int1.content))
+      << "second batch must be the interactive pair";
+  ASSERT_EQ(batches[2].size(), 2u);
+  EXPECT_TRUE((batches[2][0] == &bulk1.content && batches[2][1] == &bulk2.content) ||
+              (batches[2][0] == &bulk2.content && batches[2][1] == &bulk1.content))
+      << "third batch must be the bulk pair";
+  const auto st = sched.stats();
+  EXPECT_EQ(st.items, 5);
+  EXPECT_EQ(st.lane_items[0], 3);  // plug + 2 interactive
+  EXPECT_EQ(st.lane_items[1], 2);
+}
+
+TEST(ServingSchedulerTest, ExpiredRequestShedsBeforeBatchFormation) {
+  // A fired token is rejected at admission: no queueing, no batch, and the
+  // shed lands on the pipeline's load-shedding counter
+  // (taste_tables_shed_total) as well as the legacy expiry counter.
+  obs::SetMetricsEnabled(true);
+  obs::Registry& reg = obs::Registry::Global();
+  const int64_t shed_before =
+      reg.GetCounter("taste_tables_shed_total")->Value();
+  const int64_t expired_before =
+      reg.GetCounter("taste_p2_batch_expired_total")->Value();
+
+  RecordingForward rec;
+  ServingScheduler::Options opt;
+  opt.forward_fn = std::ref(rec);
+  ServingScheduler sched(nullptr, opt);
+  Body b(4);
+  CancelToken fired(Deadline::AfterMillis(-1.0));
+  auto got = SubmitBody(&sched, &b, Lane::kInteractive, &fired);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(sched.stats().expired_in_queue, 1);
+  EXPECT_EQ(sched.stats().batches, 0);
+  EXPECT_TRUE(rec.batches().empty());
+  EXPECT_EQ(reg.GetCounter("taste_tables_shed_total")->Value(),
+            shed_before + 1);
+  EXPECT_EQ(reg.GetCounter("taste_p2_batch_expired_total")->Value(),
+            expired_before + 1);
+}
+
+TEST(ServingSchedulerTest, TokenFiringWhileQueuedShedsWithoutForward) {
+  // A request whose token fires WHILE PARKED behind an in-flight forward
+  // is resolved as shed when the next leader drains the queue — it must
+  // never ride the packed forward it was waiting for.
+  obs::SetMetricsEnabled(true);
+  obs::Registry& reg = obs::Registry::Global();
+  const int64_t shed_before =
+      reg.GetCounter("taste_tables_shed_total")->Value();
+
+  RecordingForward rec(/*plug_first=*/true);
+  ServingScheduler::Options opt;
+  opt.scheduling.max_inflight_batches = 1;
+  opt.forward_fn = std::ref(rec);
+  ServingScheduler sched(nullptr, opt);
+
+  Body plug(4), doomed(4);
+  CancelToken cancel{Deadline()};  // no deadline; cancelled explicitly
+  std::thread plug_thread(
+      [&] { ASSERT_TRUE(SubmitBody(&sched, &plug, Lane::kInteractive).ok()); });
+  rec.AwaitFirstRunning();
+  std::thread doomed_thread([&] {
+    auto got = SubmitBody(&sched, &doomed, Lane::kInteractive, &cancel);
+    ASSERT_FALSE(got.ok());
+    EXPECT_EQ(got.status().code(), StatusCode::kCancelled);
+  });
+  AwaitQueued(sched, 1);
+  cancel.RequestCancel();
+  rec.Release();
+  plug_thread.join();
+  doomed_thread.join();
+
+  // Only the plug's forward ever ran; the doomed request formed no batch.
+  ASSERT_EQ(rec.batches().size(), 1u);
+  EXPECT_EQ(sched.stats().items, 1);
+  EXPECT_EQ(sched.stats().expired_in_queue, 1);
+  EXPECT_EQ(reg.GetCounter("taste_tables_shed_total")->Value(),
+            shed_before + 1);
+}
+
+TEST(ServingSchedulerTest, OpenBreakerFastFailsWithoutQueueing) {
+  BreakerRegistry breakers(
+      {.failure_threshold = 2, .open_cooldown_rejections = 1 << 30});
+  CircuitBreaker* b = breakers.Get("down");
+  b->RecordFailure();
+  b->RecordFailure();
+  ASSERT_EQ(b->state(), CircuitBreaker::State::kOpen);
+  const int64_t short_circuits_before = b->short_circuits();
+
+  RecordingForward rec;
+  ServingScheduler::Options opt;
+  opt.scheduling.breaker_fast_fail = true;
+  opt.breakers = &breakers;
+  opt.forward_fn = std::ref(rec);
+  ServingScheduler sched(nullptr, opt);
+
+  Body body(4);
+  auto got = SubmitBody(&sched, &body, Lane::kInteractive, nullptr, "down");
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(sched.stats().fast_fails, 1);
+  EXPECT_EQ(sched.stats().batches, 0);
+  // The fast-fail path reads breaker state const — it must not consume an
+  // Allow() probe or advance the open->half-open cooldown.
+  EXPECT_EQ(b->short_circuits(), short_circuits_before);
+  EXPECT_EQ(b->state(), CircuitBreaker::State::kOpen);
+
+  // Healthy tables (no breaker entry) pass; with fast-fail off even the
+  // down table goes through to the forward.
+  EXPECT_TRUE(SubmitBody(&sched, &body, Lane::kInteractive, nullptr, "up").ok());
+  ServingScheduler::Options off = opt;
+  off.scheduling.breaker_fast_fail = false;
+  ServingScheduler lenient(nullptr, off);
+  EXPECT_TRUE(
+      SubmitBody(&lenient, &body, Lane::kInteractive, nullptr, "down").ok());
+}
+
+TEST(ServingSchedulerTest, ArrivalDuringInflightForwardJoinsNextForward) {
+  // Continuous admission: requests arriving while a forward is EXECUTING
+  // coalesce into the next packed forward the moment the current one
+  // retires — no window, no timer, no fixed boundary.
+  RecordingForward rec(/*plug_first=*/true);
+  ServingScheduler::Options opt;
+  opt.scheduling.max_inflight_batches = 1;
+  opt.scheduling.max_items = 8;
+  opt.forward_fn = std::ref(rec);
+  ServingScheduler sched(nullptr, opt);
+
+  Body plug(4), late1(4), late2(4), late3(4);
+  std::thread plug_thread(
+      [&] { ASSERT_TRUE(SubmitBody(&sched, &plug, Lane::kInteractive).ok()); });
+  rec.AwaitFirstRunning();
+  // These arrive mid-flight; they must all ride ONE next forward.
+  std::vector<std::thread> late;
+  for (Body* b : {&late1, &late2, &late3}) {
+    late.emplace_back(
+        [&, b] { ASSERT_TRUE(SubmitBody(&sched, b, Lane::kInteractive).ok()); });
+  }
+  AwaitQueued(sched, 3);
+  rec.Release();
+  plug_thread.join();
+  for (auto& t : late) t.join();
+
+  auto batches = rec.batches();
+  ASSERT_EQ(batches.size(), 2u);
+  EXPECT_EQ(batches[0].size(), 1u);
+  EXPECT_EQ(batches[1].size(), 3u) << "all mid-flight arrivals must "
+                                      "coalesce into the next forward";
+  EXPECT_EQ(sched.stats().batches, 2);
+  EXPECT_EQ(sched.stats().max_batch_items, 3);
+}
+
+TEST(ServingSchedulerTest, CostCapLimitsBatchAndOversizedItemRunsAlone) {
+  // Cost model: overhead 0, 1 ms per token, cap 8 ms. Three queued 4-token
+  // requests -> the leader drains exactly two (8 ms) and leaves the third
+  // for the next forward. A 100-token item always runs (alone).
+  RecordingForward rec(/*plug_first=*/true);
+  ServingScheduler::Options opt;
+  opt.scheduling.max_inflight_batches = 1;
+  opt.scheduling.max_items = 8;
+  opt.scheduling.max_batch_cost_ms = 8.0;
+  opt.scheduling.cost_model =
+      core::P2CostModel({.overhead_ms = 0.0, .ms_per_token = 1.0});
+  opt.forward_fn = std::ref(rec);
+  ServingScheduler sched(nullptr, opt);
+
+  Body plug(4), a(4), b(4), c(4), huge(100);
+  std::thread plug_thread(
+      [&] { ASSERT_TRUE(SubmitBody(&sched, &plug, Lane::kInteractive).ok()); });
+  rec.AwaitFirstRunning();
+  std::vector<std::thread> waiters;
+  for (Body* w : {&a, &b, &c}) {
+    waiters.emplace_back(
+        [&, w] { ASSERT_TRUE(SubmitBody(&sched, w, Lane::kInteractive).ok()); });
+  }
+  AwaitQueued(sched, 3);
+  rec.Release();
+  plug_thread.join();
+  for (auto& t : waiters) t.join();
+  EXPECT_TRUE(SubmitBody(&sched, &huge, Lane::kInteractive).ok());
+
+  auto batches = rec.batches();
+  ASSERT_EQ(batches.size(), 4u);
+  EXPECT_EQ(batches[1].size(), 2u) << "cost cap must stop the drain at 8 ms";
+  EXPECT_EQ(batches[2].size(), 1u);
+  ASSERT_EQ(batches[3].size(), 1u);
+  EXPECT_EQ(batches[3][0], &huge.content) << "oversized item runs alone";
+}
+
+TEST(P2CostModelTest, CalibrateRecoversLinearFit) {
+  core::P2CostModel cm;
+  // ms = 0.5 + 0.02 * tokens, exactly.
+  std::vector<std::pair<int64_t, double>> samples;
+  for (int64_t t : {10, 50, 100, 400, 1000}) {
+    samples.emplace_back(t, 0.5 + 0.02 * static_cast<double>(t));
+  }
+  ASSERT_TRUE(cm.Calibrate(samples));
+  EXPECT_NEAR(cm.params().overhead_ms, 0.5, 1e-9);
+  EXPECT_NEAR(cm.params().ms_per_token, 0.02, 1e-12);
+  EXPECT_NEAR(cm.EstimateBatchMs(200), 4.5, 1e-9);
+  // Degenerate inputs keep the previous parameters.
+  core::P2CostModel untouched;
+  const double before = untouched.params().ms_per_token;
+  EXPECT_FALSE(untouched.Calibrate({}));
+  EXPECT_FALSE(untouched.Calibrate({{100, 1.0}}));
+  EXPECT_FALSE(untouched.Calibrate({{100, 1.0}, {100, 2.0}}));  // det == 0
+  EXPECT_EQ(untouched.params().ms_per_token, before);
+}
+
+TEST(P2CostModelTest, MaxItemsUnderCapAlwaysAdmitsOne) {
+  core::P2CostModel cm({.overhead_ms = 0.0, .ms_per_token = 1.0});
+  const std::vector<int64_t> fours(16, 4);
+  EXPECT_EQ(cm.MaxItemsUnderCap(fours, 8.0, 16), 2);
+  EXPECT_EQ(cm.MaxItemsUnderCap(fours, 100.0, 16), 16);  // max_items clamp
+  EXPECT_EQ(cm.MaxItemsUnderCap({100, 100}, 8.0, 16), 1);  // oversized: 1
+  EXPECT_EQ(cm.MaxItemsUnderCap(fours, 0.0, 5), 5);  // cap <= 0: uncapped
+}
+
+TEST(P2CostModelTest, ProfitableInflightBatchesScalesWithCores) {
+  EXPECT_EQ(core::P2CostModel::ProfitableInflightBatches(1), 1);
+  EXPECT_EQ(core::P2CostModel::ProfitableInflightBatches(2), 1);
+  EXPECT_EQ(core::P2CostModel::ProfitableInflightBatches(4), 2);
+  EXPECT_EQ(core::P2CostModel::ProfitableInflightBatches(8), 4);
+}
+
+TEST(ServingSchedulerTest, SingleLaneModeIgnoresLaneTag) {
+  RecordingForward rec;
+  ServingScheduler::Options opt;
+  opt.scheduling.lanes = 1;
+  opt.forward_fn = std::ref(rec);
+  ServingScheduler sched(nullptr, opt);
+  Body b(4);
+  ASSERT_TRUE(SubmitBody(&sched, &b, Lane::kBulk).ok());
+  // With one lane the bulk tag collapses to interactive.
+  EXPECT_EQ(sched.stats().lane_items[0], 1);
+  EXPECT_EQ(sched.stats().lane_items[1], 0);
+}
+
+}  // namespace
+}  // namespace taste::pipeline
