@@ -23,8 +23,10 @@
 #include "data/table_generator.h"
 #include "model/adtd.h"
 #include "serve/router.h"
+#include "tensor/exec_context.h"
 #include "tensor/kernels.h"
 #include "tensor/ops.h"
+#include "tensor/quant.h"
 #include "text/wordpiece.h"
 
 namespace taste {
@@ -438,6 +440,126 @@ void WriteSubstrateJson() {
         "cost model fit (%zu samples): overhead %.4f ms + %.5f ms/token%s\n",
         cost_samples.size(), cm.params().overhead_ms, cm.params().ms_per_token,
         calibrated ? "" : " (fit failed; defaults kept)");
+  }
+
+  // Int8 P2: the --p2-dtype=int8 content forward against fp32 at the PAPER
+  // tower shape (L=4, H=312, I=1200 — the Tiny fixture's GEMMs are too
+  // small to show the kernel, and the paper shape is what serving runs).
+  // Weights are prepacked once (PrepackQuantWeights, as model load does);
+  // the sweep times the same ForwardContentBatch under an fp32 vs an int8
+  // ExecContext. tools/bench_check.py gates the speedup (hard floor 2.5x,
+  // advisory 3x) when a SIMD kernel is compiled in. The int8 timing samples
+  // also refit the serving cost model; DefaultInt8Params (core/cost_model.h)
+  // were taken from the "cost_model_int8" section of a committed run.
+  {
+    tensor::NoGradGuard ng;
+    model::AdtdConfig pcfg = model::AdtdConfig::Paper(
+        static_cast<int>(f.tokenizer->vocab().size()),
+        static_cast<int>(data::SemanticTypeRegistry::Default().size()));
+    Rng prng(17);
+    model::AdtdModel pmodel(pcfg, prng);
+    const int64_t packed_bytes = pmodel.PrepackQuantWeights();
+
+    struct Chunk {
+      model::EncodedMetadata em;
+      model::EncodedContent ec;
+      model::AdtdModel::MetadataEncoding enc;
+    };
+    // The Sec. 6.8 serving profile (n=2, l=2): short chunks, the shape the
+    // scheduler actually batches. Latents come from THIS model's metadata
+    // tower — cross-attention reads them during the content forward.
+    model::InputConfig icfg = pcfg.input;
+    icfg.cells_per_column = 2;
+    model::InputEncoder encoder(f.tokenizer.get(), icfg);
+    std::vector<std::unique_ptr<Chunk>> chunks;
+    auto conn = f.db->Connect();
+    for (int t = 0; t < 16 && chunks.size() < 16; ++t) {
+      auto meta = conn->GetTableMetadata(f.dataset.tables[t].name);
+      TASTE_CHECK(meta.ok());
+      for (const auto& part : model::SplitWideTable(*meta, /*max_columns=*/2)) {
+        if (chunks.size() >= 16) break;
+        auto ch = std::make_unique<Chunk>();
+        ch->em = encoder.EncodeMetadata(part);
+        std::map<int, std::vector<std::string>> content;
+        for (int c = 0; c < ch->em.num_columns; ++c) {
+          content[c] =
+              f.dataset.tables[t].columns[ch->em.column_ordinals[c]].values;
+        }
+        ch->ec = encoder.EncodeContent(ch->em, content);
+        ch->enc = pmodel.ForwardMetadata(ch->em);
+        chunks.push_back(std::move(ch));
+      }
+    }
+
+    tensor::ExecContext fp32_ctx({.no_grad = true});
+    tensor::ExecContext::Options int8_opt;
+    int8_opt.no_grad = true;
+    int8_opt.p2_dtype = tensor::P2Dtype::kInt8;
+    tensor::ExecContext int8_ctx(int8_opt);
+
+    std::vector<std::pair<int64_t, double>> int8_samples;
+    double fp32_total = 0.0, int8_total = 0.0;
+    std::printf("P2 int8 vs fp32 at paper shape (kernel %s, %lld KiB packed):\n",
+                tensor::quant::QuantKernelName(tensor::quant::BestQuantKernel()),
+                static_cast<long long>(packed_bytes / 1024));
+    json.BeginObject("int8_p2");
+    json.Field("kernel",
+               std::string(tensor::quant::QuantKernelName(
+                   tensor::quant::BestQuantKernel())));
+    json.Field("packed_kib", packed_bytes / 1024);
+    json.BeginArray("sweep");
+    for (int bsize : {1, 2, 4, 8}) {
+      std::vector<model::AdtdModel::P2BatchItem> items;
+      int64_t total_tokens = 0;
+      for (int i = 0; i < bsize; ++i) {
+        Chunk& ch = *chunks[static_cast<size_t>(i) % chunks.size()];
+        items.push_back({&ch.ec, &ch.em, &ch.enc});
+        total_tokens += static_cast<int64_t>(ch.ec.token_ids.size());
+      }
+      const int reps = std::max(1, 8 / bsize);
+      const double fp32_ms = TimeGemmMs(
+          [&] {
+            benchmark::DoNotOptimize(
+                pmodel.ForwardContentBatch(items, &fp32_ctx));
+          },
+          reps);
+      const double int8_ms = TimeGemmMs(
+          [&] {
+            benchmark::DoNotOptimize(
+                pmodel.ForwardContentBatch(items, &int8_ctx));
+          },
+          reps);
+      fp32_total += fp32_ms;
+      int8_total += int8_ms;
+      int8_samples.emplace_back(total_tokens, int8_ms);
+      json.BeginObject();
+      json.Field("batch_size", static_cast<int64_t>(bsize));
+      json.Field("tokens", total_tokens);
+      json.Field("fp32_ms", fp32_ms);
+      json.Field("int8_ms", int8_ms);
+      json.Field("speedup", fp32_ms / int8_ms);
+      json.EndObject();
+      std::printf("  B=%-3d fp32 %8.3f ms  int8 %8.3f ms  %.2fx\n", bsize,
+                  fp32_ms, int8_ms, fp32_ms / int8_ms);
+    }
+    json.EndArray();
+    json.Field("speedup", fp32_total / int8_total);
+    json.EndObject();
+    std::printf("  overall int8 speedup %.2fx\n", fp32_total / int8_total);
+
+    core::P2CostModel icm;
+    const bool int8_calibrated = icm.Calibrate(int8_samples);
+    json.BeginObject("cost_model_int8");
+    json.Field("calibrated", int8_calibrated);
+    json.Field("samples", static_cast<int64_t>(int8_samples.size()));
+    json.Field("overhead_ms", icm.params().overhead_ms);
+    json.Field("ms_per_token", icm.params().ms_per_token);
+    json.EndObject();
+    std::printf(
+        "int8 cost model fit (%zu samples): overhead %.4f ms + %.5f "
+        "ms/token%s\n",
+        int8_samples.size(), icm.params().overhead_ms, icm.params().ms_per_token,
+        int8_calibrated ? "" : " (fit failed; defaults kept)");
   }
 
   // Serving level: the pipelined executor at 4 infer workers with the

@@ -9,8 +9,21 @@
 // The bench additionally reports the rule-based detectors from Sec. 7 as a
 // floor. Expected shape: TASTE variants >= TURL, histograms help slightly,
 // sampling is a wash, GitLike scores above WikiLike.
+//
+// Every TASTE variant is evaluated twice — under the default fp32 context
+// and under a kInt8 ExecContext (quantized P2 content tower, DESIGN.md
+// §12) — and the table reports both, because the quantized path's
+// acceptance criterion is an ACCURACY bound, not just a speedup: the CI
+// quant-accuracy lane runs this bench with --json-out and fails the build
+// when any dataset's fp32-to-int8 F1 drop exceeds 0.5 pt
+// (tools/accuracy_gate.py).
+//
+// Usage: bench_table3_f1 [--json-out FILE]
+
+#include <cstring>
 
 #include "bench_common.h"
+#include "tensor/quant.h"
 
 namespace taste::bench {
 namespace {
@@ -20,7 +33,8 @@ struct PaperRef {
   const char* git;
 };
 
-void RunDataset(const data::DatasetProfile& profile, bool is_wiki) {
+void RunDataset(const data::DatasetProfile& profile, bool is_wiki,
+                JsonWriter* json) {
   eval::TrainedStack stack = MustBuildStack(profile);
   auto db = eval::MakeTestDatabase(stack.dataset, stack.dataset.test, false,
                                    InstantCost());
@@ -28,13 +42,21 @@ void RunDataset(const data::DatasetProfile& profile, bool is_wiki) {
                                         true, InstantCost());
   TASTE_CHECK(db.ok() && db_hist.ok());
 
+  // Pack the int8 panels once per model (idempotent when the checkpoint
+  // cache already prepacked at load).
+  stack.adtd->PrepackQuantWeights();
+  stack.adtd_hist->PrepackQuantWeights();
+
   auto eval_taste = [&](const core::TasteOptions& topt,
                         const model::AdtdModel* m,
-                        clouddb::SimulatedDatabase* database) {
+                        clouddb::SimulatedDatabase* database,
+                        tensor::P2Dtype dtype) {
+    tensor::ExecContext ctx(
+        {.no_grad = true, .p2_dtype = dtype});
     core::TasteDetector det(m, stack.tokenizer.get(), topt);
     auto run = eval::EvaluateSequential(
-        [&det](clouddb::Connection* c, const std::string& n) {
-          return det.DetectTable(c, n);
+        [&det, &ctx](clouddb::Connection* c, const std::string& n) {
+          return det.DetectTable(c, n, &ctx);
         },
         database, stack.dataset, stack.dataset.test);
     TASTE_CHECK_MSG(run.ok(), run.status().ToString());
@@ -59,20 +81,31 @@ void RunDataset(const data::DatasetProfile& profile, bool is_wiki) {
     std::string name;
     eval::PrfScores scores;
     PaperRef paper;
+    bool has_int8 = false;
+    eval::PrfScores int8_scores{};
   };
   std::vector<Entry> entries;
   entries.push_back({"TURL", eval_single(stack.turl.get()),
                      {"0.9269", "0.9809"}});
   entries.push_back({"Doduo", eval_single(stack.doduo.get()),
                      {"0.9279", "0.9898"}});
-  entries.push_back({"TASTE", eval_taste(base, stack.adtd.get(), db->get()),
-                     {"0.9306", "0.9894"}});
-  entries.push_back({"TASTE w/ histogram",
-                     eval_taste(base, stack.adtd_hist.get(), db_hist->get()),
-                     {"0.9340", "0.9909"}});
-  entries.push_back({"TASTE w/ sampling",
-                     eval_taste(sampling, stack.adtd.get(), db->get()),
-                     {"0.9306", "0.9893"}});
+
+  auto add_taste = [&](const std::string& name,
+                       const core::TasteOptions& topt,
+                       const model::AdtdModel* m,
+                       clouddb::SimulatedDatabase* database, PaperRef paper) {
+    Entry e{name, eval_taste(topt, m, database, tensor::P2Dtype::kFp32),
+            paper};
+    e.has_int8 = true;
+    e.int8_scores = eval_taste(topt, m, database, tensor::P2Dtype::kInt8);
+    entries.push_back(std::move(e));
+  };
+  add_taste("TASTE", base, stack.adtd.get(), db->get(),
+            {"0.9306", "0.9894"});
+  add_taste("TASTE w/ histogram", base, stack.adtd_hist.get(),
+            db_hist->get(), {"0.9340", "0.9909"});
+  add_taste("TASTE w/ sampling", sampling, stack.adtd.get(), db->get(),
+            {"0.9306", "0.9893"});
 
   // Rule-based floor (related work, Sec. 7).
   {
@@ -101,20 +134,68 @@ void RunDataset(const data::DatasetProfile& profile, bool is_wiki) {
   std::printf("%s", eval::SectionHeader("Table 3 — F1 scores, " + stack.name)
                         .c_str());
   eval::TextTable table(
-      {"model", "precision", "recall", "F1", "paper F1"});
+      {"model", "precision", "recall", "F1", "F1 int8", "paper F1"});
   for (const auto& e : entries) {
     table.AddRow({e.name, F4(e.scores.precision), F4(e.scores.recall),
-                  F4(e.scores.f1), is_wiki ? e.paper.wiki : e.paper.git});
+                  F4(e.scores.f1), e.has_int8 ? F4(e.int8_scores.f1) : "-",
+                  is_wiki ? e.paper.wiki : e.paper.git});
   }
   std::printf("%s", table.ToString().c_str());
+
+  if (json != nullptr) {
+    json->BeginObject();
+    json->Field("name", stack.name);
+    json->BeginArray("models");
+    for (const auto& e : entries) {
+      json->BeginObject();
+      json->Field("name", e.name);
+      json->Field("precision", e.scores.precision);
+      json->Field("recall", e.scores.recall);
+      json->Field("f1_fp32", e.scores.f1);
+      if (e.has_int8) {
+        json->Field("precision_int8", e.int8_scores.precision);
+        json->Field("recall_int8", e.int8_scores.recall);
+        json->Field("f1_int8", e.int8_scores.f1);
+      }
+      json->EndObject();
+    }
+    json->EndArray();
+    json->EndObject();
+  }
 }
 
 }  // namespace
 }  // namespace taste::bench
 
-int main() {
+int main(int argc, char** argv) {
+  std::string json_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json-out") == 0 && i + 1 < argc) {
+      json_out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json-out FILE]\n", argv[0]);
+      return 2;
+    }
+  }
   taste::SetLogLevel(taste::LogLevel::kWarn);
-  taste::bench::RunDataset(taste::data::DatasetProfile::WikiLike(), true);
-  taste::bench::RunDataset(taste::data::DatasetProfile::GitLike(), false);
+  taste::bench::JsonWriter json;
+  json.BeginObject();
+  json.Field("kernel",
+             std::string(taste::tensor::quant::QuantKernelName(
+                 taste::tensor::quant::BestQuantKernel())));
+  json.BeginArray("datasets");
+  taste::bench::RunDataset(taste::data::DatasetProfile::WikiLike(), true,
+                           &json);
+  taste::bench::RunDataset(taste::data::DatasetProfile::GitLike(), false,
+                           &json);
+  json.EndArray();
+  json.EndObject();
+  if (!json_out.empty()) {
+    if (!json.WriteFile(json_out)) {
+      std::fprintf(stderr, "failed to write %s\n", json_out.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_out.c_str());
+  }
   return 0;
 }

@@ -83,6 +83,15 @@ class P2CostModel {
   /// narrow to resolve the marginal cost must not poison scheduling.
   bool Calibrate(const std::vector<std::pair<int64_t, double>>& samples);
 
+  /// Default parameters for the int8 P2 path (DESIGN.md §12): same linear
+  /// model, fit on the int8_p2 sweep of bench_micro_substrate. Per-token
+  /// cost drops roughly with the kernel speedup (the int8 GEMMs dominate a
+  /// content forward), while per-forward overhead barely moves — dispatch
+  /// and activation-quantization setup are dtype-independent. The serving
+  /// scheduler swaps these in when PipelineOptions::p2_dtype is kInt8 so
+  /// max_batch_cost_ms keeps describing wall time, not fp32-equivalents.
+  static Params DefaultInt8Params();
+
   /// The profitable number of concurrently in-flight packed forwards for a
   /// machine with `hardware_threads`, used when
   /// SchedulingOptions::max_inflight_batches is 0 (auto). One compute-bound

@@ -14,17 +14,20 @@ namespace {
 using data::SemanticTypeRegistry;
 
 /// Loads `module` from the cache if present; otherwise runs `train` and
-/// saves. Returns true when the model came from cache.
+/// saves. Returns true when the model came from cache. When `quant_scales`
+/// is non-null it receives the cached checkpoint's quantization manifest
+/// (empty when trained fresh or the file predates format v3).
 Result<bool> LoadOrTrain(nn::Module* module, const std::string& cache_dir,
                          const std::string& key,
-                         const std::function<Status()>& train) {
+                         const std::function<Status()>& train,
+                         nn::QuantScalesMap* quant_scales = nullptr) {
   std::string path;
   if (!cache_dir.empty()) {
     std::error_code ec;
     std::filesystem::create_directories(cache_dir, ec);
     path = cache_dir + "/" + key + ".ckpt";
     if (std::filesystem::exists(path)) {
-      Status st = nn::LoadCheckpoint(module, path);
+      Status st = nn::LoadCheckpoint(module, path, quant_scales);
       if (st.ok()) {
         TASTE_LOG(Info) << "loaded cached model " << path;
         return true;
@@ -114,31 +117,50 @@ Result<TrainedStack> BuildStackFromDataset(const std::string& name,
     auto m = std::make_unique<model::AdtdModel>(cfg, rng);
     std::string key = base_key + (with_hist ? "_adtd_hist" : "_adtd");
     Stopwatch train_sw;
+    nn::QuantScalesMap stored_scales;
     TASTE_ASSIGN_OR_RETURN(
         bool cached,
-        LoadOrTrain(m.get(), options.cache_dir, key, [&]() -> Status {
-          model::PretrainOptions pre;
-          pre.epochs = options.pretrain_epochs;
-          pre.seed = options.seed;
-          TASTE_ASSIGN_OR_RETURN(double mlm_loss,
-                                 PretrainMlm(m.get(), docs, *stack.tokenizer,
-                                             pre));
-          model::FineTuner tuner(m.get(), stack.tokenizer.get());
-          model::FineTuneOptions ft;
-          ft.epochs = options.finetune_epochs;
-          ft.lr = options.finetune_lr;
-          ft.seed = options.seed;
-          TASTE_ASSIGN_OR_RETURN(
-              double ft_loss,
-              tuner.Train(stack.dataset, stack.dataset.train, ft));
-          TASTE_LOG(Info) << key << ": mlm loss "
-                          << StrFormat("%.3f", mlm_loss) << ", finetune loss "
-                          << StrFormat("%.4f", ft_loss);
-          return Status::OK();
-        }));
+        LoadOrTrain(
+            m.get(), options.cache_dir, key,
+            [&]() -> Status {
+              model::PretrainOptions pre;
+              pre.epochs = options.pretrain_epochs;
+              pre.seed = options.seed;
+              TASTE_ASSIGN_OR_RETURN(
+                  double mlm_loss,
+                  PretrainMlm(m.get(), docs, *stack.tokenizer, pre));
+              model::FineTuner tuner(m.get(), stack.tokenizer.get());
+              model::FineTuneOptions ft;
+              ft.epochs = options.finetune_epochs;
+              ft.lr = options.finetune_lr;
+              ft.seed = options.seed;
+              TASTE_ASSIGN_OR_RETURN(
+                  double ft_loss,
+                  tuner.Train(stack.dataset, stack.dataset.train, ft));
+              TASTE_LOG(Info) << key << ": mlm loss "
+                              << StrFormat("%.3f", mlm_loss)
+                              << ", finetune loss " << StrFormat("%.4f",
+                                                                 ft_loss);
+              // Prepack before LoadOrTrain saves, so the checkpoint carries
+              // the quantization manifest the int8 path was certified with.
+              m->PrepackQuantWeights();
+              return Status::OK();
+            },
+            &stored_scales));
     if (!cached) {
       TASTE_LOG(Info) << key << ": trained in "
                       << StrFormat("%.1fs", train_sw.ElapsedSeconds());
+    } else {
+      // Re-pack from the loaded fp32 weights and cross-check against the
+      // manifest stored in the checkpoint: quantization is deterministic,
+      // so any mismatch means the fp32 bytes or packer drifted from what
+      // the accuracy gate certified.
+      int64_t packed_bytes = m->PrepackQuantWeights();
+      if (!stored_scales.empty()) {
+        TASTE_RETURN_IF_ERROR(m->VerifyQuantScales(stored_scales));
+      }
+      TASTE_LOG(Info) << key << ": int8 weights prepacked ("
+                      << packed_bytes / 1024 << " KiB resident)";
     }
     return m;
   };

@@ -1,5 +1,7 @@
 #include "model/adtd.h"
 
+#include <cstring>
+
 #include "tensor/ops.h"
 
 namespace taste::model {
@@ -106,6 +108,10 @@ Tensor AdtdModel::ForwardContent(
     const EncodedContent& content, const EncodedMetadata& meta,
     const MetadataEncoding& meta_encoding, tensor::ExecContext* ctx) const {
   tensor::ScopedExecContext scope(ctx);
+  // The int8 window: under a kInt8 context, prepacked Linears below run
+  // the quantized kernel. ForwardMetadata never opens this window, so
+  // cached latents are fp32-byte-stable whatever dtype serves P2.
+  tensor::ScopedQuantRegion quant_region(tensor::ExecContext::Current());
   TASTE_CHECK_MSG(!content.scanned.empty(),
                   "ForwardContent requires at least one scanned column");
   TASTE_CHECK(static_cast<int64_t>(meta_encoding.layer_latents.size()) ==
@@ -136,6 +142,7 @@ Tensor AdtdModel::ForwardContent(
 std::vector<Tensor> AdtdModel::ForwardContentBatch(
     const std::vector<P2BatchItem>& items, tensor::ExecContext* ctx) const {
   tensor::ScopedExecContext scope(ctx);
+  tensor::ScopedQuantRegion quant_region(tensor::ExecContext::Current());
   TASTE_CHECK(!items.empty());
   TASTE_CHECK_MSG(!training(), "batched P2 forward is inference-only");
   const int64_t num_layers = encoder_.num_layers();
@@ -261,6 +268,36 @@ Tensor AdtdModel::MlmLogits(const std::vector<int>& ids) const {
 
 std::pair<float, float> AdtdModel::loss_weights() const {
   return {w1_.item(), w2_.item()};
+}
+
+int64_t AdtdModel::PrepackQuantWeights() {
+  const int64_t bytes =
+      encoder_.PrepackQuant() + content_classifier_.PrepackQuant();
+  quant_prepacked_ = true;
+  return bytes;
+}
+
+Status AdtdModel::VerifyQuantScales(
+    const std::map<std::string, std::vector<float>>& expected) const {
+  const auto own = NamedQuantScales();
+  std::map<std::string, const std::vector<float>*> by_name;
+  for (const auto& [name, scales] : own) by_name[name] = &scales;
+  for (const auto& [name, want] : expected) {
+    auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      return Status::Invalid("checkpoint quant scales for unknown " +
+                                     name);
+    }
+    const std::vector<float>& got = *it->second;
+    if (got.size() != want.size() ||
+        std::memcmp(got.data(), want.data(),
+                    got.size() * sizeof(float)) != 0) {
+      return Status::Invalid(
+          "quant scale mismatch vs checkpoint at " + name +
+          " (weights or quantizer drifted since save)");
+    }
+  }
+  return Status::OK();
 }
 
 Tensor BuildTargets(const std::vector<std::vector<int>>& labels,

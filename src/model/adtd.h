@@ -22,9 +22,12 @@
 #ifndef TASTE_MODEL_ADTD_H_
 #define TASTE_MODEL_ADTD_H_
 
+#include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "model/input_encoding.h"
 #include "nn/layers.h"
 #include "nn/transformer.h"
@@ -121,6 +124,24 @@ class AdtdModel : public nn::Module {
   /// Current automatic loss weights (w1, w2), for inspection.
   std::pair<float, float> loss_weights() const;
 
+  /// Quantizes (per output channel, symmetric int8) and packs every Linear
+  /// the P2 content tower runs — encoder q/k/v/out + FFN projections and
+  /// the content classifier — once, from the current weights. Idempotent
+  /// and deterministic; call after load / training, never concurrently
+  /// with forwards. The packed panels only execute inside the content
+  /// forwards' ScopedQuantRegion under a kInt8 context, so P1 and the
+  /// latent cache stay fp32 regardless. Returns the packed bytes added.
+  int64_t PrepackQuantWeights();
+  bool quant_prepacked() const { return quant_prepacked_; }
+
+  /// Verifies recomputed per-channel scales against a checkpoint's
+  /// quantization manifest (nn::LoadCheckpoint's quant_scales output):
+  /// every name present in `expected` must match this model's scales
+  /// bit-exactly — a mismatch means the weights or the quantization code
+  /// drifted since the checkpoint was written.
+  Status VerifyQuantScales(
+      const std::map<std::string, std::vector<float>>& expected) const;
+
  private:
   /// Token + position embedding followed by LayerNorm.
   tensor::Tensor Embed(const std::vector<int>& ids) const;
@@ -138,6 +159,7 @@ class AdtdModel : public nn::Module {
   nn::MlpClassifier content_classifier_;
   tensor::Tensor w1_;  // automatic loss weights (learnable scalars)
   tensor::Tensor w2_;
+  bool quant_prepacked_ = false;
 };
 
 /// Builds the (ncols, num_types) multi-hot target matrix from per-column

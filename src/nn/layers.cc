@@ -13,7 +13,24 @@ Linear::Linear(int64_t in_features, int64_t out_features, Rng& rng)
 
 Tensor Linear::Forward(const Tensor& x, ExecContext* ctx) const {
   tensor::ScopedExecContext scope(ctx);
+  if (quant_ != nullptr) {
+    if (ExecContext* cur = ExecContext::Current();
+        cur != nullptr && cur->quant_active() && !tensor::GradEnabled()) {
+      return tensor::QuantLinear(x, *quant_, bias_);
+    }
+  }
   return tensor::AddBias(tensor::MatMul(x, weight_), bias_);
+}
+
+int64_t Linear::PrepackQuant() {
+  quant_ = std::make_shared<tensor::quant::PackedQuantWeight>(
+      tensor::quant::PackWeightPerChannel(weight_.data(), in_features_,
+                                          out_features_));
+  return quant_->PackedBytes();
+}
+
+std::vector<float> Linear::QuantScales() const {
+  return quant_ != nullptr ? quant_->scales : std::vector<float>{};
 }
 
 Embedding::Embedding(int64_t vocab_size, int64_t dim, Rng& rng)
@@ -50,6 +67,10 @@ MlpClassifier::MlpClassifier(int64_t in_features, int64_t hidden,
 Tensor MlpClassifier::Forward(const Tensor& x, ExecContext* ctx) const {
   tensor::ScopedExecContext scope(ctx);
   return out_.Forward(tensor::Relu(hidden_.Forward(x)));
+}
+
+int64_t MlpClassifier::PrepackQuant() {
+  return hidden_.PrepackQuant() + out_.PrepackQuant();
 }
 
 }  // namespace taste::nn

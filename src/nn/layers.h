@@ -28,8 +28,21 @@ class Linear : public Module {
   /// Initializes the weight with N(0, 0.02^2) (BERT-style) and zero bias.
   Linear(int64_t in_features, int64_t out_features, Rng& rng);
 
-  /// x is (n, in) -> (n, out).
+  /// x is (n, in) -> (n, out). Takes the int8 path (tensor::QuantLinear)
+  /// instead of fp32 AddBias(MatMul) when all three hold: PrepackQuant()
+  /// ran, the bound context's quant_active() window is open (i.e. an int8
+  /// P2 content forward is in progress), and gradients are off.
   Tensor Forward(const Tensor& x, ExecContext* ctx = nullptr) const;
+
+  /// Quantizes the current weight per output channel and packs the int8
+  /// panels once (tensor/quant.h). Call at model load / after training,
+  /// never concurrently with forwards; re-running re-packs from the
+  /// current weight bytes (deterministic). Returns the resident bytes of
+  /// the packed panels + scales (~1 byte per weight element).
+  int64_t PrepackQuant();
+  bool quant_prepacked() const { return quant_ != nullptr; }
+  /// Per-output-channel scales when prepacked (checkpoint metadata).
+  std::vector<float> QuantScales() const override;
 
   int64_t in_features() const { return in_features_; }
   int64_t out_features() const { return out_features_; }
@@ -39,6 +52,8 @@ class Linear : public Module {
   int64_t out_features_;
   Tensor weight_;
   Tensor bias_;
+  /// Shared so forked serving replicas inherit one packed copy (COW).
+  std::shared_ptr<tensor::quant::PackedQuantWeight> quant_;
 };
 
 /// Token-id to dense-vector table.
@@ -84,6 +99,9 @@ class MlpClassifier : public Module {
 
   /// x (n, in) -> logits (n, num_labels).
   Tensor Forward(const Tensor& x, ExecContext* ctx = nullptr) const;
+
+  /// Prepacks both Linears for the int8 inference path.
+  int64_t PrepackQuant();
 
   int64_t num_labels() const { return out_.out_features(); }
 

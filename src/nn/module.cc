@@ -27,6 +27,21 @@ int64_t Module::ParameterCount() const {
   return n;
 }
 
+std::vector<std::pair<std::string, std::vector<float>>>
+Module::NamedQuantScales() const {
+  std::vector<std::pair<std::string, std::vector<float>>> out;
+  if (std::vector<float> own = QuantScales(); !own.empty()) {
+    out.emplace_back("", std::move(own));
+  }
+  for (const auto& [name, child] : children_) {
+    for (auto& [cname, scales] : child->NamedQuantScales()) {
+      out.emplace_back(cname.empty() ? name : name + "." + cname,
+                       std::move(scales));
+    }
+  }
+  return out;
+}
+
 void Module::SetTraining(bool training) {
   training_ = training;
   for (auto& [name, child] : children_) child->SetTraining(training);

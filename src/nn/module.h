@@ -41,6 +41,18 @@ class Module {
   void SetTraining(bool training);
   bool training() const { return training_; }
 
+  /// Per-output-channel int8 scales of this module's prepacked quantized
+  /// weight, when it has one (Linear overrides after PrepackQuant); empty
+  /// otherwise. Exposed so the checkpoint serializer can emit quantization
+  /// metadata next to the fp32 weights.
+  virtual std::vector<float> QuantScales() const { return {}; }
+
+  /// Hierarchical (name, scales) pairs for every descendant whose
+  /// QuantScales() is non-empty, in registration order — the quantization
+  /// manifest a checkpoint carries and a loader verifies against.
+  std::vector<std::pair<std::string, std::vector<float>>> NamedQuantScales()
+      const;
+
  protected:
   /// Registers and returns a parameter tensor (sets requires_grad).
   tensor::Tensor RegisterParameter(std::string name, tensor::Tensor t);

@@ -19,7 +19,11 @@ namespace {
 // load. Legacy "TSTCKPT1" files (no version, no CRC) are still readable.
 constexpr char kMagicV2[8] = {'T', 'S', 'T', 'C', 'K', 'P', 'T', '2'};
 constexpr char kMagicV1[8] = {'T', 'S', 'T', 'C', 'K', 'P', 'T', '1'};
-constexpr uint32_t kFormatVersion = 2;
+// Version 2: parameters only. Version 3: parameters + quantization
+// manifest (same magic and CRC framing). Writers emit the lowest version
+// that can represent the module, so quant-free checkpoints stay v2.
+constexpr uint32_t kFormatVersionParams = 2;
+constexpr uint32_t kFormatVersionQuant = 3;
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -131,6 +135,44 @@ Result<std::map<std::string, tensor::Tensor>> ParseParams(
   return out;
 }
 
+/// Parses the v3 quantization manifest that follows the parameter payload.
+Result<QuantScalesMap> ParseQuantScales(Cursor* cur, const std::string& path) {
+  uint64_t count = 0;
+  if (!cur->Read(&count)) {
+    return Status::IOError("truncated quant manifest header: " + path);
+  }
+  QuantScalesMap out;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t name_len = 0;
+    if (!cur->Read(&name_len) || cur->remaining() < name_len) {
+      return Status::IOError("truncated quant entry name in " + path);
+    }
+    std::string name(name_len, '\0');
+    if (!cur->ReadBytes(name.data(), name_len)) {
+      return Status::IOError("truncated quant entry name in " + path);
+    }
+    uint64_t n_scales = 0;
+    if (!cur->Read(&n_scales) ||
+        cur->remaining() < sizeof(float) * n_scales) {
+      return Status::IOError("truncated quant scales in " + path);
+    }
+    std::vector<float> scales(static_cast<size_t>(n_scales));
+    if (!cur->ReadBytes(scales.data(), sizeof(float) * scales.size())) {
+      return Status::IOError("truncated quant scales in " + path);
+    }
+    if (out.count(name) != 0) {
+      return Status::Invalid("duplicate quant entry name: " + name);
+    }
+    out.emplace(name, std::move(scales));
+  }
+  return out;
+}
+
+struct ParsedCheckpoint {
+  std::map<std::string, tensor::Tensor> params;
+  QuantScalesMap quant_scales;
+};
+
 Result<std::vector<uint8_t>> ReadWholeFile(const std::string& path) {
   FilePtr f(std::fopen(path.c_str(), "rb"));
   if (!f) return Status::IOError("cannot open for read: " + path);
@@ -157,8 +199,9 @@ Status SaveCheckpoint(const Module& module, const std::string& path) {
   // bytes hit disk through a temp file renamed into place, so a crash or
   // full disk mid-write can never leave a half-written file at `path`.
   auto params = module.NamedParameters();
+  auto quant = module.NamedQuantScales();
   std::vector<uint8_t> body;  // version + payload (the CRC-covered bytes)
-  AppendPod(&body, kFormatVersion);
+  AppendPod(&body, quant.empty() ? kFormatVersionParams : kFormatVersionQuant);
   AppendPod(&body, static_cast<uint64_t>(params.size()));
   for (const auto& [name, p] : params) {
     AppendPod(&body, static_cast<uint32_t>(name.size()));
@@ -170,6 +213,16 @@ Status SaveCheckpoint(const Module& module, const std::string& path) {
     const uint8_t* data = reinterpret_cast<const uint8_t*>(p.data());
     body.insert(body.end(),
                 data, data + sizeof(float) * static_cast<size_t>(p.numel()));
+  }
+  if (!quant.empty()) {
+    AppendPod(&body, static_cast<uint64_t>(quant.size()));
+    for (const auto& [name, scales] : quant) {
+      AppendPod(&body, static_cast<uint32_t>(name.size()));
+      body.insert(body.end(), name.begin(), name.end());
+      AppendPod(&body, static_cast<uint64_t>(scales.size()));
+      const uint8_t* sdata = reinterpret_cast<const uint8_t*>(scales.data());
+      body.insert(body.end(), sdata, sdata + sizeof(float) * scales.size());
+    }
   }
   const uint32_t crc = Crc32(body.data(), body.size());
 
@@ -196,22 +249,25 @@ Status SaveCheckpoint(const Module& module, const std::string& path) {
   return Status::OK();
 }
 
-Result<std::map<std::string, tensor::Tensor>> ReadCheckpoint(
-    const std::string& path) {
+namespace {
+
+Result<ParsedCheckpoint> ParseCheckpointFile(const std::string& path) {
   TASTE_ASSIGN_OR_RETURN(std::vector<uint8_t> buf, ReadWholeFile(path));
   if (buf.size() < 8) {
     return Status::Invalid("bad checkpoint magic: " + path);
   }
+  ParsedCheckpoint out;
   if (std::memcmp(buf.data(), kMagicV1, 8) == 0) {
     // Legacy v1: no version field, no CRC. Bounds-checked parse only.
     Cursor cur(buf.data() + 8, buf.size() - 8);
-    return ParseParams(&cur, path);
+    TASTE_ASSIGN_OR_RETURN(out.params, ParseParams(&cur, path));
+    return out;
   }
   if (std::memcmp(buf.data(), kMagicV2, 8) != 0) {
     return Status::Invalid("bad checkpoint magic: " + path);
   }
-  // v2: [magic][version u32][payload][crc u32]; CRC over version + payload,
-  // verified before ANY parsing.
+  // v2/v3: [magic][version u32][payload][crc u32]; CRC over version +
+  // payload, verified before ANY parsing.
   if (buf.size() < 8 + sizeof(uint32_t) + sizeof(uint32_t)) {
     return Status::IOError("truncated checkpoint (no room for CRC): " + path);
   }
@@ -228,20 +284,41 @@ Result<std::map<std::string, tensor::Tensor>> ReadCheckpoint(
   if (!cur.Read(&version)) {
     return Status::IOError("truncated checkpoint version: " + path);
   }
-  if (version != kFormatVersion) {
+  if (version != kFormatVersionParams && version != kFormatVersionQuant) {
     return Status::Invalid("unsupported checkpoint format version " +
                            std::to_string(version) + ": " + path);
   }
-  auto out = ParseParams(&cur, path);
-  if (out.ok() && cur.remaining() != 0) {
+  TASTE_ASSIGN_OR_RETURN(out.params, ParseParams(&cur, path));
+  if (version == kFormatVersionQuant) {
+    TASTE_ASSIGN_OR_RETURN(out.quant_scales, ParseQuantScales(&cur, path));
+  }
+  if (cur.remaining() != 0) {
     return Status::Invalid("trailing bytes after checkpoint payload: " + path);
   }
   return out;
 }
 
-Status LoadCheckpoint(Module* module, const std::string& path) {
+}  // namespace
+
+Result<std::map<std::string, tensor::Tensor>> ReadCheckpoint(
+    const std::string& path) {
+  TASTE_ASSIGN_OR_RETURN(auto parsed, ParseCheckpointFile(path));
+  return std::move(parsed.params);
+}
+
+Result<QuantScalesMap> ReadCheckpointQuantScales(const std::string& path) {
+  TASTE_ASSIGN_OR_RETURN(auto parsed, ParseCheckpointFile(path));
+  return std::move(parsed.quant_scales);
+}
+
+Status LoadCheckpoint(Module* module, const std::string& path,
+                      QuantScalesMap* quant_scales) {
   TASTE_CHECK(module != nullptr);
-  TASTE_ASSIGN_OR_RETURN(auto stored, ReadCheckpoint(path));
+  TASTE_ASSIGN_OR_RETURN(auto parsed, ParseCheckpointFile(path));
+  auto& stored = parsed.params;
+  if (quant_scales != nullptr) {
+    *quant_scales = std::move(parsed.quant_scales);
+  }
   auto params = module->NamedParameters();
   if (params.size() != stored.size()) {
     return Status::Invalid(

@@ -8,6 +8,13 @@
 // a descriptive Status instead of a bogus load or a huge allocation.
 // Legacy "TSTCKPT1" checkpoints (no version/CRC) remain readable.
 //
+// Format v3 appends a quantization manifest after the parameter payload
+// (same magic, version field = 3): u64 entry count, then per entry a u32
+// name length, name bytes, u64 scale count, and f32 per-output-channel
+// scales (DESIGN.md §12). SaveCheckpoint emits v3 only when the module
+// actually carries prepacked quant scales, so models that never prepack
+// keep producing v2 files readable by older builds.
+//
 // SaveCheckpoint writes through a temp file renamed into place, so a crash
 // or full disk mid-write never leaves a truncated file at the target path.
 //
@@ -27,13 +34,23 @@
 
 namespace taste::nn {
 
-/// Writes all named parameters of `module` to `path`.
+/// Module-path -> per-output-channel int8 scales, as stored in a v3
+/// checkpoint's quantization manifest.
+using QuantScalesMap = std::map<std::string, std::vector<float>>;
+
+/// Writes all named parameters of `module` to `path`. When the module has
+/// prepacked quantized weights (Module::NamedQuantScales non-empty) the
+/// per-channel scales are written alongside as a v3 quantization manifest.
 Status SaveCheckpoint(const Module& module, const std::string& path);
 
 /// Loads parameters from `path` into `module` (matched by name).
 /// Fails if a stored name is missing in the module, a module parameter is
-/// missing in the file, or shapes disagree.
-Status LoadCheckpoint(Module* module, const std::string& path);
+/// missing in the file, or shapes disagree. If `quant_scales` is non-null
+/// it receives the checkpoint's quantization manifest (empty for v1/v2
+/// files) so the caller can cross-check freshly prepacked weights against
+/// the scales the checkpoint was trained/evaluated with.
+Status LoadCheckpoint(Module* module, const std::string& path,
+                      QuantScalesMap* quant_scales = nullptr);
 
 /// Copies every parameter value from `src` into `dst`; both must expose the
 /// same names and shapes. Used to transplant pre-trained encoder weights
@@ -43,6 +60,10 @@ Status CopyParameters(const Module& src, Module* dst);
 /// Parses a checkpoint file into name -> tensor (for tests/inspection).
 Result<std::map<std::string, tensor::Tensor>> ReadCheckpoint(
     const std::string& path);
+
+/// Parses just the quantization manifest of a checkpoint (empty map for
+/// v1/v2 files that predate the manifest).
+Result<QuantScalesMap> ReadCheckpointQuantScales(const std::string& path);
 
 }  // namespace taste::nn
 

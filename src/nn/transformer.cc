@@ -122,6 +122,15 @@ Tensor FeedForward::Forward(const Tensor& x, ExecContext* ctx) const {
   return down_.Forward(tensor::Gelu(up_.Forward(x)));
 }
 
+int64_t FeedForward::PrepackQuant() {
+  return up_.PrepackQuant() + down_.PrepackQuant();
+}
+
+int64_t MultiHeadAttention::PrepackQuant() {
+  return q_proj_.PrepackQuant() + k_proj_.PrepackQuant() +
+         v_proj_.PrepackQuant() + out_proj_.PrepackQuant();
+}
+
 TransformerBlock::TransformerBlock(int64_t hidden, int64_t num_heads,
                                    int64_t intermediate, float dropout,
                                    Rng& rng)
@@ -168,6 +177,10 @@ Tensor TransformerBlock::ForwardPacked(const Tensor& q_packed,
   return norm2_.Forward(tensor::Add(x, ff));
 }
 
+int64_t TransformerBlock::PrepackQuant() {
+  return attention_.PrepackQuant() + ffn_.PrepackQuant();
+}
+
 TransformerEncoder::TransformerEncoder(const EncoderConfig& config, Rng& rng)
     : config_(config) {
   TASTE_CHECK(config.num_layers > 0);
@@ -187,6 +200,12 @@ Tensor TransformerEncoder::Forward(const Tensor& x, const Tensor* mask,
   Tensor h = x;
   for (const auto& block : blocks_) h = block->Forward(h, mask);
   return h;
+}
+
+int64_t TransformerEncoder::PrepackQuant() {
+  int64_t bytes = 0;
+  for (const auto& block : blocks_) bytes += block->PrepackQuant();
+  return bytes;
 }
 
 }  // namespace taste::nn

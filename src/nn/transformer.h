@@ -50,6 +50,11 @@ class MultiHeadAttention : public Module {
 
   int64_t num_heads() const { return num_heads_; }
 
+  /// Prepacks the q/k/v/out projections for the int8 inference path. The
+  /// score and context matmuls (activation × activation) stay fp32.
+  /// Returns packed resident bytes (as do the other PrepackQuant below).
+  int64_t PrepackQuant();
+
  private:
   int64_t hidden_;
   int64_t num_heads_;
@@ -65,6 +70,9 @@ class FeedForward : public Module {
  public:
   FeedForward(int64_t hidden, int64_t intermediate, Rng& rng);
   Tensor Forward(const Tensor& x, ExecContext* ctx = nullptr) const;
+
+  /// Prepacks both projections for the int8 inference path.
+  int64_t PrepackQuant();
 
  private:
   Linear up_;
@@ -97,6 +105,9 @@ class TransformerBlock : public Module {
                        const std::vector<Tensor>& kv_inputs,
                        const std::vector<const Tensor*>& masks,
                        ExecContext* ctx = nullptr) const;
+
+  /// Prepacks attention + FFN Linears for the int8 inference path.
+  int64_t PrepackQuant();
 
  private:
   MultiHeadAttention attention_;
@@ -142,6 +153,9 @@ class TransformerEncoder : public Module {
   int64_t num_layers() const { return static_cast<int64_t>(blocks_.size()); }
   const TransformerBlock& block(int64_t i) const { return *blocks_[i]; }
   const EncoderConfig& config() const { return config_; }
+
+  /// Prepacks every block's Linears for the int8 inference path.
+  int64_t PrepackQuant();
 
  private:
   EncoderConfig config_;

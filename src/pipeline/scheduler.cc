@@ -42,8 +42,8 @@ struct PipelineMetrics {
   obs::Counter* tables_expired;
   obs::Counter* tables_degraded;
   obs::Histogram* admitted_table_ms;  // first dispatch -> terminal state
-  obs::Histogram* op_ms[4];                // gemm, softmax, layernorm, gelu
-  obs::Counter* op_calls[4];
+  obs::Histogram* op_ms[5];  // gemm, quant_gemm, softmax, layernorm, gelu
+  obs::Counter* op_calls[5];
   obs::Counter* pool_acquires;
   obs::Counter* pool_reuses;
 
@@ -77,8 +77,9 @@ struct PipelineMetrics {
       x.tables_expired = r.GetCounter("taste_tables_expired_total");
       x.tables_degraded = r.GetCounter("taste_tables_degraded_total");
       x.admitted_table_ms = r.GetHistogram("taste_admitted_table_ms");
-      const char* ops[4] = {"gemm", "softmax", "layernorm", "gelu"};
-      for (int i = 0; i < 4; ++i) {
+      const char* ops[5] = {"gemm", "quant_gemm", "softmax", "layernorm",
+                            "gelu"};
+      for (int i = 0; i < 5; ++i) {
         x.op_ms[i] =
             r.GetHistogram(obs::LabeledName("taste_op_ms", "op", ops[i]));
         x.op_calls[i] = r.GetCounter(
@@ -100,9 +101,9 @@ void FoldExecStats(const tensor::ExecContext& ctx) {
   if (!obs::MetricsEnabled()) return;
   PipelineMetrics& m = PipelineMetrics::Get();
   const tensor::ExecStats s = ctx.stats();
-  const tensor::OpTiming* ops[4] = {&s.gemm, &s.softmax, &s.layernorm,
-                                    &s.gelu};
-  for (int i = 0; i < 4; ++i) {
+  const tensor::OpTiming* ops[5] = {&s.gemm, &s.quant_gemm, &s.softmax,
+                                    &s.layernorm, &s.gelu};
+  for (int i = 0; i < 5; ++i) {
     m.op_calls[i]->Inc(ops[i]->calls);
     if (ops[i]->calls > 0) m.op_ms[i]->Observe(ops[i]->ms);
   }
@@ -270,6 +271,7 @@ void PipelineExecutor::RunSequential(
   ctx_options.no_grad = true;
   ctx_options.profile = obs::MetricsEnabled();
   ctx_options.intra_op_threads = EffectiveIntraOpThreads(options_);
+  ctx_options.p2_dtype = options_.p2_dtype;
   tensor::ExecContext ctx(ctx_options);
   auto conn = db_->Connect();
   const bool metrics = obs::MetricsEnabled();
@@ -413,10 +415,11 @@ void PipelineExecutor::RunPipelined(
   // EffectiveIntraOpThreads caps the total thread product. Declared before
   // the pools so contexts outlive every worker task.
   const int intra_threads = EffectiveIntraOpThreads(options_);
+  const tensor::P2Dtype p2_dtype = options_.p2_dtype;
   std::mutex ctx_mu;
   std::unordered_map<std::thread::id, std::unique_ptr<tensor::ExecContext>>
       infer_contexts;
-  auto infer_context = [&ctx_mu, &infer_contexts, intra_threads] {
+  auto infer_context = [&ctx_mu, &infer_contexts, intra_threads, p2_dtype] {
     std::lock_guard<std::mutex> lock(ctx_mu);
     auto& slot = infer_contexts[std::this_thread::get_id()];
     if (slot == nullptr) {
@@ -424,6 +427,7 @@ void PipelineExecutor::RunPipelined(
       ctx_options.no_grad = true;
       ctx_options.profile = obs::MetricsEnabled();
       ctx_options.intra_op_threads = intra_threads;
+      ctx_options.p2_dtype = p2_dtype;
       slot = std::make_unique<tensor::ExecContext>(ctx_options);
     }
     return slot.get();
@@ -440,6 +444,20 @@ void PipelineExecutor::RunPipelined(
     ServingScheduler::Options sopt;
     sopt.scheduling = options_.scheduling;
     sopt.breakers = detector_->breakers();
+    // Int8 forwards are ~3x cheaper per token, so batch sizing under
+    // max_batch_cost_ms must use the int8-regime fit or the leader drains
+    // batches a third of the profitable size. Only swap when the caller
+    // left the fp32 default in place (a custom model stays authoritative).
+    if (options_.p2_dtype == tensor::P2Dtype::kInt8) {
+      const core::P2CostModel::Params fp32_default;
+      const core::P2CostModel::Params& cur =
+          options_.scheduling.cost_model.params();
+      if (cur.overhead_ms == fp32_default.overhead_ms &&
+          cur.ms_per_token == fp32_default.ms_per_token) {
+        sopt.scheduling.cost_model =
+            core::P2CostModel(core::P2CostModel::DefaultInt8Params());
+      }
+    }
     p2_scheduler.emplace(&detector_->model(), std::move(sopt));
     p2_client.emplace(&*p2_scheduler, options_.lane);
   }

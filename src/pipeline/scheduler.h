@@ -109,6 +109,16 @@ struct PipelineOptions {
   /// user-facing batches, bulk for backfill re-scans that must not delay
   /// interactive batch formation.
   Lane lane = Lane::kInteractive;
+  /// Numeric mode of the P2 content tower (DESIGN.md §12). kInt8 runs the
+  /// encoder/classifier Linears through the prepacked int8 kernels
+  /// (requires AdtdModel::PrepackQuantWeights at load; falls back to fp32
+  /// per-layer when a weight was never prepacked). P1 metadata forwards
+  /// and the latent cache stay fp32 in both modes, so cache bytes are
+  /// dtype-independent. Int8 outputs are deterministic (byte-identical
+  /// across runs, replicas, and batch compositions) but NOT byte-identical
+  /// to fp32 — the accuracy gate (tools/accuracy_gate.py) bounds the F1
+  /// delta instead.
+  tensor::P2Dtype p2_dtype = tensor::P2Dtype::kFp32;
 };
 
 /// Timing/throughput of one Run()/RunBatch().

@@ -204,6 +204,7 @@ std::string EncodeDetectRequest(const DetectRequest& req) {
   w.U64(req.request_id);
   w.F64(req.deadline_remaining_ms);
   w.U8(req.lane);
+  w.U8(req.p2_dtype);
   w.U32(static_cast<uint32_t>(req.tables.size()));
   for (const auto& t : req.tables) w.Str(t);
   return w.Take();
@@ -216,6 +217,7 @@ Result<DetectRequest> DecodeDetectRequest(const std::string& payload) {
   r.U64(&req.request_id);
   r.F64(&req.deadline_remaining_ms);
   r.U8(&req.lane);
+  r.U8(&req.p2_dtype);
   r.U32(&n);
   for (uint32_t i = 0; r.ok() && i < n; ++i) {
     std::string t;

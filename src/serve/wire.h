@@ -156,6 +156,11 @@ struct DetectRequest {
   /// 0 = interactive, 1 = bulk (pipeline::Lane). Rides every frame so a
   /// replica schedules a backfill leg's forwards behind interactive ones.
   uint8_t lane = 0;
+  /// Numeric mode of the leg's P2 forwards: 0 = fp32, 1 = int8
+  /// (tensor::P2Dtype). Rides every frame so all replicas of a scattered
+  /// batch run the same kernels — int8 determinism is per dtype, so a
+  /// mixed-dtype scatter would break replica byte-agreement.
+  uint8_t p2_dtype = 0;
   std::vector<std::string> tables;
 };
 

@@ -25,6 +25,10 @@ DetectResponse HandleDetect(const WorkerEnv& env, const DetectRequest& req) {
   // The leg's lane rides the wire: a backfill router's forwards queue as
   // bulk on this replica's scheduler, behind any interactive legs.
   popt.lane = req.lane == 1 ? pipeline::Lane::kBulk : pipeline::Lane::kInteractive;
+  // The numeric mode rides the wire too: every replica of a scattered
+  // batch must run the same kernels for replica byte-agreement to hold.
+  popt.p2_dtype = req.p2_dtype == 1 ? tensor::P2Dtype::kInt8
+                                    : tensor::P2Dtype::kFp32;
   popt.cancel = nullptr;  // never inherit a pointer across the wire
 
   pipeline::PipelineExecutor exec(env.detector, env.db, popt);

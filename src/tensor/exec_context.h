@@ -84,11 +84,25 @@ struct OpTiming {
 
 struct ExecStats {
   OpTiming gemm;
+  OpTiming quant_gemm;  // int8 QuantLinear forwards (P2 int8 mode)
   OpTiming softmax;
   OpTiming layernorm;
   OpTiming gelu;
   BufferPool::Stats pool;
 };
+
+/// Numeric path of the P2 content tower under this context. The metadata
+/// tower (P1) and the latent cache ALWAYS run fp32 — kInt8 only takes
+/// effect inside a ScopedQuantRegion, which the ADTD content forwards
+/// install — so cached latents stay byte-stable across dtype modes.
+enum class P2Dtype : uint8_t {
+  kFp32 = 0,
+  kInt8 = 1,
+};
+
+inline const char* P2DtypeName(P2Dtype d) {
+  return d == P2Dtype::kInt8 ? "int8" : "fp32";
+}
 
 class ExecContext {
  public:
@@ -107,6 +121,12 @@ class ExecContext {
     /// Externally owned intra-op pool (not owned; must outlive the
     /// context). Must be a dedicated pool, see the deadlock rule above.
     ThreadPool* intra_op_pool = nullptr;
+    /// Numeric path for P2 content forwards executed under this context.
+    /// kInt8 routes prepacked Linear layers through the int8 micro-kernel
+    /// (tensor/quant.h) while inside a ScopedQuantRegion; everything else
+    /// (P1, latents, epilogues) stays fp32. Deterministic but not
+    /// fp32-identical — see DESIGN.md §12.
+    P2Dtype p2_dtype = P2Dtype::kFp32;
   };
 
   ExecContext();
@@ -143,6 +163,14 @@ class ExecContext {
   const CancelToken* cancel_token() const { return cancel_; }
   bool cancelled() const { return cancel_ != nullptr && cancel_->Cancelled(); }
 
+  /// True while a ScopedQuantRegion is active AND options().p2_dtype is
+  /// kInt8: the window in which prepacked Linears take the int8 path. The
+  /// region flag (rather than the option alone) is what keeps P1 /
+  /// ForwardMetadata fp32 under an int8 serving context. Same
+  /// single-thread access rule as the cancel token.
+  bool quant_active() const { return quant_active_; }
+  void set_quant_active(bool active) { quant_active_ = active; }
+
   /// The context bound to the calling thread, or nullptr.
   static ExecContext* Current();
 
@@ -153,6 +181,7 @@ class ExecContext {
   std::shared_ptr<BufferPool> pool_;             // null when pooling is off
   std::unique_ptr<ThreadPool> owned_intra_pool_;  // null unless owned
   const CancelToken* cancel_ = nullptr;           // not owned
+  bool quant_active_ = false;  // inside a ScopedQuantRegion w/ int8 dtype
   ExecStats stats_;
 };
 
@@ -191,6 +220,31 @@ class ScopedCancelToken {
  private:
   ExecContext* ctx_;
   const CancelToken* prev_;
+};
+
+/// RAII marker for the P2 content-forward region: while alive, a context
+/// whose options request kInt8 has quant_active() == true, and prepacked
+/// Linear layers route through the int8 micro-kernel. Installed by
+/// AdtdModel::ForwardContent / ForwardContentBatch only — never by the
+/// metadata tower — so the dtype switch cannot leak into P1 or the latent
+/// cache. A null context is a no-op.
+class ScopedQuantRegion {
+ public:
+  explicit ScopedQuantRegion(ExecContext* ctx)
+      : ctx_(ctx), prev_(ctx != nullptr && ctx->quant_active()) {
+    if (ctx_ != nullptr) {
+      ctx_->set_quant_active(ctx_->options().p2_dtype == P2Dtype::kInt8);
+    }
+  }
+  ~ScopedQuantRegion() {
+    if (ctx_ != nullptr) ctx_->set_quant_active(prev_);
+  }
+  ScopedQuantRegion(const ScopedQuantRegion&) = delete;
+  ScopedQuantRegion& operator=(const ScopedQuantRegion&) = delete;
+
+ private:
+  ExecContext* ctx_;
+  bool prev_;
 };
 
 }  // namespace taste::tensor

@@ -5,6 +5,10 @@
 #include <future>
 #include <vector>
 
+#if defined(__AVX2__) && defined(__FMA__)
+#include <immintrin.h>
+#endif
+
 #include "common/thread_pool.h"
 
 namespace taste::tensor::kernels {
@@ -248,6 +252,127 @@ void GemmAcc(const float* a, const float* b, float* c, int64_t m, int64_t n,
   for (auto& f : futures) f.get();
 }
 
+#if defined(__AVX2__) && defined(__FMA__)
+
+namespace {
+
+/// Lane masks for a [0, 8) element tail: kTailMask + 8 - n yields n active
+/// (all-ones) low lanes. Masked load/store keeps every active element on
+/// the same instruction path as full vectors, so results cannot depend on
+/// where a row's tail happens to fall — the batch-composition stability
+/// the serving byte contract needs.
+alignas(32) constexpr int32_t kTailMask[16] = {-1, -1, -1, -1, -1, -1, -1, -1,
+                                               0,  0,  0,  0,  0,  0,  0,  0};
+
+inline __m256i TailMask(int64_t n) {
+  return _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(kTailMask + 8 - n));
+}
+
+/// exp(x), 8 lanes: clamp to [-87, 88] (well inside float range; softmax
+/// feeds only x <= 0), base-2 range reduction with a Cody-Waite two-term
+/// ln2, and the classic Cephes degree-5 polynomial — ~2 ulp over the
+/// reduced range, exp(0) == 1 exactly (the softmax max lane). One shared
+/// implementation: every exp in the process computes the same bits for the
+/// same input, whatever op called it.
+inline __m256 Exp256(__m256 x) {
+  const __m256 one = _mm256_set1_ps(1.0f);
+  x = _mm256_min_ps(_mm256_max_ps(x, _mm256_set1_ps(-87.0f)),
+                    _mm256_set1_ps(88.0f));
+  const __m256 n = _mm256_floor_ps(_mm256_fmadd_ps(
+      x, _mm256_set1_ps(1.44269504088896341f), _mm256_set1_ps(0.5f)));
+  __m256 f = _mm256_fnmadd_ps(n, _mm256_set1_ps(0.693359375f), x);
+  f = _mm256_fnmadd_ps(n, _mm256_set1_ps(-2.12194440e-4f), f);
+  __m256 p = _mm256_set1_ps(1.9875691500e-4f);
+  p = _mm256_fmadd_ps(p, f, _mm256_set1_ps(1.3981999507e-3f));
+  p = _mm256_fmadd_ps(p, f, _mm256_set1_ps(8.3334519073e-3f));
+  p = _mm256_fmadd_ps(p, f, _mm256_set1_ps(4.1665795894e-2f));
+  p = _mm256_fmadd_ps(p, f, _mm256_set1_ps(1.6666665459e-1f));
+  p = _mm256_fmadd_ps(p, f, _mm256_set1_ps(5.0000001201e-1f));
+  const __m256 z = _mm256_mul_ps(f, f);
+  __m256 y = _mm256_fmadd_ps(p, z, f);
+  y = _mm256_add_ps(y, one);
+  // 2^n via exponent bits; n is in [-125, 127] after the clamp, so the
+  // biased exponent stays in (0, 255) — no overflow or denormal scales.
+  const __m256i bits = _mm256_slli_epi32(
+      _mm256_add_epi32(_mm256_cvttps_epi32(n), _mm256_set1_epi32(127)), 23);
+  return _mm256_mul_ps(y, _mm256_castsi256_ps(bits));
+}
+
+/// tanh(u) = 1 - 2 / (exp(2u) + 1); saturates cleanly at ±1 through the
+/// exp clamp. Absolute error ~1e-7 — the GELU contract is the vectorized
+/// approximation, not libm (tests compare against a 1e-6 band).
+inline __m256 Tanh256(__m256 u) {
+  const __m256 one = _mm256_set1_ps(1.0f);
+  const __m256 e = Exp256(_mm256_add_ps(u, u));
+  return _mm256_sub_ps(
+      one, _mm256_div_ps(_mm256_add_ps(one, one), _mm256_add_ps(e, one)));
+}
+
+inline float HorizontalMax(__m256 v) {
+  __m128 m = _mm_max_ps(_mm256_castps256_ps128(v),
+                        _mm256_extractf128_ps(v, 1));
+  m = _mm_max_ps(m, _mm_movehl_ps(m, m));
+  m = _mm_max_ss(m, _mm_movehdup_ps(m));
+  return _mm_cvtss_f32(m);
+}
+
+inline float HorizontalSum(__m256 v) {
+  __m128 s = _mm_add_ps(_mm256_castps256_ps128(v),
+                        _mm256_extractf128_ps(v, 1));
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_movehdup_ps(s));
+  return _mm_cvtss_f32(s);
+}
+
+}  // namespace
+
+void SoftmaxRows(const float* x, float* y, int64_t rows, int64_t h) {
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = x + r * h;
+    float* out = y + r * h;
+    // Max reduce: fp max is exact, so mixing vector lanes and a scalar
+    // tail cannot change the result.
+    float mx = row[0];
+    int64_t j = 0;
+    if (h >= 8) {
+      __m256 vm = _mm256_loadu_ps(row);
+      for (j = 8; j + 8 <= h; j += 8) {
+        vm = _mm256_max_ps(vm, _mm256_loadu_ps(row + j));
+      }
+      mx = HorizontalMax(vm);
+    }
+    for (; j < h; ++j) mx = std::max(mx, row[j]);
+    // exp and sum. The lane-partial + horizontal reduction order is fixed
+    // by h alone, so a row's sum depends only on that row's bytes.
+    const __m256 vmx = _mm256_set1_ps(mx);
+    __m256 vsum = _mm256_setzero_ps();
+    for (j = 0; j + 8 <= h; j += 8) {
+      const __m256 e = Exp256(_mm256_sub_ps(_mm256_loadu_ps(row + j), vmx));
+      _mm256_storeu_ps(out + j, e);
+      vsum = _mm256_add_ps(vsum, e);
+    }
+    if (j < h) {
+      const __m256i mask = TailMask(h - j);
+      const __m256 v = _mm256_maskload_ps(row + j, mask);
+      // Zero the inactive lanes (maskload fed them 0, exp made that 1).
+      const __m256 e = _mm256_and_ps(Exp256(_mm256_sub_ps(v, vmx)),
+                                     _mm256_castsi256_ps(mask));
+      _mm256_maskstore_ps(out + j, mask, e);
+      vsum = _mm256_add_ps(vsum, e);
+    }
+    const float inv = 1.0f / HorizontalSum(vsum);
+    const __m256 vinv = _mm256_set1_ps(inv);
+    for (j = 0; j + 8 <= h; j += 8) {
+      _mm256_storeu_ps(out + j,
+                       _mm256_mul_ps(_mm256_loadu_ps(out + j), vinv));
+    }
+    for (; j < h; ++j) out[j] *= inv;
+  }
+}
+
+#else  // !(__AVX2__ && __FMA__)
+
 void SoftmaxRows(const float* x, float* y, int64_t rows, int64_t h) {
   for (int64_t r = 0; r < rows; ++r) {
     const float* row = x + r * h;
@@ -264,6 +389,8 @@ void SoftmaxRows(const float* x, float* y, int64_t rows, int64_t h) {
     for (int64_t j = 0; j < h; ++j) out[j] *= inv;
   }
 }
+
+#endif  // __AVX2__ && __FMA__
 
 void SoftmaxGradRows(const float* y, const float* dy, float* dx,
                      int64_t rows, int64_t h) {
@@ -343,6 +470,38 @@ constexpr float kGeluA = 0.044715f;
 
 }  // namespace
 
+#if defined(__AVX2__) && defined(__FMA__)
+
+void GeluRows(const float* x, float* y, int64_t n) {
+  const __m256 vc = _mm256_set1_ps(kGeluC);
+  const __m256 va = _mm256_set1_ps(kGeluA);
+  const __m256 half = _mm256_set1_ps(0.5f);
+  const __m256 one = _mm256_set1_ps(1.0f);
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(x + i);
+    const __m256 v2 = _mm256_mul_ps(v, v);
+    const __m256 u =
+        _mm256_mul_ps(vc, _mm256_fmadd_ps(va, _mm256_mul_ps(v2, v), v));
+    const __m256 t = Tanh256(u);
+    _mm256_storeu_ps(
+        y + i, _mm256_mul_ps(_mm256_mul_ps(half, v), _mm256_add_ps(one, t)));
+  }
+  if (i < n) {
+    const __m256i mask = TailMask(n - i);
+    const __m256 v = _mm256_maskload_ps(x + i, mask);
+    const __m256 v2 = _mm256_mul_ps(v, v);
+    const __m256 u =
+        _mm256_mul_ps(vc, _mm256_fmadd_ps(va, _mm256_mul_ps(v2, v), v));
+    const __m256 t = Tanh256(u);
+    _mm256_maskstore_ps(
+        y + i, mask,
+        _mm256_mul_ps(_mm256_mul_ps(half, v), _mm256_add_ps(one, t)));
+  }
+}
+
+#else  // !(__AVX2__ && __FMA__)
+
 void GeluRows(const float* x, float* y, int64_t n) {
   for (int64_t i = 0; i < n; ++i) {
     float v = x[i];
@@ -350,6 +509,8 @@ void GeluRows(const float* x, float* y, int64_t n) {
     y[i] = 0.5f * v * (1.0f + std::tanh(u));
   }
 }
+
+#endif  // __AVX2__ && __FMA__
 
 void GeluGradRows(const float* x, const float* dy, float* dx, int64_t n) {
   for (int64_t i = 0; i < n; ++i) {

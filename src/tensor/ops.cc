@@ -366,6 +366,26 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   return Tensor(out);
 }
 
+Tensor QuantLinear(const Tensor& x, const quant::PackedQuantWeight& w,
+                   const Tensor& bias) {
+  TASTE_CHECK(x.rank() == 2);
+  const int64_t m = x.dim(0);
+  TASTE_CHECK_MSG(x.dim(1) == w.rows, "QuantLinear inner-dim mismatch");
+  if (bias.defined()) {
+    TASTE_CHECK(bias.rank() == 1 && bias.dim(0) == w.cols);
+  }
+  TASTE_CHECK_MSG(!GradEnabled(),
+                  "QuantLinear is inference-only (no autograd edge)");
+  auto out = NewImpl({m, w.cols});
+  {
+    OpTimer timer(&ExecStats::quant_gemm);
+    quant::QuantLinearForward(x.data(), m, w,
+                              bias.defined() ? bias.data() : nullptr,
+                              out->data.data(), CurrentIntraPool());
+  }
+  return Tensor(out);
+}
+
 Tensor BatchedMatMul(const Tensor& a, const Tensor& b) {
   TASTE_CHECK(a.rank() == 3 && b.rank() == 3);
   int64_t batch = a.dim(0), m = a.dim(1), k = a.dim(2), n = b.dim(2);

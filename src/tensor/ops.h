@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "tensor/quant.h"
 #include "tensor/tensor.h"
 
 namespace taste::tensor {
@@ -57,6 +58,14 @@ Tensor AddBroadcastMat(const Tensor& x, const Tensor& m2);
 
 /// (m, k) x (k, n) -> (m, n).
 Tensor MatMul(const Tensor& a, const Tensor& b);
+/// Inference-only fused affine through a prepacked int8 weight: x (m, k)
+/// is quantized dynamically per row, multiplied against w's int8 panels
+/// with int32 accumulation, and dequantized (+ fp32 bias) in one pass —
+/// the int8 equivalent of AddBias(MatMul(x, W), b). Requires gradient
+/// recording to be off (serving contexts set no_grad); never records an
+/// autograd edge. `bias` may be undefined for a bias-free layer.
+Tensor QuantLinear(const Tensor& x, const quant::PackedQuantWeight& w,
+                   const Tensor& bias);
 /// (B, m, k) x (B, k, n) -> (B, m, n).
 Tensor BatchedMatMul(const Tensor& a, const Tensor& b);
 /// Swaps the last two dims of a rank-2 or rank-3 tensor.

@@ -36,7 +36,7 @@ struct Env {
   std::unique_ptr<clouddb::SimulatedDatabase> db;
   std::vector<std::string> table_names;
 
-  static Env Make(int tables) {
+  static Env Make(int tables, bool prepack = false) {
     Env e;
     e.dataset = data::GenerateDataset(data::DatasetProfile::WikiLike(tables));
     text::WordPieceTrainer trainer({.vocab_size = 400});
@@ -49,12 +49,22 @@ struct Env {
         data::SemanticTypeRegistry::Default().size());
     Rng rng(11);
     e.model = std::make_unique<model::AdtdModel>(cfg, rng);
+    if (prepack) TASTE_CHECK(e.model->PrepackQuantWeights() > 0);
     e.db = std::make_unique<clouddb::SimulatedDatabase>(clouddb::CostModel{});
     TASTE_CHECK(e.db->IngestDataset(e.dataset).ok());
     for (const auto& t : e.dataset.tables) e.table_names.push_back(t.name);
     return e;
   }
 };
+
+/// An ExecContext that runs P2 content forwards through the prepacked int8
+/// kernels (see tensor/exec_context.h P2Dtype).
+tensor::ExecContext::Options Int8CtxOptions() {
+  tensor::ExecContext::Options o;
+  o.no_grad = true;
+  o.p2_dtype = tensor::P2Dtype::kInt8;
+  return o;
+}
 
 /// One P2 work item harvested from a real detector job, plus the reference
 /// logits the sequential path produced for it.
@@ -316,6 +326,150 @@ TEST(BatchingDiffTest, ExecutorWithBatchingByteIdenticalToSequential) {
       }
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Int8 determinism (DESIGN.md §12). The int8 path's contract is weaker
+// than fp32-identity but just as hard: the SAME bytes across runs, batch
+// compositions, and replicas — never the fp32 bytes (accuracy vs fp32 is
+// tolerance-gated by tools/accuracy_gate.py, not byte-compared).
+
+TEST(BatchingDiffTest, Int8BatchByteIdenticalToInt8SoloAcross50Seeds) {
+  Env e = Env::Make(6, /*prepack=*/true);
+  TasteDetector det(e.model.get(), e.tokenizer.get(), {});
+  std::vector<std::unique_ptr<TasteDetector::Job>> jobs;
+  auto items = HarvestItems(e, det, &jobs);
+  ASSERT_GE(items.size(), 4u);
+
+  // Int8 solo references, plus proof the quantized tower actually ran:
+  // logits must differ from the fp32 references somewhere.
+  tensor::ExecContext int8_ctx(Int8CtxOptions());
+  std::vector<tensor::Tensor> int8_want;
+  bool any_diff_from_fp32 = false;
+  for (const Item& it : items) {
+    int8_want.push_back(det.model().ForwardContent(
+        *it.batch_item.content, *it.batch_item.meta,
+        *it.batch_item.meta_encoding, &int8_ctx));
+    if (!BytesEqual(it.want, int8_want.back())) any_diff_from_fp32 = true;
+  }
+  EXPECT_TRUE(any_diff_from_fp32)
+      << "int8 context produced fp32 bytes everywhere — gate inactive?";
+
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    Rng rng(seed * 7919);
+    const size_t batch_size = 1 + rng.NextU64() % 8;
+    std::vector<size_t> picked;
+    std::vector<model::AdtdModel::P2BatchItem> batch;
+    for (size_t k = 0; k < batch_size; ++k) {
+      const size_t idx = rng.NextU64() % items.size();
+      picked.push_back(idx);
+      batch.push_back(items[idx].batch_item);
+    }
+    auto out = det.model().ForwardContentBatch(batch, &int8_ctx);
+    ASSERT_EQ(out.size(), batch.size());
+    for (size_t k = 0; k < batch.size(); ++k) {
+      EXPECT_TRUE(BytesEqual(int8_want[picked[k]], out[k]))
+          << "seed " << seed << " slot " << k;
+    }
+  }
+}
+
+TEST(BatchingDiffTest, Int8RunToRunBytesStableAcrossContexts) {
+  // Replica byte-agreement proxy: two independent int8 contexts (fresh
+  // buffer pools, as two forked replicas would have) produce the same
+  // bytes for the same items, batched or solo, with or without an
+  // intra-op pool.
+  Env e = Env::Make(4, /*prepack=*/true);
+  TasteDetector det(e.model.get(), e.tokenizer.get(), {});
+  std::vector<std::unique_ptr<TasteDetector::Job>> jobs;
+  auto items = HarvestItems(e, det, &jobs);
+
+  std::vector<model::AdtdModel::P2BatchItem> batch;
+  for (const Item& it : items) batch.push_back(it.batch_item);
+
+  tensor::ExecContext ctx_a(Int8CtxOptions());
+  auto run_a = det.model().ForwardContentBatch(batch, &ctx_a);
+  tensor::ExecContext ctx_b(Int8CtxOptions());
+  auto run_b = det.model().ForwardContentBatch(batch, &ctx_b);
+  auto opts_pool = Int8CtxOptions();
+  opts_pool.intra_op_threads = 2;
+  tensor::ExecContext ctx_c(opts_pool);
+  auto run_c = det.model().ForwardContentBatch(batch, &ctx_c);
+  ASSERT_EQ(run_a.size(), batch.size());
+  for (size_t k = 0; k < batch.size(); ++k) {
+    EXPECT_TRUE(BytesEqual(run_a[k], run_b[k])) << "slot " << k;
+    EXPECT_TRUE(BytesEqual(run_a[k], run_c[k])) << "pooled slot " << k;
+  }
+}
+
+TEST(BatchingDiffTest, Int8P1AndCacheBytesAreDtypeIndependent) {
+  // The quant region only covers content forwards: P1 metadata latents —
+  // what the latent cache stores — must be byte-identical under an int8
+  // context, so cache entries written by an fp32 process are valid in an
+  // int8 one and vice versa.
+  Env e = Env::Make(3, /*prepack=*/true);
+  TasteDetector det(e.model.get(), e.tokenizer.get(), {});
+  std::vector<std::unique_ptr<TasteDetector::Job>> jobs;
+  auto items = HarvestItems(e, det, &jobs);
+  const Item& it = items.front();
+
+  model::AdtdModel::MetadataEncoding fp32_enc =
+      det.model().ForwardMetadata(*it.batch_item.meta);
+  tensor::ExecContext int8_ctx(Int8CtxOptions());
+  model::AdtdModel::MetadataEncoding int8_enc =
+      det.model().ForwardMetadata(*it.batch_item.meta, &int8_ctx);
+  ASSERT_EQ(fp32_enc.layer_latents.size(), int8_enc.layer_latents.size());
+  for (size_t l = 0; l < fp32_enc.layer_latents.size(); ++l) {
+    EXPECT_TRUE(BytesEqual(fp32_enc.layer_latents[l],
+                           int8_enc.layer_latents[l]))
+        << "layer " << l;
+  }
+  EXPECT_TRUE(BytesEqual(fp32_enc.anchor_states, int8_enc.anchor_states));
+  EXPECT_TRUE(BytesEqual(fp32_enc.logits, int8_enc.logits));
+}
+
+TEST(BatchingDiffTest, Int8ExecutorByteIdenticalToInt8Sequential) {
+  // End to end via PipelineOptions::p2_dtype: the pipelined executor in
+  // int8 mode must reproduce direct int8 sequential detection bit for bit,
+  // and actually diverge from the fp32 run somewhere (the flag reached the
+  // kernels).
+  Env e = Env::Make(6, /*prepack=*/true);
+  TasteDetector det(e.model.get(), e.tokenizer.get(), {.cache_shards = 2});
+  pipeline::PipelineOptions popt;
+  popt.infer_threads = 3;
+  popt.p2_dtype = tensor::P2Dtype::kInt8;
+  popt.scheduling.enabled = true;
+  popt.scheduling.max_items = 8;
+  popt.scheduling.max_inflight_batches = 1;
+  pipeline::PipelineExecutor exec(&det, e.db.get(), popt);
+  auto got = exec.Run(e.table_names);
+  ASSERT_TRUE(got.ok());
+
+  auto conn = e.db->Connect();
+  bool any_prob_diff_from_fp32 = false;
+  for (size_t i = 0; i < e.table_names.size(); ++i) {
+    tensor::ExecContext int8_ctx(Int8CtxOptions());
+    auto want = det.DetectTable(conn.get(), e.table_names[i], &int8_ctx);
+    auto fp32 = det.DetectTable(conn.get(), e.table_names[i]);
+    ASSERT_TRUE(want.ok());
+    ASSERT_TRUE(fp32.ok());
+    ASSERT_EQ(want->columns.size(), (*got)[i].columns.size());
+    for (size_t c = 0; c < want->columns.size(); ++c) {
+      const auto& w = want->columns[c];
+      const auto& g = (*got)[i].columns[c];
+      EXPECT_EQ(w.admitted_types, g.admitted_types);
+      ASSERT_EQ(w.probabilities.size(), g.probabilities.size());
+      for (size_t p = 0; p < w.probabilities.size(); ++p) {
+        EXPECT_EQ(w.probabilities[p], g.probabilities[p])
+            << e.table_names[i] << " col " << c << " prob " << p;
+        if (w.probabilities[p] != fp32->columns[c].probabilities[p]) {
+          any_prob_diff_from_fp32 = true;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(any_prob_diff_from_fp32)
+      << "int8 executor run matched fp32 bytes everywhere — flag unused?";
 }
 
 }  // namespace

@@ -149,7 +149,41 @@ TEST(KernelsTest, GeluRowsMatchesClosedForm) {
   for (size_t i = 0; i < x.size(); ++i) {
     float v = x[i];
     float u = kC * (v + kA * v * v * v);
-    EXPECT_EQ(y[i], 0.5f * v * (1.0f + std::tanh(u)));
+    // The vectorized kernel uses a polynomial tanh; it must stay within a
+    // tight band of the libm closed form.
+    EXPECT_NEAR(y[i], 0.5f * v * (1.0f + std::tanh(u)), 1e-6f);
+  }
+}
+
+TEST(KernelsTest, GeluRowsTailMatchesFullVector) {
+  // The masked tail must produce byte-identical results to the same
+  // elements computed inside a full 8-lane vector.
+  std::vector<float> x(16);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = -4.0f + 0.53f * static_cast<float>(i);
+  }
+  std::vector<float> full(16), prefix(11);
+  GeluRows(x.data(), full.data(), 16);
+  GeluRows(x.data(), prefix.data(), 11);  // 8-lane vector + 3-lane tail
+  for (size_t i = 0; i < prefix.size(); ++i) EXPECT_EQ(prefix[i], full[i]);
+}
+
+TEST(KernelsTest, SoftmaxRowsWidthIndependentOfRowCount) {
+  // A row's softmax must depend only on that row's bytes, not on how many
+  // rows share the call — the batch-composition byte contract.
+  std::vector<float> x = {0.3f, -1.2f, 2.5f, 0.0f, 1.7f, -0.4f, 0.9f,
+                          4.1f, -2.2f, 0.6f, 1.1f, -0.7f, 3.3f};
+  const int64_t h = static_cast<int64_t>(x.size());
+  std::vector<float> solo(x.size());
+  SoftmaxRows(x.data(), solo.data(), 1, h);
+  std::vector<float> batch_in;
+  for (int r = 0; r < 3; ++r) batch_in.insert(batch_in.end(), x.begin(), x.end());
+  std::vector<float> batch_out(batch_in.size());
+  SoftmaxRows(batch_in.data(), batch_out.data(), 3, h);
+  for (int r = 0; r < 3; ++r) {
+    for (int64_t j = 0; j < h; ++j) {
+      EXPECT_EQ(batch_out[static_cast<size_t>(r * h + j)], solo[static_cast<size_t>(j)]);
+    }
   }
 }
 

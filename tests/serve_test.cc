@@ -42,13 +42,15 @@ TEST(WireTest, DetectRequestRoundTrip) {
   serve::DetectRequest req;
   req.request_id = 0xDEADBEEFCAFEull;
   req.deadline_remaining_ms = 123.456;
-  req.lane = 1;  // bulk
+  req.lane = 1;     // bulk
+  req.p2_dtype = 1; // int8
   req.tables = {"users", "事件", "", std::string("a\0b", 3)};
   auto back = serve::DecodeDetectRequest(serve::EncodeDetectRequest(req));
   ASSERT_TRUE(back.ok());
   EXPECT_EQ(back->request_id, req.request_id);
   EXPECT_EQ(back->deadline_remaining_ms, req.deadline_remaining_ms);
   EXPECT_EQ(back->lane, req.lane);
+  EXPECT_EQ(back->p2_dtype, req.p2_dtype);
   EXPECT_EQ(back->tables, req.tables);
 }
 

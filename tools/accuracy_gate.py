@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""CI gate for the int8 quantized inference path's accuracy contract.
+
+Reads the JSON artifact bench_table3_f1 writes with --json-out and fails
+(exit 1) when any TASTE variant on any dataset loses more than the allowed
+F1 relative to its own fp32 run. The bound is the tentpole's acceptance
+criterion (DESIGN.md §12): quantization buys throughput only as long as it
+costs < 0.5 pt F1.
+
+The fp32 reference comes from the SAME bench run, not a stored baseline:
+both paths share the training seed, checkpoint cache, and dataset split,
+so the delta isolates the quantizer. Stdlib only — CI runs it bare.
+
+Usage: accuracy_gate.py TABLE3_JSON [--max-f1-drop 0.005]
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("table3_json", help="JSON from bench_table3_f1 --json-out")
+    parser.add_argument(
+        "--max-f1-drop",
+        type=float,
+        default=0.005,
+        help="largest allowed f1_fp32 - f1_int8 on any dataset (default 0.005)",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.table3_json, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"accuracy_gate: cannot read {args.table3_json}: {e}", file=sys.stderr)
+        return 1
+
+    rows = []
+    failures = []
+    for dataset in doc.get("datasets", []):
+        ds_name = dataset.get("name", "?")
+        for model in dataset.get("models", []):
+            if "f1_int8" not in model:
+                continue  # baselines and rule-based rows have no int8 path
+            fp32 = float(model["f1_fp32"])
+            int8 = float(model["f1_int8"])
+            drop = fp32 - int8
+            rows.append((ds_name, model.get("name", "?"), fp32, int8, drop))
+            if drop > args.max_f1_drop:
+                failures.append(
+                    f"{ds_name} / {model.get('name', '?')}: "
+                    f"f1 fp32 {fp32:.4f} -> int8 {int8:.4f} "
+                    f"(drop {drop:.4f} > {args.max_f1_drop:.4f})"
+                )
+
+    if not rows:
+        print(
+            "accuracy_gate: no int8 rows in the artifact — the bench did not "
+            "run the quantized path",
+            file=sys.stderr,
+        )
+        return 1
+
+    kernel = doc.get("kernel", "?")
+    print(f"int8 accuracy gate (kernel: {kernel}, "
+          f"max allowed F1 drop: {args.max_f1_drop:.4f})")
+    header = f"{'dataset':<12} {'model':<22} {'f1 fp32':>8} {'f1 int8':>8} {'drop':>8}"
+    print(header)
+    print("-" * len(header))
+    for ds_name, name, fp32, int8, drop in rows:
+        print(f"{ds_name:<12} {name:<22} {fp32:>8.4f} {int8:>8.4f} {drop:>+8.4f}")
+
+    if failures:
+        print()
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print(f"\nPASS: {len(rows)} int8 rows within the F1 bound")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,9 @@ and exits non-zero when either
     hardware-aware floor (1.5x with >=4 hardware threads, 0.95x on a
     single-core runner), or the scheduler's packed-forward median
     (taste_p2_batch_size p50) fell below 2 over a >=8-table serving run, or
+  * an int8_p2 row's int8_ms grew by more than the threshold, or the
+    fp32->int8 speedup fell below the 2.5x floor while a SIMD kernel was
+    compiled in (3x is the advisory paper target), or
   * the multi-process serving tier (p2_serving_mp) slowed down beyond the
     threshold at any replica count, its 1->4 replica scaling fell below
     the floor (1.5x with >=4 hardware threads; a 0.70x no-collapse floor
@@ -160,6 +163,52 @@ def check_p2_serving(baseline, fresh, threshold, failures):
             f"coalescing is losing to the unbatched path")
 
 
+def check_int8_p2(baseline, fresh, threshold, failures):
+    # The --p2-dtype=int8 content forward at the paper tower shape. Two
+    # signals: per-batch-size int8_ms against baseline (same one-sided
+    # threshold as every other timing row), and the absolute fp32->int8
+    # speedup floor of 2.5x whenever a SIMD kernel is compiled in (the
+    # prepacked int8 GEMM's whole reason to exist; a portable-kernel runner
+    # only gets an advisory line). The 3x paper target is advisory either
+    # way — runners throttle, the floor is what merges are gated on.
+    base = baseline.get("int8_p2", {})
+    cur = fresh.get("int8_p2", {})
+    if base and not cur:
+        failures.append("int8_p2 section missing from fresh run")
+        return
+    if not cur:
+        return
+    base_rows = {r["batch_size"]: r for r in base.get("sweep", [])}
+    for row in cur.get("sweep", []):
+        b = base_rows.get(row["batch_size"], {}).get("int8_ms", 0)
+        c = row.get("int8_ms", 0)
+        if b <= 0 or c <= 0:
+            continue
+        growth = (c - b) / b
+        verdict = "FAIL" if growth > threshold else "ok"
+        print(f"  int8_p2/B={row['batch_size']:<3} int8 {b:8.3f} -> "
+              f"{c:8.3f} ms ({growth:+6.1%}) {verdict}")
+        if growth > threshold:
+            failures.append(
+                f"int8_p2 B={row['batch_size']}: int8 forward regressed "
+                f"{growth:.1%} (threshold {threshold:.0%})")
+    kernel = cur.get("kernel", "portable")
+    speedup = cur.get("speedup", 0)
+    if kernel == "portable":
+        print(f"  int8_p2/speedup           {speedup:.2f}x (advisory: "
+              f"portable kernel, no SIMD floor)")
+        return
+    floor = 2.5
+    verdict = "FAIL" if speedup < floor else "ok"
+    target = "" if speedup >= 3.0 else " — below the 3x paper target (advisory)"
+    print(f"  int8_p2/speedup           {speedup:.2f}x ({verdict}, floor "
+          f"{floor:.2f}x on {kernel} kernel){target}")
+    if speedup < floor:
+        failures.append(
+            f"int8_p2: fp32->int8 speedup {speedup:.2f}x below the "
+            f"{floor:.2f}x floor with the {kernel} kernel compiled in")
+
+
 def check_sched_coalescing(fresh, failures):
     # The scheduler's reason to exist is packed forwards. With group
     # submission, any serving run over >=8 tables must show a median
@@ -286,6 +335,7 @@ def main():
     check_end_to_end(baseline, fresh, args.threshold, failures)
     check_p2_batching(baseline, fresh, args.threshold, failures)
     check_p2_serving(baseline, fresh, args.threshold, failures)
+    check_int8_p2(baseline, fresh, args.threshold, failures)
     check_p2_serving_mp(baseline, fresh, args.threshold, failures)
     check_sched_coalescing(fresh, failures)
     check_metrics_section(fresh, failures)
