@@ -1,0 +1,58 @@
+// CRC-32 (IEEE 802.3, the zlib polynomial), table-driven.
+//
+// One implementation shared by the two places the system defends byte
+// integrity: the checkpoint format (nn/serialize.cc, "TSTCKPT2"+ files carry
+// a trailing CRC over version + payload) and the serving-tier wire protocol
+// (serve/wire.h, every frame carries a CRC trailer so a flipped bit on a
+// replica socket is rejected instead of being parsed as truth). Both verify
+// the checksum over the full buffered bytes BEFORE parsing any field, so a
+// corrupt length prefix can never drive a wild allocation or a partial load.
+
+#ifndef TASTE_COMMON_CRC32_H_
+#define TASTE_COMMON_CRC32_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace taste {
+
+namespace internal {
+inline const std::array<uint32_t, 256>& Crc32Table() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+}  // namespace internal
+
+/// Continues a CRC computation: pass the previous return value as `seed` to
+/// checksum discontiguous buffers as one logical stream.
+inline uint32_t Crc32Update(uint32_t seed, const uint8_t* data, size_t n) {
+  const auto& table = internal::Crc32Table();
+  uint32_t crc = seed ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+inline uint32_t Crc32(const uint8_t* data, size_t n) {
+  return Crc32Update(0, data, n);
+}
+
+inline uint32_t Crc32(const char* data, size_t n) {
+  return Crc32Update(0, reinterpret_cast<const uint8_t*>(data), n);
+}
+
+}  // namespace taste
+
+#endif  // TASTE_COMMON_CRC32_H_

@@ -48,6 +48,12 @@ class P2CostModel {
     /// Marginal cost per packed content token (row-concatenated GEMMs make
     /// cost linear in tokens, not in items).
     double ms_per_token = 0.012;
+    /// Multiplicative tail inflation turning the mean estimate into a
+    /// p99-flavoured one. Serving wall times are right-skewed (allocator
+    /// churn, scheduler preemption, cold caches), but not unboundedly so:
+    /// the committed p2_serving sweeps put p99/mean under ~3x, so 4x keeps
+    /// headroom without tolerating order-of-magnitude stragglers.
+    double tail_p99_factor = 4.0;
   };
 
   P2CostModel() = default;
@@ -58,6 +64,15 @@ class P2CostModel {
   double EstimateBatchMs(int64_t total_tokens) const {
     return params_.overhead_ms +
            params_.ms_per_token * static_cast<double>(total_tokens);
+  }
+
+  /// Pessimistic (p99-flavoured) wall-time estimate of the same forward:
+  /// the linear estimate inflated by tail_p99_factor. This is the serving
+  /// router's straggler verdict — a leg still outstanding past
+  /// EstimateP99Ms × hedge multiplier is presumed gray-failed (wedged,
+  /// SIGSTOPped, or drip-writing) and hedged to the ring successor.
+  double EstimateP99Ms(int64_t total_tokens) const {
+    return params_.tail_p99_factor * EstimateBatchMs(total_tokens);
   }
 
   /// Predicted wall time of dispatching each item alone: every item pays

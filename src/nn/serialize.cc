@@ -6,6 +6,8 @@
 #include <memory>
 #include <vector>
 
+#include "common/crc32.h"
+
 namespace taste::nn {
 
 namespace {
@@ -32,25 +34,9 @@ struct FileCloser {
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
-/// CRC-32 (IEEE 802.3, the zlib polynomial), table-driven.
-uint32_t Crc32(const uint8_t* data, size_t n) {
-  static const auto table = [] {
-    std::vector<uint32_t> t(256);
-    for (uint32_t i = 0; i < 256; ++i) {
-      uint32_t c = i;
-      for (int k = 0; k < 8; ++k) {
-        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-      }
-      t[i] = c;
-    }
-    return t;
-  }();
-  uint32_t crc = 0xFFFFFFFFu;
-  for (size_t i = 0; i < n; ++i) {
-    crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
-  }
-  return crc ^ 0xFFFFFFFFu;
-}
+// The CRC implementation lives in common/crc32.h so the serving-tier wire
+// protocol frames (serve/wire.h) checksum with the exact same polynomial.
+using taste::Crc32;
 
 template <typename T>
 void AppendPod(std::vector<uint8_t>* buf, const T& v) {

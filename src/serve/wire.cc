@@ -1,9 +1,15 @@
 #include "serve/wire.h"
 
 #include <errno.h>
+#include <poll.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <mutex>
+#include <set>
+
+#include "common/crc32.h"
+#include "common/logging.h"
 
 namespace taste::serve {
 
@@ -27,10 +33,64 @@ const char* FrameTypeName(FrameType t) {
   return "unknown";
 }
 
+const char* FrameFaultName(FrameFault f) {
+  switch (f) {
+    case FrameFault::kNone:
+      return "none";
+    case FrameFault::kTruncated:
+      return "truncated";
+    case FrameFault::kOversized:
+      return "oversized";
+    case FrameFault::kBadVersion:
+      return "bad_version";
+    case FrameFault::kBadType:
+      return "bad_type";
+    case FrameFault::kBadCrc:
+      return "bad_crc";
+  }
+  return "unknown";
+}
+
 // ---------------------------------------------------------------------------
 // Blocking stream I/O
 
 namespace {
+
+obs::Counter* CorruptCounter() {
+  static obs::Counter* c =
+      obs::Registry::Global().GetCounter("taste_frames_corrupt_total");
+  return c;
+}
+
+/// Counts an integrity rejection (anything but clean truncation, which the
+/// death-detection path already accounts for) and returns the fault.
+FrameFault CountCorrupt(FrameFault f) {
+  CorruptCounter()->Inc();
+  return f;
+}
+
+// Frame writes must never interleave: two frames sheared together on one
+// stream socket desynchronize the framing for good. The router and worker
+// are single-threaded on each fd by design; this registry turns a future
+// concurrent-dispatch regression into a loud TASTE_CHECK instead of a
+// corrupt-stream heisenbug.
+std::mutex g_inflight_writes_mu;
+std::set<int> g_inflight_writes;
+
+class ScopedWriteExclusive {
+ public:
+  explicit ScopedWriteExclusive(int fd) : fd_(fd) {
+    std::lock_guard<std::mutex> lock(g_inflight_writes_mu);
+    TASTE_CHECK(g_inflight_writes.insert(fd_).second);
+  }
+  ~ScopedWriteExclusive() {
+    std::lock_guard<std::mutex> lock(g_inflight_writes_mu);
+    g_inflight_writes.erase(fd_);
+  }
+
+ private:
+  int fd_;
+};
 
 Status WriteAll(int fd, const char* data, size_t n) {
   size_t off = 0;
@@ -41,6 +101,14 @@ Status WriteAll(int fd, const char* data, size_t n) {
       continue;
     }
     if (w < 0 && errno == EINTR) continue;
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Nonblocking fd with a full socket buffer: a short write already
+      // advanced `off`; wait for writability and resume — returning here
+      // would tear the frame mid-stream.
+      pollfd p{fd, POLLOUT, 0};
+      (void)::poll(&p, 1, /*timeout_ms=*/100);
+      continue;
+    }
     if (w < 0 && (errno == EPIPE || errno == ECONNRESET)) {
       return Status::Unavailable("peer closed while writing frame");
     }
@@ -85,55 +153,174 @@ uint32_t LoadU32Le(const char* p) {
 
 }  // namespace
 
+std::string EncodeFrame(FrameType type, const std::string& payload) {
+  TASTE_CHECK(payload.size() <= kMaxFramePayload);
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size() + kFrameTrailerBytes);
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  frame.push_back(static_cast<char>(len & 0xFF));
+  frame.push_back(static_cast<char>((len >> 8) & 0xFF));
+  frame.push_back(static_cast<char>((len >> 16) & 0xFF));
+  frame.push_back(static_cast<char>((len >> 24) & 0xFF));
+  frame.push_back(static_cast<char>(kWireProtocolVersion));
+  frame.push_back(static_cast<char>(type));
+  frame.append(payload);
+  // CRC over version + type + payload: everything after the length prefix.
+  const uint32_t crc =
+      Crc32(frame.data() + 4, frame.size() - 4);
+  frame.push_back(static_cast<char>(crc & 0xFF));
+  frame.push_back(static_cast<char>((crc >> 8) & 0xFF));
+  frame.push_back(static_cast<char>((crc >> 16) & 0xFF));
+  frame.push_back(static_cast<char>((crc >> 24) & 0xFF));
+  return frame;
+}
+
 Status WriteFrame(int fd, FrameType type, const std::string& payload) {
   if (payload.size() > kMaxFramePayload) {
     return Status::Invalid("frame payload exceeds kMaxFramePayload");
   }
   // One buffered write so a frame is a single syscall in the common case
   // (SOCK_STREAM keeps no boundaries; coalescing is purely for efficiency).
-  std::string head;
-  head.reserve(5 + payload.size());
-  const uint32_t len = static_cast<uint32_t>(payload.size());
-  head.push_back(static_cast<char>(len & 0xFF));
-  head.push_back(static_cast<char>((len >> 8) & 0xFF));
-  head.push_back(static_cast<char>((len >> 16) & 0xFF));
-  head.push_back(static_cast<char>((len >> 24) & 0xFF));
-  head.push_back(static_cast<char>(type));
-  head.append(payload);
-  return WriteAll(fd, head.data(), head.size());
+  const std::string frame = EncodeFrame(type, payload);
+  ScopedWriteExclusive guard(fd);
+  return WriteAll(fd, frame.data(), frame.size());
 }
 
-Result<Frame> ReadFrame(int fd) {
-  char prefix[5];
-  TASTE_RETURN_IF_ERROR(ReadAll(fd, prefix, sizeof(prefix),
-                                /*clean_eof_ok=*/true));
-  const uint32_t len = LoadU32Le(prefix);
-  if (len > kMaxFramePayload) {
-    return Status::IOError("frame length " + std::to_string(len) +
-                           " exceeds protocol maximum (corrupt stream?)");
+namespace {
+
+/// Validates the 6-byte header. Returns kNone when len/version/type are all
+/// plausible (the CRC still pends on the full frame).
+FrameFault CheckHeader(const char* head, uint32_t* len) {
+  *len = LoadU32Le(head);
+  if (*len > kMaxFramePayload) return FrameFault::kOversized;
+  if (static_cast<uint8_t>(head[4]) != kWireProtocolVersion) {
+    return FrameFault::kBadVersion;
+  }
+  if (!ValidFrameType(static_cast<uint8_t>(head[5]))) {
+    return FrameFault::kBadType;
+  }
+  return FrameFault::kNone;
+}
+
+Status HeaderFaultStatus(FrameFault f, uint32_t len, uint8_t version,
+                         uint8_t type) {
+  switch (f) {
+    case FrameFault::kOversized:
+      return Status::IOError("frame length " + std::to_string(len) +
+                             " exceeds protocol maximum (corrupt stream?)");
+    case FrameFault::kBadVersion:
+      return Status::IOError("frame version " + std::to_string(version) +
+                             " != protocol version " +
+                             std::to_string(kWireProtocolVersion));
+    case FrameFault::kBadType:
+      return Status::IOError("invalid frame type " + std::to_string(type));
+    default:
+      return Status::OK();
+  }
+}
+
+}  // namespace
+
+Result<Frame> ReadFrame(int fd, FrameFault* fault) {
+  if (fault != nullptr) *fault = FrameFault::kNone;
+  auto fail = [fault](FrameFault f, Status st) -> Status {
+    if (fault != nullptr) *fault = f;
+    if (f != FrameFault::kTruncated) CountCorrupt(f);
+    return st;
+  };
+  char head[kFrameHeaderBytes];
+  {
+    const Status st = ReadAll(fd, head, sizeof(head), /*clean_eof_ok=*/true);
+    if (!st.ok()) {
+      if (fault != nullptr && st.code() == StatusCode::kIOError) {
+        *fault = FrameFault::kTruncated;
+      }
+      return st;
+    }
+  }
+  uint32_t len = 0;
+  const FrameFault hf = CheckHeader(head, &len);
+  if (hf != FrameFault::kNone) {
+    return fail(hf, HeaderFaultStatus(hf, len, static_cast<uint8_t>(head[4]),
+                                      static_cast<uint8_t>(head[5])));
   }
   Frame frame;
-  frame.type = static_cast<FrameType>(prefix[4]);
+  frame.type = static_cast<FrameType>(head[5]);
   frame.payload.resize(len);
   if (len > 0) {
-    TASTE_RETURN_IF_ERROR(ReadAll(fd, frame.payload.data(), len,
-                                  /*clean_eof_ok=*/false));
+    const Status st = ReadAll(fd, frame.payload.data(), len,
+                              /*clean_eof_ok=*/false);
+    if (!st.ok()) return fail(FrameFault::kTruncated, st);
+  }
+  char trailer[kFrameTrailerBytes];
+  {
+    const Status st = ReadAll(fd, trailer, sizeof(trailer),
+                              /*clean_eof_ok=*/false);
+    if (!st.ok()) return fail(FrameFault::kTruncated, st);
+  }
+  uint32_t crc = Crc32Update(0, reinterpret_cast<const uint8_t*>(head) + 4,
+                             kFrameHeaderBytes - 4);
+  crc = Crc32Update(crc, reinterpret_cast<const uint8_t*>(frame.payload.data()),
+                    frame.payload.size());
+  if (crc != LoadU32Le(trailer)) {
+    return fail(FrameFault::kBadCrc,
+                Status::IOError("frame CRC mismatch (corrupt stream)"));
   }
   return frame;
 }
 
 Result<bool> FrameBuffer::Next(Frame* out) {
-  if (buf_.size() < 5) return false;
-  const uint32_t len = LoadU32Le(buf_.data());
-  if (len > kMaxFramePayload) {
-    return Status::IOError("frame length " + std::to_string(len) +
-                           " exceeds protocol maximum (corrupt stream?)");
+  last_fault_ = FrameFault::kNone;
+  if (buf_.size() < kFrameHeaderBytes) return false;
+  uint32_t len = 0;
+  // Header checks run before the payload is even buffered: a lying length
+  // prefix (or a foreign-protocol peer) is rejected from 6 bytes, never
+  // "waited out" with an unbounded buffer.
+  const FrameFault hf = CheckHeader(buf_.data(), &len);
+  if (hf != FrameFault::kNone) {
+    last_fault_ = CountCorrupt(hf);
+    return HeaderFaultStatus(hf, len, static_cast<uint8_t>(buf_[4]),
+                             static_cast<uint8_t>(buf_[5]));
   }
-  if (buf_.size() < 5 + static_cast<size_t>(len)) return false;
-  out->type = static_cast<FrameType>(buf_[4]);
-  out->payload.assign(buf_, 5, len);
-  buf_.erase(0, 5 + static_cast<size_t>(len));
+  const size_t total =
+      kFrameHeaderBytes + static_cast<size_t>(len) + kFrameTrailerBytes;
+  if (buf_.size() < total) return false;
+  const uint32_t crc = Crc32(buf_.data() + 4, kFrameHeaderBytes - 4 + len);
+  if (crc != LoadU32Le(buf_.data() + kFrameHeaderBytes + len)) {
+    last_fault_ = CountCorrupt(FrameFault::kBadCrc);
+    return Status::IOError("frame CRC mismatch (corrupt stream)");
+  }
+  out->type = static_cast<FrameType>(buf_[5]);
+  out->payload.assign(buf_, kFrameHeaderBytes, len);
+  buf_.erase(0, total);
   return true;
+}
+
+// ---------------------------------------------------------------------------
+// Gray-failure injection hooks
+
+Status WriteFrameCorrupted(int fd, FrameType type, const std::string& payload) {
+  std::string frame = EncodeFrame(type, payload);
+  // Flip one payload bit AFTER the CRC was computed — the checksum is now a
+  // witness against the frame, exactly like a corrupting proxy en route.
+  const size_t victim =
+      kFrameHeaderBytes + (payload.empty() ? 0 : payload.size() / 2);
+  frame[victim] = static_cast<char>(frame[victim] ^ 0x10);
+  ScopedWriteExclusive guard(fd);
+  return WriteAll(fd, frame.data(), frame.size());
+}
+
+Status WriteFrameDripped(int fd, FrameType type, const std::string& payload,
+                         int chunk_bytes, int delay_us) {
+  const std::string frame = EncodeFrame(type, payload);
+  const size_t chunk = chunk_bytes < 1 ? 1 : static_cast<size_t>(chunk_bytes);
+  ScopedWriteExclusive guard(fd);
+  for (size_t off = 0; off < frame.size(); off += chunk) {
+    const size_t n = std::min(chunk, frame.size() - off);
+    TASTE_RETURN_IF_ERROR(WriteAll(fd, frame.data() + off, n));
+    if (delay_us > 0) ::usleep(static_cast<useconds_t>(delay_us));
+  }
+  return Status::OK();
 }
 
 // ---------------------------------------------------------------------------
@@ -219,6 +406,11 @@ Result<DetectRequest> DecodeDetectRequest(const std::string& payload) {
   r.U8(&req.lane);
   r.U8(&req.p2_dtype);
   r.U32(&n);
+  // Each table name costs at least its 4-byte length prefix; a count the
+  // remaining payload cannot hold is a lie, not a big batch.
+  if (!r.ok() || !r.FitsElements(n, 4)) {
+    return Status::IOError("truncated DetectRequest");
+  }
   for (uint32_t i = 0; r.ok() && i < n; ++i) {
     std::string t;
     r.Str(&t);
@@ -356,6 +548,9 @@ bool DecodeTableRunResult(WireReader* r, pipeline::TableRunResult* t) {
   res.retries = static_cast<int>(retries);
   res.deadline_misses = static_cast<int>(misses);
   res.breaker_short_circuits = static_cast<int>(shorts);
+  // A column serializes to >= 18 bytes (name + ordinal + 2 flags + two
+  // counts); cap the resize by what the payload can actually hold.
+  if (!r->FitsElements(ncols, 18)) return false;
   res.columns.resize(ncols);
   for (uint32_t c = 0; c < ncols; ++c) {
     core::ColumnPrediction& col = res.columns[c];
@@ -368,13 +563,14 @@ bool DecodeTableRunResult(WireReader* r, pipeline::TableRunResult* t) {
     col.ordinal = static_cast<int>(ordinal);
     col.went_to_p2 = p2 != 0;
     col.provenance = static_cast<core::ResultProvenance>(prov);
+    if (!r->FitsElements(ntypes, 4)) return false;
     col.admitted_types.resize(ntypes);
     for (uint32_t i = 0; i < ntypes; ++i) {
       uint32_t ty = 0;
       if (!r->U32(&ty)) return false;
       col.admitted_types[i] = static_cast<int>(ty);
     }
-    if (!r->U32(&nprobs)) return false;
+    if (!r->U32(&nprobs) || !r->FitsElements(nprobs, 4)) return false;
     col.probabilities.resize(nprobs);
     for (uint32_t i = 0; i < nprobs; ++i) {
       if (!r->F32(&col.probabilities[i])) return false;
@@ -400,7 +596,10 @@ Result<DetectResponse> DecodeDetectResponse(const std::string& payload) {
   DetectResponse resp;
   uint32_t n = 0;
   if (!r.U64(&resp.request_id) || !r.F64(&resp.wall_ms) ||
-      !DecodeResilience(&r, &resp.stats) || !r.U32(&n)) {
+      !DecodeResilience(&r, &resp.stats) || !r.U32(&n) ||
+      // A table result serializes to >= 42 bytes (status + outcome + name
+      // prefix + 8 u32 counters); a larger count cannot be honest.
+      !r.FitsElements(n, 42)) {
     return Status::IOError("truncated DetectResponse header");
   }
   resp.tables.resize(n);
@@ -447,28 +646,31 @@ Result<obs::Registry::Snapshot> DecodeMetricsSnapshot(
   obs::Registry::Snapshot snap;
   uint32_t n = 0;
   r.U32(&n);
+  if (r.ok()) r.FitsElements(n, 12);  // name prefix + i64 value
   for (uint32_t i = 0; r.ok() && i < n; ++i) {
     std::string name;
     int64_t v = 0;
     if (r.Str(&name) && r.I64(&v)) snap.counters[name] = v;
   }
   r.U32(&n);
+  if (r.ok()) r.FitsElements(n, 12);  // name prefix + f64 value
   for (uint32_t i = 0; r.ok() && i < n; ++i) {
     std::string name;
     double v = 0;
     if (r.Str(&name) && r.F64(&v)) snap.gauges[name] = v;
   }
   r.U32(&n);
+  if (r.ok()) r.FitsElements(n, 28);  // name + 2 counts + i64 + f64
   for (uint32_t i = 0; r.ok() && i < n; ++i) {
     std::string name;
     obs::Histogram::Snapshot h;
     uint32_t nb = 0, nc = 0;
-    if (!r.Str(&name) || !r.U32(&nb)) break;
+    if (!r.Str(&name) || !r.U32(&nb) || !r.FitsElements(nb, 8)) break;
     h.bounds.resize(nb);
     for (uint32_t k = 0; k < nb; ++k) {
       if (!r.F64(&h.bounds[k])) break;
     }
-    if (!r.U32(&nc)) break;
+    if (!r.U32(&nc) || !r.FitsElements(nc, 8)) break;
     h.counts.resize(nc);
     for (uint32_t k = 0; k < nc; ++k) {
       if (!r.I64(&h.counts[k])) break;

@@ -13,6 +13,14 @@ namespace taste::serve {
 
 namespace {
 
+/// True when a gray/crash hook aimed at (replica, table) matches this
+/// request.
+bool HookMatches(int replica_id, int hook_replica, const std::string& table,
+                 const std::vector<std::string>& tables) {
+  return replica_id == hook_replica && !table.empty() &&
+         std::find(tables.begin(), tables.end(), table) != tables.end();
+}
+
 /// Handles one detect request: re-anchors the wire deadline on the local
 /// steady clock, runs the batch, serializes the results.
 DetectResponse HandleDetect(const WorkerEnv& env, const DetectRequest& req) {
@@ -82,19 +90,38 @@ int WorkerMain(int fd, const WorkerEnv& env, int replica_id) {
                           << req.status().ToString();
           return 1;
         }
-        if (replica_id == env.crash_replica && !env.crash_table.empty() &&
-            std::find(req->tables.begin(), req->tables.end(),
-                      env.crash_table) != req->tables.end()) {
+        if (HookMatches(replica_id, env.crash_replica, env.crash_table,
+                        req->tables)) {
           // Injected crash: die exactly like a SIGKILL'd worker would —
           // no response, no flush, socket torn down by the kernel.
           _exit(kCrashExitCode);
         }
+        if (HookMatches(replica_id, env.wedge_replica, env.wedge_table,
+                        req->tables)) {
+          // Injected wedge: stop dead mid-request, holding the leg. The
+          // process stays alive (no SIGCHLD — SA_NOCLDSTOP — and no EOF);
+          // it resumes only if SIGCONTed, and the supervisor's watchdog
+          // SIGKILL terminates even a stopped process.
+          ::raise(SIGSTOP);
+          // If resumed, fall through and serve normally (byte-identical).
+        }
         requests->Inc();
         tables->Inc(static_cast<int64_t>(req->tables.size()));
         DetectResponse resp = HandleDetect(env, *req);
-        const Status st =
-            WriteFrame(fd, FrameType::kDetectResponse,
-                       EncodeDetectResponse(resp));
+        const std::string payload = EncodeDetectResponse(resp);
+        Status st;
+        if (HookMatches(replica_id, env.corrupt_replica, env.corrupt_table,
+                        req->tables)) {
+          // Injected corruption: a valid-length frame whose payload was
+          // bit-flipped after the CRC — the router must reject it.
+          st = WriteFrameCorrupted(fd, FrameType::kDetectResponse, payload);
+        } else if (HookMatches(replica_id, env.drip_replica, env.drip_table,
+                               req->tables)) {
+          st = WriteFrameDripped(fd, FrameType::kDetectResponse, payload,
+                                 env.drip_chunk_bytes, env.drip_delay_us);
+        } else {
+          st = WriteFrame(fd, FrameType::kDetectResponse, payload);
+        }
         if (!st.ok()) return st.code() == StatusCode::kUnavailable ? 0 : 1;
         break;
       }

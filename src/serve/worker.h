@@ -44,6 +44,33 @@ struct WorkerEnv {
   /// a reproducible "worker dies mid-request" without wall-clock races.
   int crash_replica = -1;
   std::string crash_table;
+
+  // -- Gray-failure injection (same trigger convention: replica id + table
+  //    name, so the harness aims each fault at the ring owner) --------------
+
+  /// SIGSTOP self-wedge: the matching replica raises SIGSTOP mid-request,
+  /// before computing or responding. No SIGCHLD fires (SA_NOCLDSTOP), no
+  /// EOF — the process just stops making progress while staying "alive";
+  /// only the hedge/watchdog path can recover the batch.
+  int wedge_replica = -1;
+  std::string wedge_table;
+
+  /// Response corruption: the matching replica computes normally but sends
+  /// its response through WriteFrameCorrupted — one payload bit flipped
+  /// AFTER the CRC was computed. The router must reject the frame (CRC),
+  /// never surface it, and re-dispatch.
+  int corrupt_replica = -1;
+  std::string corrupt_table;
+
+  /// Slow-drip partial writes: the matching replica sends its (valid)
+  /// response in drip_chunk_bytes pieces with drip_delay_us pauses — a
+  /// saturated NIC / tiny-window peer. The router's frame reassembly must
+  /// absorb it; a drip slow enough to cross the straggler threshold is
+  /// hedged.
+  int drip_replica = -1;
+  std::string drip_table;
+  int drip_chunk_bytes = 3;
+  int drip_delay_us = 200;
 };
 
 /// Exit code of an injected crash (distinguishable from clean exit 0).

@@ -8,7 +8,9 @@
 // Everything here forks real processes; the suite carries the `unit` label
 // (TSan instruments fork poorly, and the tsan CI job runs only tsan-heavy).
 
+#include <poll.h>
 #include <signal.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <cmath>
@@ -101,21 +103,16 @@ TEST(WireTest, DetectResponseRoundTripIsBitExact) {
 }
 
 TEST(WireTest, FrameBufferReassemblesSplitFrames) {
-  std::string stream;
-  auto append_frame = [&stream](serve::FrameType t, const std::string& p) {
-    const uint32_t len = static_cast<uint32_t>(p.size());
-    for (int i = 0; i < 4; ++i) {
-      stream.push_back(static_cast<char>((len >> (8 * i)) & 0xFF));
-    }
-    stream.push_back(static_cast<char>(t));
-    stream += p;
-  };
-  append_frame(serve::FrameType::kHeartbeat, "12345678");
-  append_frame(serve::FrameType::kDetectResponse, std::string(1000, 'x'));
+  // EncodeFrame emits the full v2 envelope: header (len + version + type)
+  // and CRC trailer; byte-at-a-time reassembly must pop frames exactly at
+  // their boundaries with the CRC verified.
+  std::string stream =
+      serve::EncodeFrame(serve::FrameType::kHeartbeat, "12345678") +
+      serve::EncodeFrame(serve::FrameType::kDetectResponse,
+                         std::string(1000, 'x'));
 
   serve::FrameBuffer fb;
   serve::Frame frame;
-  // Feed one byte at a time; frames must pop exactly at their boundaries.
   int got = 0;
   for (char c : stream) {
     fb.Append(&c, 1);
@@ -138,11 +135,96 @@ TEST(WireTest, FrameBufferReassemblesSplitFrames) {
 
 TEST(WireTest, OversizedFramePrefixIsRejected) {
   serve::FrameBuffer fb;
-  const char bad[5] = {'\xFF', '\xFF', '\xFF', '\xFF', 1};
+  const char bad[6] = {'\xFF', '\xFF', '\xFF', '\xFF',
+                       static_cast<char>(serve::kWireProtocolVersion), 1};
   fb.Append(bad, sizeof(bad));
   serve::Frame frame;
   auto r = fb.Next(&frame);
   EXPECT_FALSE(r.ok());
+  EXPECT_EQ(fb.last_fault(), serve::FrameFault::kOversized);
+}
+
+TEST(WireTest, CorruptedPayloadFailsCrcAndCountsIt) {
+  obs::Counter* corrupt =
+      obs::Registry::Global().GetCounter("taste_frames_corrupt_total");
+  const int64_t before = corrupt->Value();
+  std::string frame = serve::EncodeFrame(serve::FrameType::kDetectResponse,
+                                         "the payload bytes");
+  frame[serve::kFrameHeaderBytes + 3] ^= 0x01;  // one flipped payload bit
+  serve::FrameBuffer fb;
+  fb.Append(frame.data(), frame.size());
+  serve::Frame out;
+  auto r = fb.Next(&out);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(fb.last_fault(), serve::FrameFault::kBadCrc);
+  EXPECT_GT(corrupt->Value(), before);
+}
+
+TEST(WireTest, CorruptedHeaderLengthFailsCrc) {
+  // A length-prefix lie that still fits the cap: the frame parses to the
+  // wrong boundary and the CRC (which covers version+type+payload) fails.
+  std::string frame = serve::EncodeFrame(serve::FrameType::kHeartbeat,
+                                         std::string(64, 'a'));
+  frame[0] ^= 0x04;  // payload length 64 -> 68
+  frame += std::string(8, 'b');  // keep enough bytes buffered to "complete"
+  serve::FrameBuffer fb;
+  fb.Append(frame.data(), frame.size());
+  serve::Frame out;
+  auto r = fb.Next(&out);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(fb.last_fault(), serve::FrameFault::kBadCrc);
+}
+
+TEST(WireTest, WrongProtocolVersionIsRejected) {
+  std::string frame = serve::EncodeFrame(serve::FrameType::kHeartbeat, "x");
+  frame[4] = static_cast<char>(serve::kWireProtocolVersion + 1);
+  serve::FrameBuffer fb;
+  fb.Append(frame.data(), frame.size());
+  serve::Frame out;
+  auto r = fb.Next(&out);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(fb.last_fault(), serve::FrameFault::kBadVersion);
+}
+
+TEST(WireTest, InvalidFrameTypeIsRejected) {
+  std::string frame = serve::EncodeFrame(serve::FrameType::kHeartbeat, "x");
+  frame[5] = static_cast<char>(0xEE);
+  serve::FrameBuffer fb;
+  fb.Append(frame.data(), frame.size());
+  serve::Frame out;
+  auto r = fb.Next(&out);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(fb.last_fault(), serve::FrameFault::kBadType);
+}
+
+TEST(WireTest, TruncatedFrameWaitsInsteadOfFaulting) {
+  // A prefix of a valid frame is not an error in a stream — it just has
+  // not finished arriving. No fault, no frame.
+  const std::string frame =
+      serve::EncodeFrame(serve::FrameType::kDetectResponse, "payload");
+  serve::FrameBuffer fb;
+  fb.Append(frame.data(), frame.size() - 1);
+  serve::Frame out;
+  auto r = fb.Next(&out);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(*r);
+  EXPECT_EQ(fb.last_fault(), serve::FrameFault::kNone);
+}
+
+TEST(WireTest, ReadFrameRejectsTruncatedStreamOverPipe) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  const std::string frame =
+      serve::EncodeFrame(serve::FrameType::kHeartbeat, "abcdefgh");
+  // Write all but the CRC trailer's last byte, then close: mid-frame EOF.
+  ASSERT_EQ(::write(sv[0], frame.data(), frame.size() - 1),
+            static_cast<ssize_t>(frame.size() - 1));
+  ::close(sv[0]);
+  serve::FrameFault fault = serve::FrameFault::kNone;
+  auto r = serve::ReadFrame(sv[1], &fault);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(fault, serve::FrameFault::kTruncated);
+  ::close(sv[1]);
 }
 
 TEST(WireTest, MetricsSnapshotRoundTrip) {
@@ -432,6 +514,135 @@ TEST(RouterTest, ScrapeAggregatesReplicaRegistries) {
 }
 
 // ---------------------------------------------------------------------------
+// Gray failures: wedge (SIGSTOP), corruption, slow drip
+
+TEST(RouterTest, SigstoppedReplicaIsHedgedByteIdentical) {
+  const ServeEnv& env = ServeEnv::Get();
+  auto db = env.MakeDb();
+  serve::WorkerEnv wenv;
+  wenv.detector = env.detector.get();
+  wenv.db = db.get();
+  wenv.pipeline_options = WorkerPipelineOptions();
+  serve::RouterOptions ropt;
+  ropt.supervisor.replicas = 3;
+  ropt.hedge_multiplier = 1.0;     // hedge promptly; this test waits on it
+  ropt.hedge_floor_ms = 40.0;
+  ropt.hedge_budget_fraction = 1.0;
+
+  // Wedge the ring owner of a table mid-request: SIGSTOP means no SIGCHLD
+  // (SA_NOCLDSTOP), no EOF, a process that is alive but makes no progress.
+  // Without hedging this leg would stall its hash range to the deadline.
+  serve::ConsistentHashRing ring(ropt.supervisor.replicas, ropt.vnodes);
+  const std::string victim_table = env.table_names[2];
+  wenv.wedge_replica = ring.NodeFor(victim_table, [](int) { return true; });
+  wenv.wedge_table = victim_table;
+
+  serve::Router router(wenv, ropt);
+  ASSERT_TRUE(router.Start().ok());
+  pipeline::BatchResult got = router.RunBatch(env.table_names);
+
+  // The hedge raced the wedge and won; results are indistinguishable from
+  // a healthy single-process run.
+  ExpectBatchesIdentical(got, OracleRun(env, env.table_names));
+  EXPECT_GE(router.stats().hedged_tables, 1);
+  router.Shutdown();
+}
+
+TEST(RouterTest, WatchdogRecoversWedgedReplicaWithoutHedging) {
+  const ServeEnv& env = ServeEnv::Get();
+  auto db = env.MakeDb();
+  serve::WorkerEnv wenv;
+  wenv.detector = env.detector.get();
+  wenv.db = db.get();
+  wenv.pipeline_options = WorkerPipelineOptions();
+  serve::RouterOptions ropt;
+  ropt.supervisor.replicas = 3;
+  ropt.hedge_multiplier = 0.0;  // isolate the watchdog path
+  ropt.watchdog_ms = 80.0;
+
+  serve::ConsistentHashRing ring(ropt.supervisor.replicas, ropt.vnodes);
+  const std::string victim_table = env.table_names[0];
+  wenv.wedge_replica = ring.NodeFor(victim_table, [](int) { return true; });
+  wenv.wedge_table = victim_table;
+
+  serve::Router router(wenv, ropt);
+  ASSERT_TRUE(router.Start().ok());
+  pipeline::BatchResult got = router.RunBatch(env.table_names);
+
+  // The watchdog escalated SIGTERM -> SIGKILL on the stopped process and
+  // re-dispatched its tables byte-identically.
+  ExpectBatchesIdentical(got, OracleRun(env, env.table_names));
+  EXPECT_GE(router.supervisor().watchdog_kills(), 1);
+  EXPECT_GE(router.stats().replica_deaths, 1);
+  EXPECT_GE(router.stats().redispatched_tables, 1);
+  // SIGKILL terminates even a stopped process; the fleet heals.
+  EXPECT_TRUE(router.MaintainUntilAllUp(5000.0));
+  EXPECT_GE(router.supervisor().total_respawns(), 1);
+  router.Shutdown();
+}
+
+TEST(RouterTest, CorruptResponseIsNeverSurfacedAndRedispatched) {
+  const ServeEnv& env = ServeEnv::Get();
+  auto db = env.MakeDb();
+  serve::WorkerEnv wenv;
+  wenv.detector = env.detector.get();
+  wenv.db = db.get();
+  wenv.pipeline_options = WorkerPipelineOptions();
+  serve::RouterOptions ropt;
+  ropt.supervisor.replicas = 3;
+
+  serve::ConsistentHashRing ring(ropt.supervisor.replicas, ropt.vnodes);
+  const std::string victim_table = env.table_names[1];
+  wenv.corrupt_replica = ring.NodeFor(victim_table, [](int) { return true; });
+  wenv.corrupt_table = victim_table;
+
+  obs::Counter* corrupt =
+      obs::Registry::Global().GetCounter("taste_frames_corrupt_total");
+  const int64_t corrupt_before = corrupt->Value();
+
+  serve::Router router(wenv, ropt);
+  ASSERT_TRUE(router.Start().ok());
+  pipeline::BatchResult got = router.RunBatch(env.table_names);
+
+  // The bit-flipped response failed its CRC, was counted, and its tables
+  // were recomputed elsewhere — corrupted bytes never reach the caller.
+  ExpectBatchesIdentical(got, OracleRun(env, env.table_names));
+  EXPECT_GT(corrupt->Value(), corrupt_before);
+  EXPECT_GE(router.stats().replica_deaths, 1);
+  EXPECT_GE(router.stats().redispatched_tables, 1);
+  router.Shutdown();
+}
+
+TEST(RouterTest, SlowDripResponseReassemblesByteIdentical) {
+  const ServeEnv& env = ServeEnv::Get();
+  auto db = env.MakeDb();
+  serve::WorkerEnv wenv;
+  wenv.detector = env.detector.get();
+  wenv.db = db.get();
+  wenv.pipeline_options = WorkerPipelineOptions();
+  serve::RouterOptions ropt;
+  ropt.supervisor.replicas = 2;
+  ropt.hedge_multiplier = 0.0;  // the drip alone must be harmless
+
+  serve::ConsistentHashRing ring(ropt.supervisor.replicas, ropt.vnodes);
+  const std::string victim_table = env.table_names[3];
+  wenv.drip_replica = ring.NodeFor(victim_table, [](int) { return true; });
+  wenv.drip_table = victim_table;
+  wenv.drip_chunk_bytes = 64;
+  wenv.drip_delay_us = 100;
+
+  serve::Router router(wenv, ropt);
+  ASSERT_TRUE(router.Start().ok());
+  pipeline::BatchResult got = router.RunBatch(env.table_names);
+
+  // Partial writes split frames at arbitrary byte boundaries; the frame
+  // buffer reassembles them with the CRC intact — no fault, no failover.
+  ExpectBatchesIdentical(got, OracleRun(env, env.table_names));
+  EXPECT_EQ(router.stats().replica_deaths, 0);
+  router.Shutdown();
+}
+
+// ---------------------------------------------------------------------------
 // Supervisor lifecycle
 
 TEST(SupervisorTest, SigkillIsDetectedAndRespawnedWithBackoff) {
@@ -503,6 +714,79 @@ TEST(SupervisorTest, HeartbeatTimeoutCondemnsWedgedReplica) {
   sup.Shutdown();
 }
 
+TEST(SupervisorTest, ErrorScoreQuarantinesAndProbesReadmit) {
+  const ServeEnv& env = ServeEnv::Get();
+  auto db = env.MakeDb();
+  serve::WorkerEnv wenv;
+  wenv.detector = env.detector.get();
+  wenv.db = db.get();
+  wenv.pipeline_options = WorkerPipelineOptions();
+  serve::SupervisorOptions sopt;
+  sopt.replicas = 2;
+  sopt.heartbeat_interval_ms = 1.0;  // fast probe cadence for the test
+  serve::Supervisor sup(wenv, sopt);
+  ASSERT_TRUE(sup.Start().ok());
+
+  // Two gray verdicts leave the error EWMA at 0.4375 — still dispatchable.
+  sup.RecordLegError(0);
+  sup.RecordLegError(0);
+  EXPECT_TRUE(sup.Dispatchable(0));
+  // The third crosses the 0.5 threshold with min samples met: quarantine.
+  sup.RecordLegError(0);
+  EXPECT_EQ(sup.replica(0)->state, serve::ReplicaState::kQuarantined);
+  EXPECT_FALSE(sup.Dispatchable(0));
+  EXPECT_TRUE(sup.Dispatchable(1));
+  EXPECT_EQ(sup.quarantined_count(), 1);
+  EXPECT_EQ(sup.total_quarantines(), 1);
+  // The process is alive the whole time — quarantine is ring membership,
+  // not an execution.
+  EXPECT_EQ(sup.replica(0)->deaths, 0);
+
+  // Drive the probe lifecycle: the quarantine breaker spends its first
+  // ticks in open-state cooldown, then admits one heartbeat probe per
+  // half-open; readmit_probes consecutive acks restore ring membership.
+  auto pump_ack = [&](serve::Replica* r) {
+    pollfd p{r->fd, POLLIN, 0};
+    for (int spin = 0; spin < 400; ++spin) {
+      if (::poll(&p, 1, 5) > 0 && (p.revents & POLLIN) != 0) {
+        char buf[4096];
+        const ssize_t got = ::read(r->fd, buf, sizeof(buf));
+        ASSERT_GT(got, 0);
+        r->frames.Append(buf, static_cast<size_t>(got));
+        serve::Frame f;
+        auto n = r->frames.Next(&f);
+        ASSERT_TRUE(n.ok());
+        if (*n && f.type == serve::FrameType::kHeartbeatAck) {
+          sup.HandleHeartbeatAck(0, f.payload);
+          return;
+        }
+      }
+    }
+    FAIL() << "worker never acked the readmit probe";
+  };
+  int probes_acked = 0;
+  for (int spin = 0;
+       spin < 500 && sup.replica(0)->state == serve::ReplicaState::kQuarantined;
+       ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    const auto condemned = sup.ProbeIdle({0});
+    ASSERT_TRUE(condemned.empty());
+    if (sup.replica(0)->hb_outstanding) {
+      pump_ack(sup.replica(0));
+      ++probes_acked;
+    }
+  }
+  EXPECT_EQ(sup.replica(0)->state, serve::ReplicaState::kUp);
+  EXPECT_TRUE(sup.Dispatchable(0));
+  EXPECT_EQ(sup.quarantined_count(), 0);
+  EXPECT_EQ(probes_acked, sopt.readmit_probes);
+  // Readmission forgives the error record; the next single error must not
+  // instantly re-quarantine.
+  sup.RecordLegError(0);
+  EXPECT_EQ(sup.replica(0)->state, serve::ReplicaState::kUp);
+  sup.Shutdown();
+}
+
 // ---------------------------------------------------------------------------
 // Metrics aggregation (pure snapshot arithmetic)
 
@@ -531,6 +815,62 @@ TEST(AggregateTest, SumsBaseSeriesAndFansOutPerPartLabels) {
   EXPECT_EQ(merged.counters.at("stage_ms{stage=\"p1\"}"), 3);
   EXPECT_EQ(merged.counters.count("stage_ms{stage=\"p1\"}{replica=\"0\"}"),
             0u);
+}
+
+TEST(AggregateTest, EmptyPartContributesNothing) {
+  // A replica that scraped before serving anything returns an empty
+  // snapshot; it must not perturb sums or mint phantom labeled series.
+  obs::Registry a;
+  a.GetCounter("req_total")->Inc(2);
+  a.GetGauge("depth")->Set(3.0);
+  auto merged = obs::AggregateSnapshots(
+      "replica", {{"0", a.snapshot()}, {"1", obs::Registry::Snapshot()}});
+  EXPECT_EQ(merged.counters.at("req_total"), 2);
+  EXPECT_EQ(merged.counters.count("req_total{replica=\"1\"}"), 0u);
+  EXPECT_EQ(merged.counters.size(), 2u);  // base + replica=0 only
+  EXPECT_DOUBLE_EQ(merged.gauges.at("depth"), 3.0);
+  EXPECT_EQ(merged.gauges.size(), 2u);
+  EXPECT_TRUE(merged.histograms.empty());
+  // All-empty input produces an empty (not crashing) aggregate.
+  auto none = obs::AggregateSnapshots("replica", {});
+  EXPECT_TRUE(none.counters.empty());
+}
+
+TEST(AggregateTest, HistogramBucketMismatchFoldsScalarsOnly) {
+  // Replicas on different build generations can disagree on bucket layout;
+  // adding bucket-wise would be wrong, dropping the series would be worse.
+  // The first layout wins and only count/sum fold in from the misfit.
+  obs::Registry a, b;
+  a.GetHistogram("lat_ms", {1.0, 10.0})->Observe(0.5);
+  b.GetHistogram("lat_ms", {1.0, 5.0, 10.0})->Observe(7.0);
+  auto merged = obs::AggregateSnapshots(
+      "replica", {{"0", a.snapshot()}, {"1", b.snapshot()}});
+  const auto& base = merged.histograms.at("lat_ms");
+  EXPECT_EQ(base.bounds, (std::vector<double>{1.0, 10.0}));
+  EXPECT_EQ(base.count, 2);
+  EXPECT_DOUBLE_EQ(base.sum, 7.5);
+  int64_t bucketed = 0;
+  for (int64_t c : base.counts) bucketed += c;
+  EXPECT_EQ(bucketed, 1);  // only part 0's observation landed in a bucket
+  // The per-part series keep their own layouts intact.
+  EXPECT_EQ(merged.histograms.at("lat_ms{replica=\"0\"}").bounds.size(), 2u);
+  EXPECT_EQ(merged.histograms.at("lat_ms{replica=\"1\"}").bounds.size(), 3u);
+}
+
+TEST(AggregateTest, LiteralReplicaLabeledSeriesSumsWithFanOut) {
+  // A part that already exports a series spelled exactly like the fan-out
+  // target (replica 0's own "x_total{replica=\"0\"}") must SUM with the
+  // fan-out series — never nest labels, never clobber either side.
+  obs::Registry a, b;
+  a.GetCounter("x_total")->Inc(1);
+  b.GetCounter("x_total{replica=\"0\"}")->Inc(5);
+  auto merged = obs::AggregateSnapshots(
+      "replica", {{"0", a.snapshot()}, {"1", b.snapshot()}});
+  EXPECT_EQ(merged.counters.at("x_total"), 1);
+  EXPECT_EQ(merged.counters.at("x_total{replica=\"0\"}"), 6);
+  for (const auto& [name, v] : merged.counters) {
+    EXPECT_EQ(name.find('{'), name.rfind('{')) << "nested label in " << name;
+  }
 }
 
 }  // namespace

@@ -285,6 +285,31 @@ def check_p2_serving_mp(baseline, fresh, threshold, failures):
         failures.append(
             f"p2_serving_mp: kill->respawn recovery {rec:.1f} ms outside "
             f"[0, 5000]")
+    # Gray-failure row (bench SIGSTOP-wedges one replica; baselines from
+    # before the hedging layer carry no wedge fields and are exempt).
+    if "hedge_waste_fraction" in cur:
+        # Hedging trades duplicate work for tail latency; the trade is only
+        # sane while duplicates stay rare. The wedge bench hedges a leg the
+        # wedged replica can never answer, so near-zero waste is expected —
+        # a fraction past 10% means first-wins suppression is leaking.
+        waste = cur.get("hedge_waste_fraction", -1.0)
+        verdict = "FAIL" if not 0 <= waste < 0.10 else "ok"
+        print(f"  p2_serving_mp/hedge_waste {waste:.1%} ({verdict}, "
+              f"cap 10%)")
+        if not 0 <= waste < 0.10:
+            failures.append(
+                f"p2_serving_mp: hedge waste fraction {waste:.1%} outside "
+                f"[0%, 10%) — duplicate suppression is leaking")
+        wrec = cur.get("wedge_recovery_ms", -1.0)
+        verdict = "FAIL" if not 0 <= wrec <= 5000 else "ok"
+        print(f"  p2_serving_mp/wedge_recovery {wrec:.1f} ms ({verdict})")
+        if not 0 <= wrec <= 5000:
+            failures.append(
+                f"p2_serving_mp: wedge->respawn recovery {wrec:.1f} ms "
+                f"outside [0, 5000]")
+    elif "hedge_waste_fraction" in base:
+        failures.append(
+            "p2_serving_mp: wedge/hedge fields missing from fresh run")
 
 
 def check_metrics_section(fresh, failures):

@@ -46,6 +46,9 @@
 //   chaos_soak [--seeds N] [--start-seed S] [--tables N] [--verbose]
 //              [--cache-churn]
 //   chaos_soak --overload     latency-under-overload sweep (real time scale)
+//   chaos_soak --replica-kill kill/respawn chaos (fail-stop failures)
+//   chaos_soak --gray-storm   gray-failure chaos: SIGSTOP wedges, byte-flip
+//                             corruption, slow-drip partial writes
 //   chaos_soak --sched-storm  serving-scheduler storm (see above)
 //
 // Exit code 0 = all seeds green; 1 = an invariant failed (details on
@@ -645,6 +648,274 @@ int RunReplicaKill(const Env& env, int seeds, uint64_t start_seed,
 }
 
 // ---------------------------------------------------------------------------
+// --gray-storm: gray-failure chaos against the multi-process serving tier
+// (DESIGN.md §13).
+//
+// Where --replica-kill proves recovery from CRASHES (fail-stop: SIGKILL,
+// EOF, SIGCHLD), --gray-storm proves recovery from failures that DON'T
+// stop — the replica stays "alive" by every binary liveness signal while
+// serving garbage or nothing:
+//
+//   wedge    the ring owner of a chosen table raises SIGSTOP mid-request:
+//            no EOF, no SIGCHLD (SA_NOCLDSTOP), heartbeats merely queue.
+//            Recovery is hedged re-dispatch to the ring successor and/or
+//            the wedged-replica watchdog (SIGTERM -> SIGKILL -> respawn);
+//   corrupt  the owner computes the right answer but flips one payload bit
+//            after the CRC: the router must REJECT the frame (kBadCrc),
+//            never surface it, kill the now-unsynchronized stream, and
+//            re-dispatch;
+//   drip     the owner writes its valid response in tiny delayed chunks:
+//            frame reassembly must absorb it and the result must still be
+//            byte-identical — slowness alone is not corruption.
+//
+// Per seed the harness derives the scenario (tables, replica count, fault
+// kind + target, hedge-vs-watchdog recovery flavor), computes the
+// single-process oracle digest, runs the batch through the router under
+// injection, and asserts:
+//
+//   * byte-identity — the merged batch digest equals the oracle exactly;
+//   * balanced terminal accounting — every admitted table resolves exactly
+//     once, as kComplete with OK status (faults are off; gray failures must
+//     be invisible in the results);
+//   * corruption is never surfaced — corrupt seeds must move
+//     taste_frames_corrupt_total and kill + re-dispatch the poisoned
+//     stream; drip seeds must NOT move it;
+//   * wedges actually recover — a wedge seed observes a hedge or a
+//     watchdog kill (per flavor), and the fleet returns to full strength;
+//   * hedge duplicate-work is bounded — wasted <= hedged always.
+
+enum class GrayKind { kWedge, kCorrupt, kDrip };
+
+struct GrayScenario {
+  std::vector<std::string> tables;
+  core::TasteOptions detector_options;
+  pipeline::PipelineOptions pipeline_options;
+  int replicas = 2;
+  GrayKind kind = GrayKind::kWedge;
+  std::string target_table;
+  bool hedge_flavor = true;  // wedge recovery: hedging (true) or watchdog-only
+  int drip_chunk_bytes = 32;
+  int drip_delay_us = 100;
+};
+
+GrayScenario MakeGrayScenario(uint64_t seed, const Env& env) {
+  SplitMix64 rng(seed * 0xA24BAED4963EE407ull + 0x6A4Full);
+  GrayScenario sc;
+  const int total = static_cast<int>(env.table_names.size());
+  const int count = rng.Range(3, std::min(8, total));
+  const int start = rng.Range(0, total - 1);
+  for (int k = 0; k < count; ++k) {
+    sc.tables.push_back(env.table_names[(start + k) % total]);
+  }
+  // Faults OFF (like --replica-kill): detection is a pure function of the
+  // table, so the oracle byte-identity assertion is meaningful.
+  sc.detector_options.enable_p2 = rng.Unit() < 0.9;
+  pipeline::PipelineOptions& popt = sc.pipeline_options;
+  popt.pipelined = rng.Unit() < 0.8;
+  popt.prep_threads = rng.Range(1, 3);
+  popt.infer_threads = rng.Range(1, 3);
+  popt.deadline_ms = rng.Unit() < 0.5 ? 10000.0 : 0.0;
+  sc.replicas = rng.Range(2, 4);
+  const double u = rng.Unit();
+  sc.kind = u < 0.4 ? GrayKind::kWedge
+                    : (u < 0.7 ? GrayKind::kCorrupt : GrayKind::kDrip);
+  sc.target_table = sc.tables[static_cast<size_t>(
+      rng.Range(0, static_cast<int>(sc.tables.size()) - 1))];
+  sc.hedge_flavor = rng.Unit() < 0.5;
+  sc.drip_chunk_bytes = rng.Range(16, 96);
+  sc.drip_delay_us = rng.Range(20, 150);
+  return sc;
+}
+
+int RunGrayStorm(const Env& env, int seeds, uint64_t start_seed,
+                 bool verbose) {
+  obs::SetMetricsEnabled(true);
+  obs::Counter* corrupt_frames =
+      obs::Registry::Global().GetCounter("taste_frames_corrupt_total");
+  int failures = 0;
+  for (int k = 0; k < seeds; ++k) {
+    const uint64_t seed = start_seed + static_cast<uint64_t>(k);
+    const GrayScenario sc = MakeGrayScenario(seed, env);
+    std::vector<std::string> violations;
+    auto violate = [&](const std::string& what) {
+      violations.push_back("seed " + std::to_string(seed) + ": " + what);
+    };
+
+    // Single-process oracle (fresh db + detector, same options).
+    std::string oracle_digest;
+    {
+      clouddb::CostModel cost;
+      cost.time_scale = 0.0;
+      clouddb::SimulatedDatabase db(cost);
+      TASTE_CHECK(db.IngestDataset(env.dataset).ok());
+      core::TasteDetector detector(env.model.get(), env.tokenizer.get(),
+                                   sc.detector_options);
+      pipeline::PipelineExecutor exec(&detector, &db, sc.pipeline_options);
+      pipeline::BatchResult batch = exec.RunBatch(sc.tables);
+      AppendBatchDigest(batch, sc.tables, &oracle_digest);
+    }
+
+    clouddb::CostModel cost;
+    cost.time_scale = 0.0;
+    clouddb::SimulatedDatabase db(cost);
+    TASTE_CHECK(db.IngestDataset(env.dataset).ok());
+    core::TasteDetector detector(env.model.get(), env.tokenizer.get(),
+                                 sc.detector_options);
+    serve::WorkerEnv wenv;
+    wenv.detector = &detector;
+    wenv.db = &db;
+    wenv.pipeline_options = sc.pipeline_options;
+
+    serve::RouterOptions ropt;
+    ropt.supervisor.replicas = sc.replicas;
+    if (sc.hedge_flavor) {
+      // Hedge recovery: aggressive straggler threshold so the wedge/drip
+      // crosses it quickly; budget covers the whole batch. The watchdog
+      // derives 4x the leg threshold and eventually condemns the wedge.
+      ropt.hedge_multiplier = 1.0;
+      ropt.hedge_floor_ms = 40.0;
+      ropt.hedge_budget_fraction = 1.0;
+    } else {
+      // Watchdog-only recovery: no hedging; a wedged leg is condemned and
+      // re-dispatched after the explicit overdue threshold.
+      ropt.hedge_multiplier = 0.0;
+      ropt.watchdog_ms = 80.0;
+    }
+
+    // Aim the fault at the ring owner of the target table, so the faulty
+    // replica is exactly the one the router will pick first.
+    serve::ConsistentHashRing ring(sc.replicas, ropt.vnodes);
+    const int owner =
+        ring.NodeFor(sc.target_table, [](int) { return true; });
+    switch (sc.kind) {
+      case GrayKind::kWedge:
+        wenv.wedge_replica = owner;
+        wenv.wedge_table = sc.target_table;
+        break;
+      case GrayKind::kCorrupt:
+        wenv.corrupt_replica = owner;
+        wenv.corrupt_table = sc.target_table;
+        break;
+      case GrayKind::kDrip:
+        wenv.drip_replica = owner;
+        wenv.drip_table = sc.target_table;
+        wenv.drip_chunk_bytes = sc.drip_chunk_bytes;
+        wenv.drip_delay_us = sc.drip_delay_us;
+        break;
+    }
+
+    const int64_t corrupt_before = corrupt_frames->Value();
+    serve::Router router(wenv, ropt);
+    TASTE_CHECK(router.Start().ok());
+    pipeline::BatchResult batch = router.RunBatch(sc.tables);
+    const serve::RouterStats st = router.stats();
+    const int64_t corrupt_delta = corrupt_frames->Value() - corrupt_before;
+
+    // -- Byte-identity against the oracle.
+    std::string digest;
+    AppendBatchDigest(batch, sc.tables, &digest);
+    if (digest != oracle_digest) {
+      violate("gray-failure batch is NOT byte-identical to the "
+              "single-process oracle");
+      if (verbose) {
+        std::fprintf(stderr, "--- oracle ---\n%s--- router ---\n%s",
+                     oracle_digest.c_str(), digest.c_str());
+      }
+    }
+
+    // -- Balanced terminal accounting: every admitted table resolves
+    //    exactly once, completely (faults off => nothing may degrade).
+    if (batch.tables.size() != sc.tables.size()) {
+      violate("result count mismatch: " + std::to_string(batch.tables.size()) +
+              " results for " + std::to_string(sc.tables.size()) + " tables");
+    } else {
+      for (size_t i = 0; i < batch.tables.size(); ++i) {
+        const auto& t = batch.tables[i];
+        if (t.outcome != pipeline::TableOutcome::kComplete ||
+            !t.status.ok() || t.result.table_name != sc.tables[i]) {
+          violate(sc.tables[i] + ": non-terminal or out-of-order result (" +
+                  pipeline::TableOutcomeName(t.outcome) + ", " +
+                  t.status.ToString() + ")");
+        }
+      }
+    }
+
+    // -- Hedge duplicate-work bound (any kind: hedges may fire on drips).
+    if (st.hedge_wasted_tables > st.hedged_tables) {
+      violate("hedge accounting: wasted " +
+              std::to_string(st.hedge_wasted_tables) + " > hedged " +
+              std::to_string(st.hedged_tables));
+    }
+
+    // -- Kind-specific recovery evidence.
+    switch (sc.kind) {
+      case GrayKind::kWedge:
+        if (sc.hedge_flavor && st.hedged_tables < 1 &&
+            router.supervisor().watchdog_kills() < 1) {
+          violate("wedge produced neither a hedge nor a watchdog kill");
+        }
+        if (!sc.hedge_flavor &&
+            router.supervisor().watchdog_kills() < 1) {
+          violate("wedge with watchdog-only recovery saw no watchdog kill");
+        }
+        break;
+      case GrayKind::kCorrupt:
+        if (corrupt_delta < 1) {
+          violate("corrupt seed moved taste_frames_corrupt_total by 0");
+        }
+        if (st.replica_deaths < 1) {
+          violate("corrupt stream did not kill the poisoned connection");
+        }
+        if (st.redispatched_tables + st.local_fallback_tables < 1) {
+          violate("corruption produced no re-dispatch or local fallback");
+        }
+        break;
+      case GrayKind::kDrip:
+        if (corrupt_delta != 0) {
+          violate("drip (valid frames) moved taste_frames_corrupt_total by " +
+                  std::to_string(corrupt_delta));
+        }
+        break;
+    }
+
+    // -- Fleet recovery: whatever was condemned respawns.
+    if (!router.MaintainUntilAllUp(5000.0)) {
+      violate("fleet did not return to full strength within 5 s");
+    }
+    router.Shutdown();
+
+    for (const auto& v : violations) {
+      std::fprintf(stderr, "chaos_soak: VIOLATION: %s\n", v.c_str());
+    }
+    if (!violations.empty()) ++failures;
+    if (verbose && violations.empty()) {
+      const char* kind_name = sc.kind == GrayKind::kWedge     ? "wedge"
+                              : sc.kind == GrayKind::kCorrupt ? "corrupt"
+                                                              : "drip";
+      std::fprintf(
+          stderr,
+          "seed %llu ok (%s/%s, %zu tables, %d replicas, hedged=%lld "
+          "wasted=%lld deaths=%lld watchdog=%lld corrupt=%lld)\n",
+          static_cast<unsigned long long>(seed), kind_name,
+          sc.hedge_flavor ? "hedge" : "watchdog", sc.tables.size(),
+          sc.replicas, static_cast<long long>(st.hedged_tables),
+          static_cast<long long>(st.hedge_wasted_tables),
+          static_cast<long long>(st.replica_deaths),
+          static_cast<long long>(router.supervisor().watchdog_kills()),
+          static_cast<long long>(corrupt_delta));
+    }
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "chaos_soak: gray-storm %d/%d seeds FAILED\n",
+                 failures, seeds);
+    return 1;
+  }
+  std::printf("chaos_soak: gray-storm %d seeds green (start %llu)\n", seeds,
+              static_cast<unsigned long long>(start_seed));
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
 // --sched-storm: bursty mixed-lane storm against the continuous-batching
 // serving scheduler (pipeline/serving_scheduler.h).
 //
@@ -862,6 +1133,7 @@ int main(int argc, char** argv) {
   bool overload = false;
   bool cache_churn = false;
   bool replica_kill = false;
+  bool gray_storm = false;
   bool sched_storm = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -886,13 +1158,15 @@ int main(int argc, char** argv) {
       cache_churn = true;
     } else if (arg == "--replica-kill") {
       replica_kill = true;
+    } else if (arg == "--gray-storm") {
+      gray_storm = true;
     } else if (arg == "--sched-storm") {
       sched_storm = true;
     } else {
       std::fprintf(stderr,
                    "usage: chaos_soak [--seeds N] [--start-seed S] "
                    "[--tables N] [--verbose] [--overload] [--cache-churn] "
-                   "[--replica-kill] [--sched-storm]\n");
+                   "[--replica-kill] [--gray-storm] [--sched-storm]\n");
       return 2;
     }
   }
@@ -900,6 +1174,7 @@ int main(int argc, char** argv) {
   Env env = Env::Make(tables);
   if (overload) return RunOverloadSweep(env);
   if (replica_kill) return RunReplicaKill(env, seeds, start_seed, verbose);
+  if (gray_storm) return RunGrayStorm(env, seeds, start_seed, verbose);
   if (sched_storm) return RunSchedStorm(env, seeds, start_seed, verbose);
 
   obs::SetMetricsEnabled(true);

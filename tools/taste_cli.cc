@@ -34,6 +34,19 @@
 //                            the batch through the multi-process serving
 //                            tier (crash failover + respawn; DESIGN.md §10);
 //                            output is byte-identical to single-process
+//     --hedge-multiplier X   straggler hedging (DESIGN.md §13): a leg older
+//                            than X times the cost model's p99 estimate is
+//                            speculatively re-sent to the ring successor
+//                            (first valid response wins). 0 disables
+//                            hedging. Only meaningful with --replicas
+//     --quarantine-threshold X
+//                            error-rate EWMA at which a replica is pulled
+//                            from the dispatch ring and probed until it
+//                            earns readmission (0 disables; default 0.5)
+//     --watchdog-ms X        condemn a replica whose in-flight leg is older
+//                            than X ms while its process is still alive
+//                            (SIGTERM -> SIGKILL -> respawn). 0 = derive
+//                            from the hedge threshold
 //     --p2-dtype fp32|int8   numeric mode of the P2 content tower
 //                            (DESIGN.md §12). int8 runs the encoder and
 //                            content-classifier Linears through prepacked
@@ -83,6 +96,9 @@ struct CliOptions {
   int sched_max_inflight = 0;  // 0 = auto
   bool sched_flag_seen = false;
   int replicas = 0;
+  double hedge_multiplier = 4.0;       // RouterOptions default
+  double quarantine_threshold = 0.5;   // SupervisorOptions default
+  double watchdog_ms = 0.0;            // 0 = derive from hedge threshold
   tensor::P2Dtype p2_dtype = tensor::P2Dtype::kFp32;
 };
 
@@ -170,6 +186,30 @@ bool ParseArgs(int argc, char** argv, CliOptions* out) {
         std::fprintf(stderr, "--replicas must be in [1, 64]\n");
         return false;
       }
+    } else if (arg == "--hedge-multiplier") {
+      const char* v = need_value("--hedge-multiplier");
+      if (v == nullptr) return false;
+      out->hedge_multiplier = std::atof(v);
+      if (out->hedge_multiplier < 0) {
+        std::fprintf(stderr, "--hedge-multiplier must be >= 0\n");
+        return false;
+      }
+    } else if (arg == "--quarantine-threshold") {
+      const char* v = need_value("--quarantine-threshold");
+      if (v == nullptr) return false;
+      out->quarantine_threshold = std::atof(v);
+      if (out->quarantine_threshold < 0 || out->quarantine_threshold > 1) {
+        std::fprintf(stderr, "--quarantine-threshold must be in [0, 1]\n");
+        return false;
+      }
+    } else if (arg == "--watchdog-ms") {
+      const char* v = need_value("--watchdog-ms");
+      if (v == nullptr) return false;
+      out->watchdog_ms = std::atof(v);
+      if (out->watchdog_ms < 0) {
+        std::fprintf(stderr, "--watchdog-ms must be >= 0\n");
+        return false;
+      }
     } else if (arg == "--p2-dtype") {
       const char* v = need_value("--p2-dtype");
       if (v == nullptr) return false;
@@ -207,7 +247,8 @@ void PrintUsage() {
       "          [--metrics-out FILE] [--deadline-ms X] [--max-inflight N]\n"
       "          [--cache-shards N] [--sched-lanes N]\n"
       "          [--sched-max-inflight-batches N] [--replicas N]\n"
-      "          [--p2-dtype fp32|int8]\n");
+      "          [--hedge-multiplier X] [--quarantine-threshold X]\n"
+      "          [--watchdog-ms X] [--p2-dtype fp32|int8]\n");
 }
 
 void PrintText(const core::TableDetectionResult& r,
@@ -327,6 +368,9 @@ int main(int argc, char** argv) {
       env.pipeline_options = popt;
       serve::RouterOptions ropt;
       ropt.supervisor.replicas = cli.replicas;
+      ropt.hedge_multiplier = cli.hedge_multiplier;
+      ropt.watchdog_ms = cli.watchdog_ms;
+      ropt.supervisor.quarantine_error_threshold = cli.quarantine_threshold;
       router = std::make_unique<serve::Router>(env, ropt);
       if (Status st = router->Start(); !st.ok()) {
         std::fprintf(stderr, "replica startup failed: %s\n",
