@@ -1,5 +1,6 @@
 #include "core/taste_detector.h"
 
+#include <cstring>
 #include <deque>
 #include <map>
 #include <utility>
@@ -135,6 +136,32 @@ void TasteDetector::ClassifyP1Chunk(const EncodedMetadata& chunk,
   if (!job->uncertain_columns.back().empty()) job->needs_p2 = true;
 }
 
+namespace {
+
+bool SameTensorBytes(const tensor::Tensor& a, const tensor::Tensor& b) {
+  if (a.defined() != b.defined()) return false;
+  if (!a.defined()) return true;
+  if (a.shape() != b.shape()) return false;
+  return std::memcmp(a.data(), b.data(),
+                     static_cast<size_t>(a.numel()) * sizeof(float)) == 0;
+}
+
+/// True when a cached entry's input is exactly the chunk we are about to
+/// encode — the guard that makes cache reuse byte-identical: latents are
+/// only reused when the metadata tower would have been fed the same bits
+/// (same tokens, anchors, features, masks). A stale entry under a colliding
+/// key is recomputed instead of trusted.
+bool SameEncodedInput(const EncodedMetadata& a, const EncodedMetadata& b) {
+  return a.table_name == b.table_name && a.num_columns == b.num_columns &&
+         a.token_ids == b.token_ids && a.column_anchors == b.column_anchors &&
+         a.column_ordinals == b.column_ordinals &&
+         a.column_names == b.column_names &&
+         SameTensorBytes(a.features, b.features) &&
+         SameTensorBytes(a.attention_mask, b.attention_mask);
+}
+
+}  // namespace
+
 Status TasteDetector::InferP1(Job* job, tensor::ExecContext* ctx) const {
   TASTE_SPAN("detector.p1_infer");
   TASTE_CHECK(job != nullptr);
@@ -154,17 +181,42 @@ Status TasteDetector::InferP1(Job* job, tensor::ExecContext* ctx) const {
       return job->cancel->ToStatus("P1 inference for " + job->table_name);
     }
     const EncodedMetadata& chunk = job->chunks[i];
-    AdtdModel::MetadataEncoding enc = model_->ForwardMetadata(chunk);
-    if (CancelledNow(job->cancel)) {
-      // The forward may have bailed between layers: the encoding is
-      // (potentially) partial — never classify or cache it.
-      return job->cancel->ToStatus("P1 inference for " + job->table_name);
+    AdtdModel::MetadataEncoding enc;
+    bool reused = false;
+    if (options_.use_latent_cache) {
+      // Consult the cache — local shards, then the cross-replica plane
+      // (DESIGN.md §14) — before paying for the metadata tower. Reuse is
+      // byte-identical by construction: ForwardMetadata is deterministic,
+      // and SameEncodedInput proves the cached latents came from exactly
+      // these input bits. Any miss, timeout, or mismatch recomputes.
+      if (auto cached = cache_->GetOrFetch(ChunkCacheKey(job->table_name, i),
+                                           job->cancel)) {
+        if (SameEncodedInput(cached->input, chunk)) {
+          enc = std::move(cached->encoding);
+          reused = true;
+        }
+      }
+    }
+    if (!reused) {
+      enc = model_->ForwardMetadata(chunk);
+      if (CancelledNow(job->cancel)) {
+        // The forward may have bailed between layers: the encoding is
+        // (potentially) partial — never classify or cache it.
+        return job->cancel->ToStatus("P1 inference for " + job->table_name);
+      }
     }
     std::vector<float> probs = tensor::SigmoidValues(enc.logits);
     job->p1_probs.push_back(probs);
     ClassifyP1Chunk(chunk, probs, job);
     if (options_.use_latent_cache) {
-      cache_->Put(ChunkCacheKey(job->table_name, i), {chunk, enc});
+      if (!reused) {
+        // A genuine compute: park it locally and offer it to the plane.
+        // Cache-sourced entries are deliberately not re-Put or republished
+        // (GetOrFetch already refreshed recency; no echo loops).
+        const std::string key = ChunkCacheKey(job->table_name, i);
+        cache_->Put(key, {chunk, enc});
+        cache_->PublishToRemote(key, {chunk, enc});
+      }
       job->encodings.push_back(std::move(enc));
     }
     // Without caching, the latents are dropped here and P2 (if entered)

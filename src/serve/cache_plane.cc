@@ -1,0 +1,177 @@
+#include "serve/cache_plane.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+#include "serve/wire.h"
+
+namespace taste::serve {
+
+namespace {
+
+/// Registry handles for the plane's metrics, resolved once. One plane per
+/// router process in practice; counters aggregate if there are more.
+struct PlaneMetrics {
+  obs::Counter* hits;
+  obs::Counter* misses;
+  obs::Counter* fills;
+  obs::Counter* crc_rejects;
+  obs::Counter* invalidations;
+  obs::Counter* evictions;
+  obs::Counter* warmup_pushes;
+  obs::Gauge* bytes;
+  obs::Gauge* entries;
+
+  static PlaneMetrics& Get() {
+    static PlaneMetrics m = [] {
+      obs::Registry& r = obs::Registry::Global();
+      PlaneMetrics x;
+      x.hits = r.GetCounter("taste_cache_plane_hits_total");
+      x.misses = r.GetCounter("taste_cache_plane_misses_total");
+      x.fills = r.GetCounter("taste_cache_plane_fills_total");
+      x.crc_rejects = r.GetCounter("taste_cache_plane_crc_rejects_total");
+      x.invalidations = r.GetCounter("taste_cache_plane_invalidations_total");
+      x.evictions = r.GetCounter("taste_cache_plane_evictions_total");
+      x.warmup_pushes = r.GetCounter("taste_cache_plane_warmup_pushes_total");
+      x.bytes = r.GetGauge("taste_cache_plane_bytes");
+      x.entries = r.GetGauge("taste_cache_plane_entries");
+      return x;
+    }();
+    return m;
+  }
+};
+
+void AddResidency(int64_t byte_delta, double entry_delta) {
+  if (!obs::MetricsEnabled()) return;
+  PlaneMetrics::Get().bytes->Add(static_cast<double>(byte_delta));
+  if (entry_delta != 0.0) PlaneMetrics::Get().entries->Add(entry_delta);
+}
+
+}  // namespace
+
+CachePlane::CachePlane() : CachePlane(Options()) {}
+
+CachePlane::CachePlane(Options options) : options_(options) {
+  if (options_.max_bytes < 1) options_.max_bytes = 1;
+  PlaneMetrics::Get();  // register the metric families eagerly
+}
+
+CachePlane::~CachePlane() {
+  // Return this plane's contribution so the process gauges stay balanced
+  // across router teardown (tests build many routers per process).
+  AddResidency(-bytes_, -static_cast<double>(lru_.size()));
+}
+
+void CachePlane::Erase(std::list<Entry>::iterator it) {
+  AddResidency(-static_cast<int64_t>(it->bytes.size()), -1.0);
+  bytes_ -= static_cast<int64_t>(it->bytes.size());
+  index_.erase(it->key);
+  lru_.erase(it);
+}
+
+bool CachePlane::Admit(const std::string& key, std::string entry,
+                       int publisher) {
+  if (!CachedEntryCrcValid(entry)) {
+    ++stats_.crc_rejects;
+    if (obs::MetricsEnabled()) PlaneMetrics::Get().crc_rejects->Inc();
+    return false;
+  }
+  const int64_t entry_bytes = static_cast<int64_t>(entry.size());
+  if (entry_bytes > options_.max_bytes) return false;
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Refresh: keep the hit count (hotness survives republish) but take the
+    // new bytes and publisher.
+    const int64_t hit_count = it->second->hit_count;
+    Erase(it->second);
+    lru_.push_front(Entry{key, std::move(entry), publisher, hit_count});
+  } else {
+    lru_.push_front(Entry{key, std::move(entry), publisher, 0});
+  }
+  index_[key] = lru_.begin();
+  bytes_ += entry_bytes;
+  AddResidency(entry_bytes, 1.0);
+  ++stats_.fills;
+  if (obs::MetricsEnabled()) PlaneMetrics::Get().fills->Inc();
+  while (bytes_ > options_.max_bytes && lru_.size() > 1) {
+    Erase(std::prev(lru_.end()));
+    ++stats_.evictions;
+    if (obs::MetricsEnabled()) PlaneMetrics::Get().evictions->Inc();
+  }
+  return index_.count(key) > 0;
+}
+
+std::optional<std::string> CachePlane::Lookup(const std::string& key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    if (obs::MetricsEnabled()) PlaneMetrics::Get().misses->Inc();
+    return std::nullopt;
+  }
+  if (!CachedEntryCrcValid(it->second->bytes)) {
+    // Rotted in router memory (gray-failure threat model): drop, report a
+    // miss, let the worker recompute locally.
+    ++stats_.crc_rejects;
+    ++stats_.misses;
+    if (obs::MetricsEnabled()) {
+      PlaneMetrics::Get().crc_rejects->Inc();
+      PlaneMetrics::Get().misses->Inc();
+    }
+    Erase(it->second);
+    return std::nullopt;
+  }
+  ++it->second->hit_count;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++stats_.hits;
+  if (obs::MetricsEnabled()) PlaneMetrics::Get().hits->Inc();
+  return it->second->bytes;
+}
+
+size_t CachePlane::InvalidateFromPublisher(int publisher) {
+  size_t dropped = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    auto next = std::next(it);
+    if (it->publisher == publisher) {
+      Erase(it);
+      ++dropped;
+    }
+    it = next;
+  }
+  stats_.invalidations += static_cast<int64_t>(dropped);
+  if (dropped > 0 && obs::MetricsEnabled()) {
+    PlaneMetrics::Get().invalidations->Inc(static_cast<int64_t>(dropped));
+  }
+  return dropped;
+}
+
+std::string CachePlane::TableOfKey(const std::string& key) {
+  const size_t pos = key.rfind('#');
+  if (pos == std::string::npos) return key;
+  return key.substr(0, pos);
+}
+
+std::vector<std::pair<std::string, std::string>> CachePlane::WarmupEntriesFor(
+    int owner, const std::function<int(const std::string& table)>& owner_of,
+    size_t max_entries) {
+  // Collect the owned entries, hottest first; ties broken by recency (list
+  // order front-to-back IS recency order, and stable_sort keeps it).
+  std::vector<const Entry*> owned;
+  for (const Entry& e : lru_) {
+    if (owner_of(TableOfKey(e.key)) == owner) owned.push_back(&e);
+  }
+  std::stable_sort(owned.begin(), owned.end(),
+                   [](const Entry* a, const Entry* b) {
+                     return a->hit_count > b->hit_count;
+                   });
+  if (owned.size() > max_entries) owned.resize(max_entries);
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(owned.size());
+  for (const Entry* e : owned) out.emplace_back(e->key, e->bytes);
+  stats_.warmup_pushes += static_cast<int64_t>(out.size());
+  if (!out.empty() && obs::MetricsEnabled()) {
+    PlaneMetrics::Get().warmup_pushes->Inc(static_cast<int64_t>(out.size()));
+  }
+  return out;
+}
+
+}  // namespace taste::serve

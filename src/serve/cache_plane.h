@@ -1,0 +1,127 @@
+// Router-resident store for the cross-replica latent cache plane
+// (DESIGN.md §14).
+//
+// The plane is a second cache tier shared by every worker replica: workers
+// publish freshly computed metadata-tower entries to the router
+// (kCacheFill, lookup_id=0), the router keeps them in a bounded LRU, and a
+// worker that misses locally asks the router (kCacheLookup) before paying
+// for a P1 recompute. On respawn the router pushes the hottest entries a
+// replica owns (by consistent-hash ring position) back down so recovery
+// starts warm instead of cold.
+//
+// Entries are stored as the serialized wire bytes produced by
+// EncodeCachedMetadata, which carry their own CRC-32 trailer. The CRC is
+// checked when an entry is admitted AND again every time it is served:
+// router memory is inside the gray-failure threat model, and a corrupt
+// entry must degrade to a miss (worker recomputes locally), never be
+// served. Serving the original bytes — not a re-encode — also means a
+// plane hit is bit-for-bit what the publisher computed.
+//
+// Trust rules (the miss-storm semantics the differential rig pins down):
+//  - QUARANTINE of a replica drops every entry it published: a replica
+//    quarantined for gray behaviour may have published garbage that still
+//    carried a valid CRC (the corruption happened before encode).
+//  - Fail-stop crash death keeps the dead replica's entries: its published
+//    results were valid when produced, the CRC guards them at rest, and
+//    determinism makes them byte-identical to any recompute. This is what
+//    lets a respawned replica warm from its own pre-crash hot set.
+//
+// Threading: the plane is owned by the router and touched only from the
+// router's main thread (frame processing and respawn hooks all run there).
+// No internal locking, by design — do not share across threads.
+
+#ifndef TASTE_SERVE_CACHE_PLANE_H_
+#define TASTE_SERVE_CACHE_PLANE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace taste::serve {
+
+/// Bounded byte-budget LRU of serialized cache entries, keyed by the same
+/// "table#chunk" strings as the in-process LatentCache shards.
+class CachePlane {
+ public:
+  struct Options {
+    /// Total payload-byte budget across all entries. The default matches
+    /// kMaxFramePayload: the plane can always hold at least one entry of
+    /// any size the wire can carry.
+    int64_t max_bytes = 64ll << 20;
+  };
+
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t fills = 0;
+    int64_t crc_rejects = 0;
+    int64_t invalidations = 0;
+    int64_t evictions = 0;
+    int64_t warmup_pushes = 0;
+  };
+
+  CachePlane();  // default Options
+  explicit CachePlane(Options options);
+  ~CachePlane();
+
+  /// Offers serialized entry bytes published by `publisher` (a replica id).
+  /// Rejects entries whose CRC trailer does not validate (counted on
+  /// taste_cache_plane_crc_rejects_total) and entries larger than the whole
+  /// budget. Refreshing an existing key replaces its bytes and publisher.
+  /// Returns true iff the entry is resident afterwards.
+  bool Admit(const std::string& key, std::string entry, int publisher);
+
+  /// Returns the stored bytes and marks the entry most-recently-used, or
+  /// nullopt. Revalidates the CRC before serving: a mismatch drops the
+  /// entry and reports a miss.
+  std::optional<std::string> Lookup(const std::string& key);
+
+  /// Drops every entry published by `publisher`. Called when the replica is
+  /// quarantined (its bytes are no longer trusted). Returns the number of
+  /// entries dropped.
+  size_t InvalidateFromPublisher(int publisher);
+
+  /// Selects up to `max_entries` entries owned by replica `owner` — hottest
+  /// first by plane hit count, then most recent — for a warm-up push after
+  /// respawn. `owner_of` maps a table name (the key prefix before the last
+  /// '#') to its ring-owner replica id; it is a function, not a captured
+  /// map, so the ring stays the single source of ownership truth.
+  /// Counts each returned entry on taste_cache_plane_warmup_pushes_total.
+  std::vector<std::pair<std::string, std::string>> WarmupEntriesFor(
+      int owner, const std::function<int(const std::string& table)>& owner_of,
+      size_t max_entries);
+
+  /// The table-name prefix of a plane key ("table#chunk" -> "table").
+  /// Returns the whole key when no '#' is present.
+  static std::string TableOfKey(const std::string& key);
+
+  size_t size() const { return lru_.size(); }
+  int64_t bytes() const { return bytes_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string bytes;
+    int publisher = -1;
+    int64_t hit_count = 0;
+  };
+
+  void Erase(std::list<Entry>::iterator it);
+
+  Options options_;
+  // LRU list: front = most recent. Map values point into the list.
+  std::list<Entry> lru_;
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  int64_t bytes_ = 0;
+  Stats stats_;
+};
+
+}  // namespace taste::serve
+
+#endif  // TASTE_SERVE_CACHE_PLANE_H_

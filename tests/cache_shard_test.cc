@@ -164,6 +164,64 @@ TEST(CacheShardTest, ConcurrentSkewedStressKeepsStatsConsistent) {
   EXPECT_EQ(cache.size(), 0u);
 }
 
+TEST(CacheShardTest, SingleShardEvictionRacingPutRefreshKeepsExactBytes) {
+  // Regression for the worst-case accounting interleaving: with ONE shard
+  // every Put contends on the same lock, so refreshes of a hot key (erase
+  // old bytes, insert new bytes) constantly interleave with capacity
+  // evictions triggered by cold-key inserts from other threads. Any
+  // accounting path that double-subtracts an evicted refresh — or misses
+  // the old bytes of a refreshed entry — drifts ApproxBytes and the
+  // process-wide gauge; both must land EXACTLY back at baseline.
+  obs::SetMetricsEnabled(true);
+  obs::Gauge* gauge = obs::Registry::Global().GetGauge("taste_cache_bytes");
+  obs::Gauge* entries = obs::Registry::Global().GetGauge("taste_cache_entries");
+  const double gauge_before = gauge->Value();
+  const double entries_before = entries->Value();
+  {
+    constexpr int kThreads = 8;
+    // Capacity 4 on 1 shard: nearly every cold Put evicts.
+    LatentCache cache(/*capacity=*/4, /*shards=*/1);
+    ASSERT_EQ(cache.num_shards(), 1);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        Rng rng(static_cast<uint64_t>(t) * 31 + 7);
+        for (int op = 0; op < 3000; ++op) {
+          if (t % 2 == 0) {
+            // Refresher: hammer 2 hot keys with varying payload sizes, so
+            // the erase-old/insert-new byte deltas differ every round.
+            cache.Put("hot" + std::to_string(rng.NextU64() % 2),
+                      MakeEntry(1 + static_cast<int64_t>(rng.NextU64() % 9)));
+          } else {
+            // Evictor: cold keys overflow the 4-entry budget immediately.
+            cache.Put("cold" + std::to_string(rng.NextU64() % 64),
+                      MakeEntry(1 + static_cast<int64_t>(rng.NextU64() % 3)));
+          }
+          if (op % 16 == 0) {
+            EXPECT_GE(cache.ApproxBytes(), 0) << "negative byte tally";
+            (void)cache.Get("hot0");
+          }
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    // Quiescent: the tally must equal the gauge delta (same AddBytes calls)
+    // and the resident set must be within the single shard's budget.
+    EXPECT_LE(cache.size(), 4u);
+    EXPECT_EQ(gauge->Value() - gauge_before,
+              static_cast<double>(cache.ApproxBytes()));
+    EXPECT_EQ(entries->Value() - entries_before,
+              static_cast<double>(cache.size()));
+    cache.Clear();
+    EXPECT_EQ(cache.ApproxBytes(), 0);
+  }
+  // Destruction returns the cache's whole contribution: zero drift after
+  // ~24k racing refreshes and evictions.
+  EXPECT_EQ(gauge->Value(), gauge_before);
+  EXPECT_EQ(entries->Value(), entries_before);
+  obs::SetMetricsEnabled(false);
+}
+
 TEST(CacheShardTest, ConcurrentClearNeverYieldsNegativeAccounting) {
   // Clear locks all shards; racing Put/Clear must never drive the byte
   // tally negative or strand entries.

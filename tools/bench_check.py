@@ -23,7 +23,12 @@ and exits non-zero when either
     threshold at any replica count, its 1->4 replica scaling fell below
     the floor (1.5x with >=4 hardware threads; a 0.70x no-collapse floor
     on starved runners, where process scaling is physically unavailable),
-    or kill->respawn recovery left the bounded window.
+    or kill->respawn recovery left the bounded window, or
+  * the cache plane misbehaved: a cold respawn's remote hit rate fell
+    below 0.90, remote-hit serving exceeded 1.5x the recompute wall,
+    the warm respawn (including its warm-up push) left the bounded
+    recovery window or pushed nothing, or (with >=4 hardware threads)
+    warm-start serving lost to cold-start.
 
 It also sanity-checks the artifact's embedded "metrics" section (present
 since the observability layer landed): the document must be valid JSON and
@@ -310,6 +315,77 @@ def check_p2_serving_mp(baseline, fresh, threshold, failures):
     elif "hedge_waste_fraction" in base:
         failures.append(
             "p2_serving_mp: wedge/hedge fields missing from fresh run")
+    # Cache-plane rows (DESIGN.md §14; baselines from before the plane
+    # landed carry no cache_plane fields and are exempt).
+    if "cache_plane_cold_hit_rate" in cur:
+        # Cold respawn re-serves the victim's range through remote plane
+        # lookups; everything it needs was published in batch 1, so the
+        # remote hit rate has a high floor — a miss here means the plane
+        # is dropping or failing to admit freshly published entries.
+        rate = cur.get("cache_plane_cold_hit_rate", -1.0)
+        verdict = "FAIL" if rate < 0.9 else "ok"
+        print(f"  p2_serving_mp/plane_cold_hit_rate {rate:.2f} "
+              f"({verdict}, floor 0.90)")
+        if rate < 0.9:
+            failures.append(
+                f"p2_serving_mp: cold-respawn remote hit rate {rate:.2f} "
+                f"below 0.90 — the plane is not serving published entries")
+        # Remote hits exist to be cheaper than recomputing. The cold
+        # batch-2 wall (remote-hit-dominated) is compared against the
+        # plane-off replicas=4 wall from the SAME artifact (cold caches,
+        # full recompute); a generous 1.5x margin absorbs runner noise
+        # while still catching per-lookup stalls.
+        mp4 = {r["replicas"]: r for r in cur.get("rows", [])}.get(
+            4, {}).get("wall_ms", 0)
+        cold_wall = cur.get("cache_plane_cold_batch2_wall_ms", 0)
+        if mp4 > 0 and cold_wall > 0:
+            ratio = cold_wall / mp4
+            verdict = "FAIL" if ratio > 1.5 else "ok"
+            print(f"  p2_serving_mp/plane_cold_vs_recompute {ratio:.2f}x "
+                  f"({verdict}, cap 1.50x)")
+            if ratio > 1.5:
+                failures.append(
+                    f"p2_serving_mp: remote-hit serving is {ratio:.2f}x the "
+                    f"recompute wall (cap 1.50x) — plane lookups are adding "
+                    f"latency instead of saving work")
+        # The warm respawn includes the warm-up push; it must stay inside
+        # the same bounded-recovery window as a plain respawn, and must
+        # actually have pushed something.
+        wrec = cur.get("cache_plane_warm_recovery_ms", -1.0)
+        verdict = "FAIL" if not 0 <= wrec <= 5000 else "ok"
+        print(f"  p2_serving_mp/plane_warm_recovery {wrec:.1f} ms ({verdict})")
+        if not 0 <= wrec <= 5000:
+            failures.append(
+                f"p2_serving_mp: warm respawn (incl. warm-up push) "
+                f"{wrec:.1f} ms outside [0, 5000]")
+        pushed = cur.get("cache_plane_warmup_entries", 0)
+        verdict = "FAIL" if pushed < 1 else "ok"
+        print(f"  p2_serving_mp/plane_warmup_entries {pushed} ({verdict})")
+        if pushed < 1:
+            failures.append(
+                "p2_serving_mp: respawn with warm-up armed pushed no "
+                "entries")
+        # Warm-from-peers must not lose to cold-start. Only armed with
+        # real parallelism: on a single-core runner both batch-2 walls are
+        # dominated by the shared CPU, and the P1 work warm-up saves is
+        # within scheduler noise.
+        warm_wall = cur.get("cache_plane_warm_batch2_wall_ms", 0)
+        if hw >= 4 and warm_wall > 0 and cold_wall > 0:
+            ratio = warm_wall / cold_wall
+            verdict = "FAIL" if ratio > 1.10 else "ok"
+            print(f"  p2_serving_mp/plane_warm_vs_cold {ratio:.2f}x "
+                  f"({verdict}, cap 1.10x at {hw} hardware threads)")
+            if ratio > 1.10:
+                failures.append(
+                    f"p2_serving_mp: warm-start batch 2 is {ratio:.2f}x the "
+                    f"cold-start wall — peer warm-up is slowing serving "
+                    f"down instead of pre-paying it")
+        elif warm_wall > 0:
+            print(f"  p2_serving_mp/plane_warm_vs_cold skipped "
+                  f"({hw} hardware threads < 4)")
+    elif "cache_plane_cold_hit_rate" in base:
+        failures.append(
+            "p2_serving_mp: cache_plane fields missing from fresh run")
 
 
 def check_metrics_section(fresh, failures):
